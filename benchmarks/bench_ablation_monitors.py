@@ -1,0 +1,130 @@
+"""Ablation -- monitor placement at a fixed abstraction level.
+
+Table 3 conflates two effects: the abstraction-level speedup (kernel
+model vs bit-level netlist) and the monitor methodology (external
+compiled monitor vs checker modules loaded into the design).  This
+ablation isolates the second effect by running the *same RTL model* with
+
+* no monitors at all (baseline),
+* the OVL checker modules instantiated into the design, and
+* external compiled PSL monitors sampling the RTL's status nets from
+  outside (the paper's C#-monitor architecture applied at RTL).
+
+Expected shape: OVL > external > none, because the in-design checkers
+add nets and registers that the simulator evaluates on every edge,
+while external monitors cost only one table lookup per edge.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import record_row
+from repro.core import (
+    La1Config,
+    RtlHost,
+    build_la1_top_rtl,
+    build_la1_top_with_ovl,
+    read_mode_suite,
+)
+from repro.core.asm_model import La1AsmAtoms as A
+from repro.psl import Verdict, build_checker
+from repro.rtl import RtlSimulator, elaborate
+
+CFG = La1Config(banks=2, beat_bits=16, addr_bits=3)
+CYCLES = 250
+
+_times = {}
+
+
+def _traffic(host, seed=7):
+    rng = random.Random(seed)
+    for __ in range(CYCLES // 8):
+        if rng.random() < 0.5:
+            host.read(rng.randrange(CFG.banks), rng.randrange(8))
+        else:
+            host.write(rng.randrange(CFG.banks), rng.randrange(8),
+                       rng.getrandbits(32))
+
+
+class _ExternalRtlMonitors:
+    """Compiled PSL monitors bound to RTL status nets via edge hooks."""
+
+    def __init__(self, sim: RtlSimulator, banks: int):
+        self.sim = sim
+        self.monitors = []
+        for bank in range(banks):
+            paths = {
+                A.read_req(bank): f"la1_top.bank{bank}.stat_read_req",
+                A.read_fetch(bank): f"la1_top.bank{bank}.stat_read_fetch",
+                A.data_valid(bank): f"la1_top.bank{bank}.stat_data_valid",
+                A.data_valid2(bank): f"la1_top.bank{bank}.stat_data_valid2",
+            }
+            for name, prop in read_mode_suite(banks):
+                if f"[{bank}]" not in name:
+                    continue
+                checker = build_checker(prop)
+                self.monitors.append(
+                    [name, checker, 0,
+                     [paths[a] for a in checker.atoms]])
+        sim.add_edge_hook(self._on_edge)
+        self.failed = []
+
+    def _on_edge(self, edge, sim):
+        read = sim.read
+        for entry in self.monitors:
+            name, checker, state, paths = entry
+            if state == checker.FAIL_STATE:
+                continue
+            key = tuple(bool(read(p)) for p in paths)
+            state = checker.transition(state, key)
+            entry[2] = state
+            if state == checker.FAIL_STATE:
+                self.failed.append(name)
+
+
+def _measure(kind):
+    if kind == "ovl":
+        sim = RtlSimulator(elaborate(build_la1_top_with_ovl(CFG)))
+        external = None
+    else:
+        sim = RtlSimulator(elaborate(build_la1_top_rtl(CFG)))
+        external = _ExternalRtlMonitors(sim, CFG.banks) \
+            if kind == "external" else None
+    host = RtlHost(sim, CFG)
+    _traffic(host)
+    start = time.perf_counter()
+    host.run_cycles(CYCLES)
+    elapsed = time.perf_counter() - start
+    assert sim.ok
+    if external is not None:
+        assert not external.failed
+    return elapsed / CYCLES
+
+
+@pytest.mark.parametrize("kind", ["none", "external", "ovl"])
+def test_monitor_placement(benchmark, kind):
+    box = {}
+
+    def run():
+        box["per_cycle"] = _measure(kind)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _times[kind] = box["per_cycle"]
+    record_row(
+        "Ablation: monitor placement at RTL (2 banks)",
+        f"monitors={kind:<9} time/cycle={box['per_cycle'] * 1e6:9.1f}us",
+    )
+
+
+def test_ovl_overhead_exceeds_external(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_times) < 3:
+        pytest.skip("placement runs missing")
+    assert _times["ovl"] > _times["external"] >= _times["none"] * 0.9
+    record_row(
+        "Ablation: monitor placement at RTL (2 banks)",
+        f"OVL overhead {(_times['ovl'] / _times['none'] - 1) * 100:.0f}% "
+        f"vs external {(_times['external'] / _times['none'] - 1) * 100:.0f}%",
+    )

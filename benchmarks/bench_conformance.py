@@ -1,0 +1,55 @@
+"""Conformance & refinement cost -- the flow's "quite important" phase.
+
+The paper notes the ASM/SystemC conformance phase "is sometimes time
+consuming, however, it is quite important".  This benchmark quantifies
+both co-execution checks -- ASM vs SystemC-level model, and ASM vs the
+bit-level RTL (the future-work refinement check) -- as the exploration
+depth grows, reporting paths, replayed steps and CPU time.
+"""
+
+import pytest
+
+from conftest import record_row
+from repro.core import (
+    La1AsmConfig,
+    check_asm_rtl_refinement,
+    check_la1_conformance,
+)
+
+DEPTHS = [4, 6, 8]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_asm_systemc_conformance_cost(benchmark, depth):
+    box = {}
+
+    def run():
+        box["result"] = check_la1_conformance(
+            La1AsmConfig(banks=1), max_depth=depth, max_paths=100000)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = box["result"]
+    assert result.conformant
+    record_row(
+        "Conformance cost (1 bank)",
+        f"ASM vs SystemC  depth={depth}  paths={result.paths_checked:6d}  "
+        f"steps={result.steps_executed:7d}  cpu={result.cpu_time:7.3f}s",
+    )
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_asm_rtl_refinement_cost(benchmark, depth):
+    box = {}
+
+    def run():
+        box["result"] = check_asm_rtl_refinement(
+            La1AsmConfig(banks=1), max_depth=depth, max_paths=100000)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = box["result"]
+    assert result.conformant
+    record_row(
+        "Conformance cost (1 bank)",
+        f"ASM vs RTL      depth={depth}  paths={result.paths_checked:6d}  "
+        f"steps={result.steps_executed:7d}  cpu={result.cpu_time:7.3f}s",
+    )

@@ -1,0 +1,31 @@
+"""Figure 2 -- the end-to-end methodology flow.
+
+Runs the complete UML -> ASM (+MC) -> SystemC (+conformance +ABV) -> RTL
+(+MC +OVL) flow and reports per-stage timing: the cost profile of the
+paper's methodology itself.
+"""
+
+import pytest
+
+from conftest import record_row
+from repro.core import FlowConfig, run_flow
+
+BANKS = [1, 2]
+
+
+@pytest.mark.parametrize("banks", BANKS)
+def test_flow_end_to_end(benchmark, banks):
+    box = {}
+
+    def run():
+        box["report"] = run_flow(FlowConfig(banks=banks, traffic=25))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = box["report"]
+    assert report.ok, report.render()
+    for stage in report.stages:
+        record_row(
+            "Figure 2: methodology flow",
+            f"banks={banks}  stage={stage.name:<28} "
+            f"cpu={stage.cpu_time:7.3f}s  {stage.detail}",
+        )

@@ -1,0 +1,32 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark module regenerates one table of the paper's evaluation
+section and prints its rows in the paper's format (use ``pytest
+benchmarks/ --benchmark-only -s`` to see them inline; rows are also
+echoed at teardown).
+"""
+
+import os
+
+import pytest
+
+#: set LA1_BENCH_FULL=1 to run the long configurations (the multi-minute
+#: 2-bank full-datapath symbolic MC point of Table 2, larger traffic)
+FULL = os.environ.get("LA1_BENCH_FULL", "") not in ("", "0")
+
+_rows: dict[str, list[str]] = {}
+
+
+def record_row(table: str, row: str) -> None:
+    """Collect a formatted row for end-of-session printing."""
+    _rows.setdefault(table, []).append(row)
+    print(row)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_tables():
+    yield
+    for table in sorted(_rows):
+        print(f"\n=== {table} ===")
+        for row in _rows[table]:
+            print(row)

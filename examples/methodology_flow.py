@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2 flow, end to end.
+
+Runs every stage of the design-and-verification methodology for a 2-bank
+LA-1 device -- UML validation and property extraction, ASM model checking
+of the full PSL suite, ASM->SystemC conformance co-execution, simulation
+with external assertion monitors, RTL refinement with Verilog emission,
+RuleBase-style symbolic model checking of the Read-Mode property, and a
+final OVL-instrumented RTL simulation -- then prints the stage report and
+writes the generated Verilog next to this script.
+"""
+
+import pathlib
+
+from repro.core import FlowConfig, run_flow
+from repro.uml import render_class_diagram, render_sequence_diagram
+from repro.core import la1_class_diagram, read_mode_sequence
+
+
+def main() -> None:
+    classes = la1_class_diagram()
+    print(render_class_diagram(classes))
+    print(render_sequence_diagram(read_mode_sequence(classes)))
+
+    report = run_flow(FlowConfig(banks=2, traffic=30))
+    print(report.render())
+
+    out = pathlib.Path(__file__).with_name("la1_top.v")
+    out.write_text(report.verilog)
+    print(f"\nSynthesizable Verilog written to {out}")
+    assert report.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Reproduction of *On the Design and Verification Methodology of the
+Look-Aside Interface* (Habibi, Ahmed, Ait Mohamed, Tahar -- DATE 2004).
+
+The package implements the paper's complete design-and-verification flow
+for the LA-1 network-processor interface, together with every substrate
+the flow depends on:
+
+* :mod:`repro.sysc` -- SystemC-like event-driven simulation kernel.
+* :mod:`repro.rtl` -- synthesizable RTL IR, synchronous simulator and
+  Verilog emitter.
+* :mod:`repro.asm` -- Abstract State Machine framework (AsmL analogue)
+  with bounded exploration, conformance testing and exploration-based
+  model checking.
+* :mod:`repro.psl` -- Property Specification Language subset (Boolean /
+  temporal / verification / modeling layers, SEREs, checker automata).
+* :mod:`repro.bdd` -- ROBDD engine.
+* :mod:`repro.mc` -- RuleBase-style symbolic model checker over RTL.
+* :mod:`repro.ovl` -- Open Verification Library style assertion monitors
+  instantiated as RTL modules.
+* :mod:`repro.abv` -- assertion-based verification with external ("C#")
+  monitors bound to kernel-level models.
+* :mod:`repro.uml` -- UML class / use-case / clock-annotated sequence
+  diagrams and property extraction.
+* :mod:`repro.core` -- the LA-1 interface itself at all four abstraction
+  levels plus the refinement flow of the paper's Figure 2.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sysc",
+    "rtl",
+    "asm",
+    "psl",
+    "bdd",
+    "mc",
+    "ovl",
+    "abv",
+    "uml",
+    "core",
+]

@@ -1,0 +1,18 @@
+"""``repro.abv`` -- assertion-based verification with external monitors.
+
+The SystemC-level half of Table 3: PSL properties compiled into external
+("C#") monitor objects, bound read-only to kernel signals, sampling on
+clock-edge events, with the paper's three failure actions (stop the
+simulation / write a report / send a warning signal).
+"""
+
+from .monitor import AssertionMonitor, FailureAction, bind_atom
+from .report import AbvReport, summarize
+
+__all__ = [
+    "AssertionMonitor",
+    "FailureAction",
+    "bind_atom",
+    "AbvReport",
+    "summarize",
+]

@@ -1,0 +1,224 @@
+"""External assertion monitors -- the paper's C# monitor architecture.
+
+"We propose to integrate PSL assertion to SystemC designs as external
+monitors implemented in C#.  These latter are directly compiled from the
+PSL properties modeled in ASM" (paper, Section 5.3).  Here the external
+monitor is a Python object compiled from a PSL property; binding follows
+the same rules:
+
+* the design signals an assertion reads "must be seen as external signals
+  ... input to the assertion monitor" -- the binding maps every atom of
+  the property to a read-only getter (usually ``signal.read``);
+* the bound monitor samples on a clock-edge event of the kernel and, when
+  the assertion fires, can **stop the simulation**, **write a report**
+  about the assertion status and all its variables, and **send a warning
+  signal to other modules**.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Union
+
+from ..psl.ast import ModelingLayer, Property
+from ..psl.automata import CheckerAutomaton, build_checker
+from ..psl.monitor import PslMonitor, Verdict
+from ..psl.parser import parse_property
+from ..sysc.kernel import Event, MethodProcess, Simulator
+from ..sysc.signal import Signal
+
+__all__ = ["AssertionMonitor", "bind_atom", "FailureAction"]
+
+#: compiled checker automata, shared across monitors of equal properties
+_CHECKER_CACHE: dict[Property, CheckerAutomaton] = {}
+
+
+def _compiled_checker(prop: Property) -> CheckerAutomaton:
+    checker = _CHECKER_CACHE.get(prop)
+    if checker is None:
+        checker = build_checker(prop)
+        _CHECKER_CACHE[prop] = checker
+    return checker
+
+
+class FailureAction:
+    """What a firing assertion does (any combination can be enabled)."""
+
+    STOP = "stop"
+    REPORT = "report"
+    WARN = "warn"
+
+
+def bind_atom(source: Union[Signal, Callable[[], object]]) -> Callable[[], bool]:
+    """Normalise a binding source into a boolean getter.
+
+    Accepts a kernel :class:`~repro.sysc.signal.Signal` (read-only access,
+    per the paper's transformation) or any zero-argument callable.
+    """
+    if isinstance(source, Signal):
+        return lambda: bool(source.read())
+    if callable(source):
+        return lambda: bool(source())
+    raise TypeError(f"cannot bind atom to {source!r}")
+
+
+class AssertionMonitor:
+    """An external PSL assertion monitor for kernel-level designs.
+
+    Parameters
+    ----------
+    prop:
+        A :class:`~repro.psl.ast.Property` or PSL source text.
+    name:
+        Reporting name.
+    bindings:
+        ``atom name -> Signal or getter`` for every atom the property
+        reads (modeling-layer auxiliaries excluded).
+    actions:
+        Iterable of :class:`FailureAction` values; defaults to
+        ``(REPORT,)``.
+    modeling:
+        Optional modeling layer evaluated over the sampled valuation.
+    """
+
+    def __init__(
+        self,
+        prop: Union[Property, str],
+        name: str,
+        bindings: Mapping[str, Union[Signal, Callable[[], object]]],
+        actions: tuple = (FailureAction.REPORT,),
+        modeling: Optional[ModelingLayer] = None,
+        compiled: bool = True,
+    ):
+        if isinstance(prop, str):
+            prop = parse_property(prop)
+        self.prop = prop
+        self.name = name
+        self.actions = tuple(actions)
+        self.monitor = PslMonitor(prop, name, modeling=modeling,
+                                  history=not compiled)
+        # the paper's monitors are *compiled from* the PSL properties:
+        # for safety properties without a modeling layer the monitor
+        # steps a precompiled deterministic automaton (table lookups)
+        # instead of re-progressing the formula every cycle
+        self._checker: Optional[CheckerAutomaton] = None
+        self._checker_state = 0
+        self._compiled_verdict = Verdict.PENDING
+        if compiled and modeling is None and prop.is_safety():
+            self._checker = _compiled_checker(prop)
+        self._getters: dict[str, Callable[[], bool]] = {
+            atom: bind_atom(src) for atom, src in bindings.items()
+        }
+        design_atoms = prop.atoms()
+        if modeling is not None:
+            design_atoms = design_atoms - set(modeling.names)
+        missing = design_atoms - set(self._getters)
+        if missing:
+            raise ValueError(
+                f"monitor {name}: unbound atoms {sorted(missing)}"
+            )
+        self.reports: list[str] = []
+        self.warning: Optional[Signal] = None
+        self._sim: Optional[Simulator] = None
+        self.samples = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, sim: Simulator, *triggers: Event,
+               warning_signal: Optional[Signal] = None) -> None:
+        """Bind the monitor into a simulation: sample on every trigger
+        notification (typically clock posedge events -- pass both K and
+        K# samplers for half-cycle properties)."""
+        self._sim = sim
+        self.warning = warning_signal
+        self._process = MethodProcess(sim, f"abv.{self.name}",
+                                      self._on_trigger)
+        self._process.make_sensitive(*triggers)
+
+    def _on_trigger(self) -> None:
+        # the kernel runs every process once at initialisation with no
+        # trigger; a monitor only samples on real notifications
+        if self._process.trigger is None:
+            return
+        self.sample()
+
+    def sample(self) -> Verdict:
+        """Read all bound signals and advance the property one cycle."""
+        self.samples += 1
+        if self._checker is not None:
+            return self._sample_compiled()
+        valuation = {atom: fn() for atom, fn in self._getters.items()}
+        before = self.monitor.verdict
+        verdict = self.monitor.step(valuation)
+        if verdict is Verdict.FAILS and before is not Verdict.FAILS:
+            self._fire(valuation)
+        return verdict
+
+    def _sample_compiled(self) -> Verdict:
+        if self._compiled_verdict is not Verdict.PENDING:
+            return self._compiled_verdict
+        checker = self._checker
+        getters = self._getters
+        key = tuple(bool(getters[a]()) for a in checker.atoms)
+        state = checker.transition(self._checker_state, key)
+        if state == checker.FAIL_STATE:
+            self._compiled_verdict = Verdict.FAILS
+            self.monitor.verdict = Verdict.FAILS
+            self.monitor.failed_at = self.samples - 1
+            self._fire(dict(zip(checker.atoms, key)))
+        elif checker.is_accepting_sink(state):
+            self._compiled_verdict = Verdict.HOLDS
+            self.monitor.verdict = Verdict.HOLDS
+        self._checker_state = state
+        return self._compiled_verdict
+
+    def finish(self) -> Verdict:
+        """Apply end-of-trace semantics (see :meth:`PslMonitor.finish`)."""
+        if self._checker is not None:
+            if self._compiled_verdict is Verdict.PENDING:
+                if self._checker.has_strong_pending(self._checker_state):
+                    self._compiled_verdict = Verdict.FAILS
+                    self.monitor.verdict = Verdict.FAILS
+                    self.monitor.failed_at = self.samples
+                    self._fire({})
+                else:
+                    self._compiled_verdict = Verdict.HOLDS
+                    self.monitor.verdict = Verdict.HOLDS
+            return self._compiled_verdict
+        before = self.monitor.verdict
+        verdict = self.monitor.finish()
+        if verdict is Verdict.FAILS and before is not Verdict.FAILS:
+            self._fire({})
+        return verdict
+
+    # ------------------------------------------------------------------
+    def _fire(self, valuation: dict) -> None:
+        if FailureAction.REPORT in self.actions:
+            variables = ", ".join(f"{k}={int(bool(v))}" for k, v in
+                                  sorted(valuation.items()))
+            when = self._sim.time if self._sim is not None else self.monitor.cycle
+            self.reports.append(
+                f"[{self.name}] ASSERTION FIRED at time {when}: "
+                f"{self.prop!r} with {variables or 'no variables'}"
+            )
+        if FailureAction.WARN in self.actions and self.warning is not None:
+            self.warning.write(True)
+        if FailureAction.STOP in self.actions and self._sim is not None:
+            self._sim.request_stop(f"assertion {self.name} fired")
+
+    # ------------------------------------------------------------------
+    @property
+    def verdict(self) -> Verdict:
+        """Current three-valued verdict."""
+        return self.monitor.verdict
+
+    @property
+    def p_status(self) -> bool:
+        """Paper encoding: verdict decided?"""
+        return self.monitor.p_status
+
+    @property
+    def p_value(self) -> bool:
+        """Paper encoding: current value (True = not falsified)."""
+        return self.monitor.p_value
+
+    def __repr__(self):
+        return f"AssertionMonitor({self.name!r}, {self.verdict.value})"

@@ -1,0 +1,66 @@
+"""ABV result aggregation and reporting.
+
+Collects the verdicts of a set of external assertion monitors into the
+summary the SystemC-level verification flow prints (and the tests
+assert on): per-property ``P_status``/``P_value``, firing reports and a
+pass/fail roll-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..psl.monitor import Verdict
+from .monitor import AssertionMonitor
+
+__all__ = ["AbvReport", "summarize"]
+
+
+class AbvReport:
+    """Summary of an assertion-based verification run."""
+
+    def __init__(self, monitors: list[AssertionMonitor]):
+        self.monitors = monitors
+
+    @property
+    def passed(self) -> bool:
+        """True when no monitor failed."""
+        return all(m.verdict is not Verdict.FAILS for m in self.monitors)
+
+    @property
+    def failed(self) -> list[AssertionMonitor]:
+        """Monitors whose property failed."""
+        return [m for m in self.monitors if m.verdict is Verdict.FAILS]
+
+    @property
+    def pending(self) -> list[AssertionMonitor]:
+        """Monitors still undecided (call ``finish`` for end-of-trace)."""
+        return [m for m in self.monitors if m.verdict is Verdict.PENDING]
+
+    def finish(self) -> "AbvReport":
+        """Apply end-of-trace semantics to every monitor."""
+        for monitor in self.monitors:
+            monitor.finish()
+        return self
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = ["ABV report:"]
+        for monitor in self.monitors:
+            lines.append(
+                f"  {monitor.name:<40} {monitor.verdict.value.upper():<8} "
+                f"(P_status={int(monitor.p_status)}, "
+                f"P_value={int(monitor.p_value)}, samples={monitor.samples})"
+            )
+            for report in monitor.reports:
+                lines.append(f"    {report}")
+        lines.append(f"  overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"AbvReport(passed={self.passed}, monitors={len(self.monitors)})"
+
+
+def summarize(monitors: Iterable[AssertionMonitor]) -> AbvReport:
+    """Build an :class:`AbvReport` from monitors."""
+    return AbvReport(list(monitors))

@@ -1,0 +1,92 @@
+"""Finite domains for ASM exploration.
+
+"Defining the domains, which are defined as finite collections of values
+from which method arguments are taken, are the most important issues to
+consider" (paper, Section 5.1): exploration enumerates rule arguments from
+these collections, so their size directly controls the FSM the AsmL-style
+explorer builds.  The domain-size ablation benchmark sweeps exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Domain", "IntRange", "EnumDomain", "BoolDomain", "ExplicitDomain"]
+
+
+class Domain:
+    """A named finite collection of hashable values."""
+
+    name = "domain"
+
+    def values(self) -> Sequence:
+        """The collection, in a deterministic order."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator:
+        return iter(self.values())
+
+    def __len__(self) -> int:
+        return len(self.values())
+
+    def __contains__(self, item) -> bool:
+        return item in self.values()
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r}, {list(self.values())!r})"
+
+
+class IntRange(Domain):
+    """Integers ``lo..hi`` inclusive.
+
+    The paper's example: "for an integer input that can only take a value
+    in the range from 5 to 23, considering all possible integer values for
+    the type AsmL.Integer is a waste of time".
+    """
+
+    def __init__(self, name: str, lo: int, hi: int):
+        if hi < lo:
+            raise ValueError(f"empty IntRange [{lo}, {hi}]")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self._values = tuple(range(lo, hi + 1))
+
+    def values(self):
+        return self._values
+
+
+class EnumDomain(Domain):
+    """An explicit enumeration of symbolic values."""
+
+    def __init__(self, name: str, values: Iterable):
+        self.name = name
+        self._values = tuple(values)
+        if not self._values:
+            raise ValueError(f"empty EnumDomain {name}")
+
+    def values(self):
+        return self._values
+
+
+class BoolDomain(Domain):
+    """The two booleans -- AsmL's ``any rec in {true, false}``."""
+
+    def __init__(self, name: str = "bool"):
+        self.name = name
+
+    def values(self):
+        return (False, True)
+
+
+class ExplicitDomain(Domain):
+    """An arbitrary ordered collection of hashable values."""
+
+    def __init__(self, name: str, values: Sequence):
+        self.name = name
+        self._values = tuple(values)
+        if not self._values:
+            raise ValueError(f"empty ExplicitDomain {name}")
+
+    def values(self):
+        return self._values

@@ -1,0 +1,17 @@
+"""``repro.bdd`` -- a reduced ordered BDD engine with node-budget accounting.
+
+The substrate under the RuleBase-style symbolic model checker
+(:mod:`repro.mc`).  See :class:`BddManager` for the API and
+:class:`BddBudgetExceeded` for the state-explosion mechanism.
+"""
+
+from .bdd import BddBudgetExceeded, BddManager
+from .ordering import NEXT_SUFFIX, interleaved_order, naive_order
+
+__all__ = [
+    "BddManager",
+    "BddBudgetExceeded",
+    "interleaved_order",
+    "naive_order",
+    "NEXT_SUFFIX",
+]

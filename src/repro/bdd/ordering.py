@@ -1,0 +1,38 @@
+"""Variable ordering heuristics for the symbolic model checker.
+
+BDD sizes are exquisitely sensitive to variable order; RuleBase-era tools
+shipped static ordering heuristics, and the 4-bank state explosion boundary
+in Table 2 moves with the order chosen.  Two orders are provided (and
+compared by the ordering ablation benchmark):
+
+* :func:`interleaved_order` -- each state bit's *next* variable directly
+  follows its *current* variable, and the bits of one register stay
+  adjacent.  This is the standard good order for image computation.
+* :func:`naive_order` -- all current variables first, then all next
+  variables; the classic bad order that inflates the transition relation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["interleaved_order", "naive_order", "NEXT_SUFFIX"]
+
+NEXT_SUFFIX = "'"
+
+
+def interleaved_order(state_bits: Sequence[str], input_bits: Sequence[str]) -> list[str]:
+    """Inputs first, then ``bit, bit'`` pairs in declaration order."""
+    order: list[str] = list(input_bits)
+    for bit in state_bits:
+        order.append(bit)
+        order.append(bit + NEXT_SUFFIX)
+    return order
+
+
+def naive_order(state_bits: Sequence[str], input_bits: Sequence[str]) -> list[str]:
+    """Inputs, then all current bits, then all next bits."""
+    order = list(input_bits)
+    order.extend(state_bits)
+    order.extend(bit + NEXT_SUFFIX for bit in state_bits)
+    return order

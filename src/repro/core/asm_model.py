@@ -1,0 +1,269 @@
+"""The ASM model of the LA-1 interface (the paper's Section 4.2).
+
+The model mirrors the paper's class structure -- Write Port, Read Port,
+SRAM Memory and the embedded *light synchronous Verilog-like simulator*
+(Figure 4's ``SimManager``) -- flattened into ASM state variables:
+
+======================  =================================================
+``sim_status``          ``INIT`` / ``CHECKING`` (Figure 4's SimStatus)
+``phase``               0 = next edge is rising K, 1 = rising K#
+``rp<b>``               read-port pipeline of bank *b*:
+                        ``(idle) -> (req a) -> (fetch a w) -> (out0 a w)
+                        -> (out1 a w) -> (idle)``
+``wp<b>``               write-port pipeline: ``(idle) -> (sel) ->
+                        (data a w) -> commit -> (idle)``
+``mem<b>``              the bank's SRAM array (a tuple of words)
+``wcommit<b>``          one-edge commit strobe
+======================  =================================================
+
+Behaviour is two rules, one per clock edge -- the light simulator's
+half-cycle discipline -- whose parameters are the *environment's*
+nondeterministic choices (which bank to read/write, which address, what
+data), each drawn from a finite domain.  One exploration step is exactly
+one half-cycle, so the PSL properties' ``next[n]`` counts half-cycles.
+
+The model is generic in the number of banks: "it allows to upgrade the
+design from 1 bank to 4 banks (actually, for any number N of banks) by
+just a matter of object instantiation".
+
+Abstractions versus the bit-level model (documented for the conformance
+layer): a word is a single abstract value (the two DDR beats and the byte
+merge are refined at the SystemC/RTL levels); the commit stores the beat
+presented in the data phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..asm.domains import EnumDomain, IntRange
+from ..asm.machine import AsmMachine
+
+__all__ = ["La1AsmConfig", "build_la1_asm", "La1AsmAtoms"]
+
+IDLE = ("idle",)
+SEL = ("sel",)
+
+
+@dataclass(frozen=True)
+class La1AsmConfig:
+    """Exploration-facing scale parameters of the ASM model.
+
+    ``addr_values`` / ``data_values`` are the paper's *domains*: the
+    finite collections exploration draws request parameters from.
+    ``serialize_reads`` / ``serialize_writes`` restrict the environment
+    to one outstanding operation of each kind device-wide -- the guided
+    "smart configuration" the paper says is "a very important step
+    towards enabling model checking using AsmL".  ``explore_init``
+    includes the nondeterministic SimManager initialisation phase of
+    Figure 4.
+    """
+
+    banks: int = 4
+    addr_values: tuple = (0,)
+    data_values: tuple = (0, 1)
+    serialize_reads: bool = True
+    serialize_writes: bool = True
+    explore_init: bool = False
+
+    @property
+    def mem_words(self) -> int:
+        """Words per bank array (one per address value)."""
+        return len(self.addr_values)
+
+
+class La1AsmAtoms:
+    """Atom-name helpers tying PSL properties to the ASM state."""
+
+    @staticmethod
+    def read_req(bank: int) -> str:
+        """Request captured this K edge (``rp<b>`` in stage ``req``)."""
+        return f"read_req_{bank}"
+
+    @staticmethod
+    def read_fetch(bank: int) -> str:
+        """SRAM array access in flight (stage ``fetch``)."""
+        return f"read_fetch_{bank}"
+
+    @staticmethod
+    def data_valid(bank: int) -> str:
+        """First data beat driven (stage ``out0``)."""
+        return f"data_valid_{bank}"
+
+    @staticmethod
+    def data_valid2(bank: int) -> str:
+        """Second data beat driven (stage ``out1``)."""
+        return f"data_valid2_{bank}"
+
+    @staticmethod
+    def write_sel(bank: int) -> str:
+        """W# captured this K edge (stage ``sel``)."""
+        return f"write_sel_{bank}"
+
+    @staticmethod
+    def write_data(bank: int) -> str:
+        """Write address/data phase (stage ``data``)."""
+        return f"write_data_{bank}"
+
+    @staticmethod
+    def write_commit(bank: int) -> str:
+        """Commit strobe (array updated at this K edge)."""
+        return f"write_commit_{bank}"
+
+
+def build_la1_asm(config: La1AsmConfig) -> AsmMachine:
+    """Construct the LA-1 ASM machine for ``config``.
+
+    The machine's labeling for PSL atoms is derivable from state directly:
+    every :class:`La1AsmAtoms` name is exposed as a computed state
+    variable would be -- see :func:`repro.core.properties.asm_labeling`.
+    """
+    machine = AsmMachine(f"la1_asm_{config.banks}banks")
+    banks = range(config.banks)
+
+    machine.var("sim_status", "INIT" if config.explore_init else "CHECKING")
+    machine.var("phase", 0)
+    for b in banks:
+        machine.var(f"rp{b}", IDLE)
+        machine.var(f"wp{b}", IDLE)
+        machine.var(f"mem{b}", tuple(config.data_values[0]
+                                     for __ in range(config.mem_words)))
+        machine.var(f"wcommit{b}", False)
+
+    bank_or_none = EnumDomain("bank_or_none", (-1, *banks))
+    addr_domain = EnumDomain("addr", config.addr_values)
+    data_domain = EnumDomain("data", config.data_values)
+    default_addr = config.addr_values[0]
+    default_data = config.data_values[0]
+
+    # ------------------------------------------------------------------
+    # SimManager initialisation (Figure 4): executed once, sets the
+    # clocks and nondeterministically chooses pending work per port.
+    # ------------------------------------------------------------------
+    if config.explore_init:
+
+        def init_guard(s, pending_read, pending_write):
+            if s["sim_status"] != "INIT":
+                return False
+            # canonicalise: pending selections must name real banks
+            return True
+
+        def init_effect(s, pending_read, pending_write):
+            # phase 1: pending operations behave as if captured on a K
+            # edge that occurred during initialisation, so the next edge
+            # is the K# their pipelines expect
+            updates = {"sim_status": "CHECKING", "phase": 1}
+            if pending_read >= 0:
+                updates[f"rp{pending_read}"] = ("req", default_addr)
+            if pending_write >= 0:
+                updates[f"wp{pending_write}"] = SEL
+            return updates
+
+        machine.rule(
+            "SimManager_Init",
+            init_guard,
+            init_effect,
+            domains={
+                "pending_read": bank_or_none,
+                "pending_write": bank_or_none,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Rising K edge: sample R#/W#, advance read pipelines, commit writes.
+    # ------------------------------------------------------------------
+    def edge_k_guard(s, rsel, raddr, wsel):
+        if s["sim_status"] != "CHECKING" or s["phase"] != 0:
+            return False
+        # canonicalise irrelevant parameters so disabled choices do not
+        # multiply transitions
+        if rsel == -1 and raddr != default_addr:
+            return False
+        if rsel >= 0:
+            if s[f"rp{rsel}"] != IDLE:
+                return False
+            if config.serialize_reads and any(
+                s[f"rp{b}"] != IDLE for b in banks
+            ):
+                return False
+        if wsel >= 0:
+            if s[f"wp{wsel}"] != IDLE:
+                return False
+            if config.serialize_writes and any(
+                s[f"wp{b}"] != IDLE for b in banks
+            ):
+                return False
+        return True
+
+    def edge_k_effect(s, rsel, raddr, wsel):
+        updates = {"phase": 1}
+        for b in banks:
+            rp = s[f"rp{b}"]
+            if rp[0] == "req":
+                addr = rp[1]
+                word = s[f"mem{b}"][config.addr_values.index(addr)]
+                updates[f"rp{b}"] = ("fetch", addr, word)
+            elif rp[0] == "fetch":
+                updates[f"rp{b}"] = ("out0", rp[1], rp[2])
+            elif rp[0] == "out1":
+                updates[f"rp{b}"] = IDLE
+            wp = s[f"wp{b}"]
+            if wp[0] == "data":
+                addr, word = wp[1], wp[2]
+                mem = list(s[f"mem{b}"])
+                mem[config.addr_values.index(addr)] = word
+                updates[f"mem{b}"] = tuple(mem)
+                updates[f"wp{b}"] = IDLE
+                updates[f"wcommit{b}"] = True
+            elif s[f"wcommit{b}"]:
+                updates[f"wcommit{b}"] = False
+        if rsel >= 0:
+            updates[f"rp{rsel}"] = ("req", raddr)
+        if wsel >= 0:
+            updates[f"wp{wsel}"] = SEL
+        return updates
+
+    machine.rule(
+        "EdgeK",
+        edge_k_guard,
+        edge_k_effect,
+        domains={
+            "rsel": bank_or_none,
+            "raddr": addr_domain,
+            "wsel": bank_or_none,
+        },
+    )
+
+    # ------------------------------------------------------------------
+    # Rising K# edge: write address + first beat, second read data beat.
+    # ------------------------------------------------------------------
+    def edge_ks_guard(s, waddr, wdata):
+        if s["sim_status"] != "CHECKING" or s["phase"] != 1:
+            return False
+        any_sel = any(s[f"wp{b}"] == SEL for b in banks)
+        if not any_sel and (waddr != default_addr or wdata != default_data):
+            return False
+        return True
+
+    def edge_ks_effect(s, waddr, wdata):
+        updates = {"phase": 0}
+        for b in banks:
+            rp = s[f"rp{b}"]
+            if rp[0] == "out0":
+                updates[f"rp{b}"] = ("out1", rp[1], rp[2])
+            wp = s[f"wp{b}"]
+            if wp == SEL:
+                updates[f"wp{b}"] = ("data", waddr, wdata)
+            if s[f"wcommit{b}"]:
+                updates[f"wcommit{b}"] = False
+        return updates
+
+    machine.rule(
+        "EdgeKSharp",
+        edge_ks_guard,
+        edge_ks_effect,
+        domains={"waddr": addr_domain, "wdata": data_domain},
+    )
+
+    return machine

@@ -1,0 +1,263 @@
+"""The end-to-end design & verification flow -- the paper's Figure 2.
+
+:func:`run_flow` executes every stage of the methodology in order:
+
+1. **UML level** -- build the class / use-case / modified sequence
+   diagrams, validate their consistency, extract the latency properties.
+2. **ASM level** -- build the N-bank ASM model and model check the full
+   PSL property suite by guided exploration (Table 1's procedure).  A
+   failure carries a counterexample path back ("when the verification
+   terminates with an error, we update UML specification and re-capture").
+3. **Translation** -- construct the SystemC-level model (the ASM -> SystemC
+   syntax transformation) and run the ASM/SystemC conformance co-execution.
+4. **ABV** -- simulate random host traffic on the kernel model with the
+   external PSL monitors attached.
+5. **RTL refinement** -- build the synthesizable RTL, emit Verilog text.
+6. **RTL model checking** -- re-verify the Read-Mode property with the
+   RuleBase-style symbolic checker (Table 2's procedure).
+7. **OVL** -- simulate the same traffic on the RTL with the OVL checker
+   modules loaded (Table 3's right-hand side).
+
+Each stage's outcome lands in a :class:`FlowReport`; the flow stops at
+the first failing stage (the Figure 2 feedback edge).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..abv import summarize
+from ..asm import AsmModelChecker, ExplorationConfig
+from ..rtl import RtlSimulator, elaborate, emit_verilog
+from .asm_model import La1AsmConfig, build_la1_asm
+from .conformance import check_la1_conformance
+from .monitors import attach_read_mode_monitors
+from .ovl_bindings import build_la1_top_with_ovl
+from .properties import asm_labeling, device_property_suite
+from .rulebase import check_read_mode_rtl
+from .rtl_testbench import RtlHost
+from .spec import La1Config
+from .sysc_model import build_la1_system
+from .uml_spec import (
+    extracted_properties,
+    la1_class_diagram,
+    la1_use_cases,
+    read_mode_sequence,
+    write_mode_sequence,
+)
+
+__all__ = ["FlowConfig", "StageResult", "FlowReport", "run_flow"]
+
+
+@dataclass
+class FlowConfig:
+    """Parameters of one flow run."""
+
+    banks: int = 2
+    #: concrete scale of the simulation-level models
+    la1_config: Optional[La1Config] = None
+    #: ASM exploration scale
+    asm_config: Optional[La1AsmConfig] = None
+    #: random host transactions driven during the ABV and OVL stages
+    traffic: int = 40
+    seed: int = 2004
+    #: conformance co-execution depth (half-cycles)
+    conformance_depth: int = 4
+    #: run the RTL symbolic MC stage on the control abstraction (fast)
+    #: or the full datapath ("full", minutes) or skip it (None)
+    rtl_mc: Optional[str] = "control"
+
+    def resolved_la1(self) -> La1Config:
+        return self.la1_config or La1Config(banks=self.banks, beat_bits=16,
+                                            addr_bits=4)
+
+    def resolved_asm(self) -> La1AsmConfig:
+        return self.asm_config or La1AsmConfig(banks=self.banks)
+
+
+@dataclass
+class StageResult:
+    """Outcome of one flow stage."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    cpu_time: float = 0.0
+    data: object = None
+
+    def __repr__(self):
+        flag = "ok" if self.ok else "FAILED"
+        return f"StageResult({self.name}: {flag}, {self.cpu_time:.2f}s)"
+
+
+@dataclass
+class FlowReport:
+    """All stage results of a flow run."""
+
+    config: FlowConfig
+    stages: list[StageResult] = field(default_factory=list)
+    verilog: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when every executed stage passed."""
+        return all(stage.ok for stage in self.stages)
+
+    def stage(self, name: str) -> Optional[StageResult]:
+        """Look up a stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def render(self) -> str:
+        """Human-readable flow summary."""
+        lines = [f"LA-1 flow ({self.config.banks} banks):"]
+        for stage in self.stages:
+            flag = "PASS" if stage.ok else "FAIL"
+            lines.append(
+                f"  [{flag}] {stage.name:<24} {stage.cpu_time:7.2f}s  "
+                f"{stage.detail}"
+            )
+        lines.append(f"  overall: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _traffic(host, config: La1Config, count: int, seed: int) -> None:
+    rng = random.Random(seed)
+    word_max = (1 << config.word_bits) - 1
+    for __ in range(count):
+        bank = rng.randrange(config.banks)
+        addr = rng.randrange(config.mem_words)
+        if rng.random() < 0.5:
+            host.read(bank, addr)
+        else:
+            host.write(bank, addr, rng.randint(0, word_max))
+
+
+def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
+    """Execute the Figure 2 flow; stops at the first failing stage."""
+    config = config or FlowConfig()
+    report = FlowReport(config)
+    la1 = config.resolved_la1()
+
+    # ------------------------------------------------------ 1. UML level
+    start = time.perf_counter()
+    classes = la1_class_diagram()
+    problems = classes.validate()
+    problems += la1_use_cases().validate()
+    problems += read_mode_sequence(classes).validate()
+    problems += write_mode_sequence(classes).validate()
+    extracted = extracted_properties()
+    report.stages.append(StageResult(
+        "uml", not problems,
+        f"{len(classes.classes)} classes, {len(extracted)} extracted "
+        f"properties" + (f"; problems: {problems}" if problems else ""),
+        time.perf_counter() - start,
+        data=extracted,
+    ))
+    if problems:
+        return report
+
+    # ------------------------------------------------------ 2. ASM level
+    start = time.perf_counter()
+    machine = build_la1_asm(config.resolved_asm())
+    suite = device_property_suite(config.banks)
+    checker = AsmModelChecker(machine, asm_labeling(config.banks),
+                              ExplorationConfig())
+    result = checker.check_combined([p for __, p in suite], name="suite")
+    report.stages.append(StageResult(
+        "asm_model_checking", result.holds is True,
+        f"{len(suite)} properties, {result.num_nodes} nodes, "
+        f"{result.num_transitions} transitions",
+        time.perf_counter() - start,
+        data=result,
+    ))
+    if result.holds is not True:
+        return report
+
+    # ----------------------------------- 3. translation + conformance
+    start = time.perf_counter()
+    conformance = check_la1_conformance(
+        La1AsmConfig(banks=min(config.banks, 2)),
+        max_depth=config.conformance_depth,
+    )
+    report.stages.append(StageResult(
+        "asm_to_systemc_conformance", conformance.conformant,
+        f"{conformance.paths_checked} paths, "
+        f"{conformance.steps_executed} steps"
+        + ("" if conformance.conformant else f"; {conformance.divergence}"),
+        time.perf_counter() - start,
+        data=conformance,
+    ))
+    if not conformance.conformant:
+        return report
+
+    # ------------------------------------------------------ 4. ABV
+    start = time.perf_counter()
+    sim, clocks, device, host = build_la1_system(la1)
+    monitors = attach_read_mode_monitors(sim, device, clocks)
+    _traffic(host, la1, config.traffic, config.seed)
+    sim.run(config.traffic * 20 + 200)
+    abv = summarize(monitors).finish()
+    report.stages.append(StageResult(
+        "systemc_abv", abv.passed,
+        f"{len(monitors)} monitors, {monitors[0].samples} samples, "
+        f"{len(host.results)} reads completed",
+        time.perf_counter() - start,
+        data=abv,
+    ))
+    if not abv.passed:
+        return report
+
+    # ------------------------------------------------------ 5. RTL
+    start = time.perf_counter()
+    from .rtl_model import build_la1_top_rtl
+
+    top = build_la1_top_rtl(la1)
+    report.verilog = emit_verilog(top)
+    design = elaborate(top)
+    report.stages.append(StageResult(
+        "rtl_refinement", True,
+        f"{design.stats()['regs']} regs, {design.stats()['nets']} nets, "
+        f"{len(report.verilog.splitlines())} Verilog lines",
+        time.perf_counter() - start,
+        data=design.stats(),
+    ))
+
+    # ------------------------------------------------ 6. RTL model check
+    if config.rtl_mc is not None:
+        start = time.perf_counter()
+        mc = check_read_mode_rtl(
+            config.banks,
+            datapath=(config.rtl_mc == "full"),
+        )
+        report.stages.append(StageResult(
+            "rtl_model_checking", mc.holds is True,
+            f"{'full datapath' if config.rtl_mc == 'full' else 'control'} "
+            f"model, {mc.peak_nodes} BDDs, {mc.iterations} iterations"
+            + (" [STATE EXPLOSION]" if mc.exploded else ""),
+            time.perf_counter() - start,
+            data=mc,
+        ))
+        if mc.holds is not True:
+            return report
+
+    # ------------------------------------------------------ 7. OVL
+    start = time.perf_counter()
+    ovl_top = build_la1_top_with_ovl(la1)
+    ovl_sim = RtlSimulator(elaborate(ovl_top))
+    ovl_host = RtlHost(ovl_sim, la1)
+    _traffic(ovl_host, la1, config.traffic, config.seed)
+    ovl_host.run_until_idle()
+    report.stages.append(StageResult(
+        "rtl_ovl_simulation", ovl_sim.ok,
+        f"{len(ovl_sim.design.monitors)} OVL monitors, "
+        f"{ovl_sim.edge_count} edges, {len(ovl_host.results)} reads"
+        + ("" if ovl_sim.ok else f"; failures: {ovl_sim.failures[:3]}"),
+        time.perf_counter() - start,
+    ))
+    return report

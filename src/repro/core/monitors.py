@@ -1,0 +1,127 @@
+"""SystemC-level assertion monitors for the LA-1 device (Table 3, left).
+
+The paper's flow compiles the PSL properties into external C# monitors
+and binds them to the SystemC model; here the read-mode property suite is
+compiled into :class:`~repro.abv.monitor.AssertionMonitor` objects bound
+read-only to the device's status signals.
+
+Because the LA-1 properties count *half-cycles*, monitors sample once per
+clock edge -- :class:`EdgeSampler` emits a delta-delayed event after each
+K and K# edge so the monitors observe committed post-edge values (the
+same trace the ASM exploration and the RTL labeling see).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..abv.monitor import AssertionMonitor, FailureAction
+from ..psl.ast import Property
+from ..sysc.kernel import Event, MethodProcess, Simulator
+from ..sysc.clock import ClockPair
+from .asm_model import La1AsmAtoms as A
+from .properties import read_mode_suite
+from .spec import even_parity_int
+from .sysc_model import La1Device
+
+__all__ = ["EdgeSampler", "attach_read_mode_monitors", "parity_getter"]
+
+
+class EdgeSampler:
+    """Emits :attr:`sample` one delta cycle after every clock edge.
+
+    Processes sensitive to a clock edge run in the same evaluate phase as
+    the design and would read pre-edge values; sampling on this event
+    instead observes the committed post-edge state.
+    """
+
+    def __init__(self, sim: Simulator, clocks: ClockPair,
+                 name: str = "edge_sampler"):
+        self.sample = Event(sim, f"{name}.sample")
+        process = MethodProcess(sim, name, self._on_edge)
+        process.make_sensitive(clocks.posedge_k, clocks.posedge_k_bar)
+        self._process = process
+
+    def _on_edge(self) -> None:
+        if self._process.trigger is None:
+            return
+        self.sample.notify()
+
+
+def parity_getter(device: La1Device, bank: int) -> Callable[[], bool]:
+    """A getter for the ``parity_ok`` atom of one bank: when the bank
+    drives a beat, its parity output must be the even byte parity of the
+    data beat."""
+    port = device.banks[bank].read_port
+    config = device.config
+
+    def ok() -> bool:
+        driving = port.stat_data_valid.read() or port.stat_data_valid2.read()
+        if not driving:
+            return True
+        beat = port.data_out.read()
+        expected = 0
+        if config.beat_bits < 8:
+            expected = even_parity_int(beat, config.beat_bits)
+        else:
+            for lane in range(config.byte_lanes):
+                expected |= even_parity_int(
+                    (beat >> (8 * lane)) & 0xFF, 8
+                ) << lane
+        return port.parity_out.read() == expected
+
+    return ok
+
+
+def attach_read_mode_monitors(
+    sim: Simulator,
+    device: La1Device,
+    clocks: ClockPair,
+    stop_on_failure: bool = False,
+    include_parity: bool = True,
+) -> list[AssertionMonitor]:
+    """Compile and bind the read-mode assertion set (all banks).
+
+    Returns the attached monitors; inspect them (or wrap in
+    :func:`repro.abv.summarize`) after the run.
+    """
+    from ..psl import builder as B
+
+    sampler = EdgeSampler(sim, clocks)
+    actions = (FailureAction.REPORT, FailureAction.STOP) if stop_on_failure \
+        else (FailureAction.REPORT,)
+    monitors: list[AssertionMonitor] = []
+    for bank_idx, bank in enumerate(device.banks):
+        port = bank.read_port
+        bindings = {
+            A.read_req(bank_idx): port.stat_read_req,
+            A.read_fetch(bank_idx): port.stat_read_fetch,
+            A.data_valid(bank_idx): port.stat_data_valid,
+            A.data_valid2(bank_idx): port.stat_data_valid2,
+        }
+        for name, prop in read_mode_suite(device.config.banks):
+            if f"[{bank_idx}]" not in name:
+                continue
+            monitor = AssertionMonitor(prop, name, bindings, actions)
+            monitor.attach(sim, sampler.sample)
+            monitors.append(monitor)
+        if include_parity:
+            parity_atom = f"parity_ok_{bank_idx}"
+            valid_atom = A.data_valid(bank_idx)
+            prop = B.always(
+                B.implies(B.atom(valid_atom) | B.atom(A.data_valid2(bank_idx)),
+                          B.atom(parity_atom))
+            )
+            monitor = AssertionMonitor(
+                prop,
+                f"parity_even[{bank_idx}]",
+                {
+                    parity_atom: parity_getter(device, bank_idx),
+                    valid_atom: port.stat_data_valid,
+                    A.data_valid2(bank_idx): port.stat_data_valid2,
+                },
+                actions,
+            )
+            monitor.attach(sim, sampler.sample)
+            monitors.append(monitor)
+    return monitors

@@ -1,0 +1,220 @@
+"""The LA-1 PSL property suite.
+
+These are the interface properties the paper verifies at every level:
+extracted from the modified sequence diagrams (read/write timing) and the
+class diagram (port/array consistency).  Each property is built per bank
+through the fluent PSL builder, and the module provides the *labelings*
+that bind the property atoms to each abstraction level:
+
+* :func:`asm_labeling` -- atoms as observations of the ASM state (for the
+  exploration-based model checker, Table 1);
+* :func:`rtl_labels` -- atoms as ``(net path, bit)`` pairs of the RTL
+  model (for the RuleBase-style symbolic checker, Table 2);
+* the SystemC-level monitors bind the same atoms to kernel signals in
+  :mod:`repro.core.monitors` (Table 3).
+
+Timing is counted in half-cycles (one checker step per clock edge), per
+the conventions of :mod:`repro.core.spec`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..asm.checker import Labeling
+from ..psl import builder as B
+from ..psl.ast import Property
+from .asm_model import La1AsmAtoms as A
+from .spec import READ_LATENCY_HALF_CYCLES, WRITE_COMMIT_HALF_CYCLES
+
+__all__ = [
+    "read_latency_property",
+    "read_second_beat_property",
+    "no_spurious_data_property",
+    "write_data_phase_property",
+    "write_commit_property",
+    "no_spurious_commit_property",
+    "single_reader_property",
+    "single_outstanding_property",
+    "read_mode_property",
+    "device_property_suite",
+    "read_mode_suite",
+    "asm_labeling",
+    "rtl_labels",
+]
+
+
+# ----------------------------------------------------------------------
+# per-bank properties
+# ----------------------------------------------------------------------
+def read_latency_property(bank: int) -> Property:
+    """A read request is answered with a valid first beat exactly
+    ``READ_LATENCY_HALF_CYCLES`` edges later (Figure 3's scenario)."""
+    return B.always(
+        B.implies(
+            B.atom(A.read_req(bank)),
+            B.next_(B.atom(A.data_valid(bank)), READ_LATENCY_HALF_CYCLES),
+        )
+    )
+
+
+def read_second_beat_property(bank: int) -> Property:
+    """The second DDR beat follows the first on the next (K#) edge."""
+    return B.always(
+        B.implies(
+            B.atom(A.data_valid(bank)),
+            B.next_(B.atom(A.data_valid2(bank)), 1),
+        )
+    )
+
+
+def no_spurious_data_property(bank: int) -> Property:
+    """Data beats appear only as the tail of a fetch: a cycle without an
+    array access is never followed by a first beat."""
+    return B.never(
+        B.seq(~B.atom(A.read_fetch(bank)), B.atom(A.data_valid(bank)))
+    )
+
+
+def write_data_phase_property(bank: int) -> Property:
+    """The write address/data phase follows W# on the next (K#) edge."""
+    return B.always(
+        B.implies(
+            B.atom(A.write_sel(bank)),
+            B.next_(B.atom(A.write_data(bank)), 1),
+        )
+    )
+
+
+def write_commit_property(bank: int) -> Property:
+    """The merged word commits ``WRITE_COMMIT_HALF_CYCLES`` edges after
+    W# (address at K#, commit at the following K)."""
+    return B.always(
+        B.implies(
+            B.atom(A.write_sel(bank)),
+            B.next_(B.atom(A.write_commit(bank)), WRITE_COMMIT_HALF_CYCLES),
+        )
+    )
+
+
+def no_spurious_commit_property(bank: int) -> Property:
+    """Commits happen only at the end of a write data phase."""
+    return B.never(
+        B.seq(~B.atom(A.write_data(bank)), B.atom(A.write_commit(bank)))
+    )
+
+
+def single_outstanding_property(bank: int) -> Property:
+    """A new request is never captured while the bank still drives data
+    (the model's one-outstanding-read discipline)."""
+    return B.never(B.atom(A.read_req(bank)) & B.atom(A.data_valid(bank)))
+
+
+def single_reader_property(bank_a: int, bank_b: int) -> Property:
+    """Two banks never drive first beats simultaneously -- the shared
+    read bus (tristate-multiplexed at RTL) has a single driver."""
+    return B.never(B.atom(A.data_valid(bank_a)) & B.atom(A.data_valid(bank_b)))
+
+
+def read_mode_property(bank: int = 0) -> Property:
+    """The paper's *Read Mode* property (the one Table 2 checks with
+    RuleBase): the full request -> fetch -> beat0 -> beat1 pipeline
+    discipline of one bank, as a conjunction."""
+    return B.prop_and(
+        read_latency_property(bank),
+        read_second_beat_property(bank),
+        no_spurious_data_property(bank),
+    )
+
+
+# ----------------------------------------------------------------------
+# suites
+# ----------------------------------------------------------------------
+def device_property_suite(banks: int) -> list[tuple[str, Property]]:
+    """All interface properties of an N-bank device, named --
+    the set Table 1 verifies "combined together"."""
+    suite: list[tuple[str, Property]] = []
+    for b in range(banks):
+        suite.append((f"read_latency[{b}]", read_latency_property(b)))
+        suite.append((f"read_second_beat[{b}]", read_second_beat_property(b)))
+        suite.append((f"no_spurious_data[{b}]", no_spurious_data_property(b)))
+        suite.append((f"write_data_phase[{b}]", write_data_phase_property(b)))
+        suite.append((f"write_commit[{b}]", write_commit_property(b)))
+        suite.append(
+            (f"no_spurious_commit[{b}]", no_spurious_commit_property(b))
+        )
+        suite.append(
+            (f"single_outstanding[{b}]", single_outstanding_property(b))
+        )
+    for b1 in range(banks):
+        for b2 in range(b1 + 1, banks):
+            suite.append(
+                (f"single_reader[{b1},{b2}]", single_reader_property(b1, b2))
+            )
+    return suite
+
+
+def read_mode_suite(banks: int) -> list[tuple[str, Property]]:
+    """The read-mode assertions used in the simulation comparison
+    (Table 3): latency, beat order and no-spurious-data per bank."""
+    suite: list[tuple[str, Property]] = []
+    for b in range(banks):
+        suite.append((f"read_latency[{b}]", read_latency_property(b)))
+        suite.append((f"read_second_beat[{b}]", read_second_beat_property(b)))
+        suite.append((f"no_spurious_data[{b}]", no_spurious_data_property(b)))
+    return suite
+
+
+# ----------------------------------------------------------------------
+# labelings
+# ----------------------------------------------------------------------
+def asm_labeling(banks: int) -> Labeling:
+    """Bind the property atoms to ASM state observations."""
+    labeling = Labeling()
+
+    def stage_is(bank: int, stage: str) -> Callable[[dict], bool]:
+        key = f"rp{bank}"
+        return lambda s: s[key][0] == stage
+
+    def wp_stage_is(bank: int, stage: str) -> Callable[[dict], bool]:
+        key = f"wp{bank}"
+        return lambda s: s[key][0] == stage
+
+    def req_strobe(bank: int) -> Callable[[dict], bool]:
+        # the req stage spans two half-cycles (captured at K, consumed at
+        # the next K); the request *strobe* is only the capture edge,
+        # which is the state the capturing EdgeK left behind (phase == 1)
+        key = f"rp{bank}"
+        return lambda s: s[key][0] == "req" and s["phase"] == 1
+
+    for b in range(banks):
+        labeling.define(A.read_req(b), req_strobe(b))
+        labeling.define(A.read_fetch(b), stage_is(b, "fetch"))
+        labeling.define(A.data_valid(b), stage_is(b, "out0"))
+        labeling.define(A.data_valid2(b), stage_is(b, "out1"))
+        labeling.define(A.write_sel(b), wp_stage_is(b, "sel"))
+        labeling.define(A.write_data(b), wp_stage_is(b, "data"))
+        labeling.define(
+            A.write_commit(b),
+            (lambda key: (lambda s: bool(s[key])))(f"wcommit{b}"),
+        )
+    return labeling
+
+
+def rtl_labels(top_name: str, banks: int) -> dict[str, tuple[str, int]]:
+    """Bind the property atoms to RTL status nets (path, bit) pairs.
+
+    The RTL model (:mod:`repro.core.rtl_model`) exposes one status net
+    per pipeline stage per bank under ``<top>.bank<b>.<net>``.
+    """
+    labels: dict[str, tuple[str, int]] = {}
+    for b in range(banks):
+        prefix = f"{top_name}.bank{b}"
+        labels[A.read_req(b)] = (f"{prefix}.stat_read_req", 0)
+        labels[A.read_fetch(b)] = (f"{prefix}.stat_read_fetch", 0)
+        labels[A.data_valid(b)] = (f"{prefix}.stat_data_valid", 0)
+        labels[A.data_valid2(b)] = (f"{prefix}.stat_data_valid2", 0)
+        labels[A.write_sel(b)] = (f"{prefix}.stat_write_sel", 0)
+        labels[A.write_data(b)] = (f"{prefix}.stat_write_data", 0)
+        labels[A.write_commit(b)] = (f"{prefix}.stat_write_commit", 0)
+    return labels

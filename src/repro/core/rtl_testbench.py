@@ -1,0 +1,190 @@
+"""Host-side testbench for the RTL LA-1 model.
+
+Drives an :class:`~repro.rtl.simulator.RtlSimulator` holding the LA-1 top
+with the same edge discipline as the kernel-level
+:class:`~repro.core.sysc_model.La1Host`: read selects and the read address
+are presented for rising K; the write address, first beat and its byte
+enables for the following rising K#; the second beat for the next rising
+K.  Completed reads are collected off the shared (tristate) data bus, so
+the two hosts produce directly comparable transaction logs -- the
+cross-level equivalence tests rely on this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..rtl.simulator import RtlSimulator
+from .spec import BEATS_PER_WORD, La1Config
+from .sysc_model import ReadResult
+
+__all__ = ["RtlHost"]
+
+
+class RtlHost:
+    """Transaction driver + monitor for the RTL model."""
+
+    def __init__(self, sim: RtlSimulator, config: La1Config,
+                 top_name: str = "la1_top", concurrent: bool = False):
+        self.sim = sim
+        self.config = config
+        self.top = top_name
+        self.concurrent = concurrent
+        self._seq = 0
+        self._reads: deque = deque()
+        self._writes: deque = deque()
+        self._pending_write: Optional[tuple] = None
+        self._read_watch: deque = deque()
+        self._collecting: Optional[list] = None
+        self.results: list[ReadResult] = []
+        self.half_cycles = 0
+
+    # -- transaction API -------------------------------------------------
+    def read(self, bank: int, addr: int) -> None:
+        """Queue a read."""
+        self._reads.append((self._seq, bank, addr))
+        self._seq += 1
+
+    def write(self, bank: int, addr: int, word: int,
+              byte_enables: Optional[int] = None) -> None:
+        """Queue a write."""
+        lanes = self.config.byte_lanes * BEATS_PER_WORD
+        if byte_enables is None:
+            byte_enables = (1 << lanes) - 1
+        self._writes.append((self._seq, bank, addr, word, byte_enables))
+        self._seq += 1
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return (
+            not self._reads and not self._writes
+            and self._pending_write is None and not self._read_watch
+        )
+
+    # -- helpers -----------------------------------------------------------
+    def _in(self, name: str, value: int) -> None:
+        self.sim.set_input(f"{self.top}.{name}", value)
+
+    def _stat(self, bank: int, name: str) -> int:
+        return self.sim.read(f"{self.top}.bank{bank}.{name}")
+
+    def _beat_of(self, word: int, index: int) -> int:
+        return (word >> (index * self.config.beat_bits)) & (
+            (1 << self.config.beat_bits) - 1
+        )
+
+    def _read_is_head(self) -> bool:
+        if not self._reads:
+            return False
+        if self.concurrent or not self._writes:
+            return True
+        return self._reads[0][0] < self._writes[0][0]
+
+    def _write_is_head(self) -> bool:
+        if not self._writes:
+            return False
+        if self.concurrent or not self._reads:
+            return True
+        return self._writes[0][0] < self._reads[0][0]
+
+    def _any_read_busy(self) -> bool:
+        return any(
+            self._stat(b, "stat_read_req")
+            or self._stat(b, "stat_read_fetch")
+            or self._stat(b, "stat_data_valid")
+            or self._stat(b, "stat_data_valid2")
+            for b in range(self.config.banks)
+        ) or bool(self._read_watch)
+
+    def _any_write_busy(self) -> bool:
+        return self._pending_write is not None or any(
+            self._stat(b, "stat_write_sel") or self._stat(b, "stat_write_data")
+            for b in range(self.config.banks)
+        )
+
+    # -- one full clock period ----------------------------------------------
+    def cycle(self) -> None:
+        """Drive one K edge then one K# edge, issuing and collecting."""
+        sim = self.sim
+        # ---- set up the K edge ----
+        r_sel_bits = 0
+        w_sel_bits = 0
+        read_busy = self._any_read_busy()
+        write_busy = self._any_write_busy()
+        issue_read = (
+            self._read_is_head()
+            and not read_busy
+            and (self.concurrent or not write_busy)
+        )
+        if issue_read:
+            __, bank, addr = self._reads.popleft()
+            r_sel_bits |= 1 << bank
+            self._in("addr", addr)
+            self._read_watch.append((bank, addr, self.half_cycles))
+        issue_write = (
+            self._write_is_head()
+            and not write_busy
+            and (self.concurrent or not (read_busy or issue_read))
+        )
+        if issue_write:
+            __, bank, addr, word, bw = self._writes.popleft()
+            w_sel_bits |= 1 << bank
+            self._pending_write = (bank, addr, word, bw, "sel")
+        self._in("r_sel", r_sel_bits)
+        self._in("w_sel", w_sel_bits)
+        # beat1 of a write in its data phase is sampled at this K edge
+        if self._pending_write is not None and self._pending_write[4] == "data":
+            bank, addr, word, bw, __ = self._pending_write
+            self._in("wdata", self._beat_of(word, 1))
+            self._in("bw", (bw >> self.config.byte_lanes)
+                     & ((1 << self.config.byte_lanes) - 1))
+            self._pending_write = None
+        sim.step("K")
+        self.half_cycles += 1
+        # post-K observations: first beats
+        for b in range(self.config.banks):
+            if self._stat(b, "stat_data_valid") and self._read_watch \
+                    and self._read_watch[0][0] == b:
+                self._collecting = [
+                    sim.read(f"{self.top}.data_bus"),
+                    sim.read(f"{self.top}.par_bus"),
+                ]
+        # ---- set up the K# edge ----
+        if self._pending_write is not None and self._pending_write[4] == "sel":
+            bank, addr, word, bw, __ = self._pending_write
+            self._in("addr", addr)
+            self._in("wdata", self._beat_of(word, 0))
+            self._in("bw", bw & ((1 << self.config.byte_lanes) - 1))
+            self._pending_write = (bank, addr, word, bw, "data")
+        sim.step("K#")
+        self.half_cycles += 1
+        # post-K# observations: second beats
+        for b in range(self.config.banks):
+            if self._stat(b, "stat_data_valid2") and self._read_watch \
+                    and self._read_watch[0][0] == b \
+                    and self._collecting is not None:
+                bank, addr, issued = self._read_watch.popleft()
+                beat0, par0 = self._collecting
+                self._collecting = None
+                beat1 = sim.read(f"{self.top}.data_bus")
+                par1 = sim.read(f"{self.top}.par_bus")
+                word = beat0 | (beat1 << self.config.beat_bits)
+                self.results.append(
+                    ReadResult(bank, addr, word, (beat0, beat1),
+                               (par0, par1), issued, self.half_cycles)
+                )
+
+    def run_cycles(self, n: int) -> None:
+        """Run ``n`` full clock periods."""
+        for __ in range(n):
+            self.cycle()
+
+    def run_until_idle(self, max_cycles: int = 10000) -> None:
+        """Run until every queued transaction has completed."""
+        for __ in range(max_cycles):
+            if self.idle:
+                return
+            self.cycle()
+        raise RuntimeError("RtlHost did not drain within the cycle budget")

@@ -1,0 +1,180 @@
+"""The UML specification of the LA-1 interface (the paper's Section 4.1).
+
+"We designed the LA-Interface considering a structure based on four
+principle classes: Write Port, Reading Port, SRAM Memory and a Light
+Simulator."  This module builds those artifacts:
+
+* :func:`la1_class_diagram` -- the four classes with their attributes,
+  clock-annotated operations, and composition associations;
+* :func:`la1_use_cases` -- the host-facing capabilities (read lookup,
+  write entry, concurrent access, validation-unit mode);
+* :func:`read_mode_sequence` -- Figure 3's modified sequence diagram:
+  ``OnReadRequest[0]()@K`` .. ``OnReadRequest[2]()@K#``;
+* :func:`write_mode_sequence` -- the corresponding write scenario;
+* :func:`extracted_properties` -- the PSL latency properties extracted
+  mechanically from the sequence diagrams, which the LA-1 property suite
+  refines.
+"""
+
+from __future__ import annotations
+
+from ..psl.ast import Property
+from ..uml import (
+    ClassDiagram,
+    SequenceDiagram,
+    UmlParameter,
+    UseCaseDiagram,
+    extract_latency_properties,
+)
+
+__all__ = [
+    "la1_class_diagram",
+    "la1_use_cases",
+    "read_mode_sequence",
+    "write_mode_sequence",
+    "extracted_properties",
+]
+
+
+def la1_class_diagram() -> ClassDiagram:
+    """The LA-1 class diagram: the four principal classes + device."""
+    diagram = ClassDiagram("LA-1 Interface")
+
+    device = diagram.new_class("La1Device", stereotype="IP")
+    device.attribute("banks", "int", "4")
+    device.operation("Reset")
+
+    read_port = diagram.new_class("ReadPort")
+    read_port.attribute("m_e", "BANK_ID")
+    read_port.attribute("stage", "ReadStage", "IDLE")
+    read_port.operation(
+        "OnReadRequest", [UmlParameter("addr", "Address")], clock="K"
+    )
+    read_port.operation("FormatData", [], clock="K")
+    read_port.operation("ReleaseBeat0", [], clock="K")
+    read_port.operation("ReleaseBeat1", [], clock="K#")
+
+    write_port = diagram.new_class("WritePort")
+    write_port.attribute("m_e", "BANK_ID")
+    write_port.attribute("stage", "WriteStage", "IDLE")
+    write_port.operation("OnWriteSelect", [], clock="K")
+    write_port.operation(
+        "OnReceiveData",
+        [UmlParameter("addr", "Address"), UmlParameter("beat0", "Beat")],
+        clock="K#",
+    )
+    write_port.operation(
+        "CommitWord", [UmlParameter("beat1", "Beat")], clock="K"
+    )
+
+    sram = diagram.new_class("SRAM_Memory")
+    sram.attribute("words", "Word[]")
+    sram.operation("ReadWord", [UmlParameter("addr", "Address")],
+                   returns="Word")
+    sram.operation(
+        "WriteWord",
+        [UmlParameter("addr", "Address"), UmlParameter("word", "Word"),
+         UmlParameter("byte_enables", "Lanes")],
+    )
+
+    simulator = diagram.new_class("LightSimulator", stereotype="utility")
+    simulator.attribute("m_k", "ClockEvent", "CLK_UP")
+    simulator.attribute("m_ks", "ClockEvent", "CLK_DOWN")
+    simulator.attribute("SimStatus", "Status", "INIT")
+    simulator.operation("SimManager_Init")
+    simulator.operation("SimManager_Restart")
+
+    host = diagram.new_class("NetworkProcessor", stereotype="actor")
+    host.operation("IssueRead", [UmlParameter("addr", "Address")])
+    host.operation("IssueWrite", [UmlParameter("addr", "Address"),
+                                  UmlParameter("word", "Word")])
+    host.operation("ReceiveBeat0", [UmlParameter("beat", "Beat")], clock="K")
+    host.operation("ReceiveBeat1", [UmlParameter("beat", "Beat")],
+                   clock="K#")
+
+    diagram.associate("La1Device", "ReadPort", kind="composition",
+                      target_multiplicity="N", label="banks")
+    diagram.associate("La1Device", "WritePort", kind="composition",
+                      target_multiplicity="N", label="banks")
+    diagram.associate("La1Device", "SRAM_Memory", kind="composition",
+                      target_multiplicity="N", label="banks")
+    diagram.associate("La1Device", "LightSimulator", kind="composition")
+    diagram.associate("ReadPort", "SRAM_Memory", label="reads")
+    diagram.associate("WritePort", "SRAM_Memory", label="writes")
+    diagram.associate("NetworkProcessor", "La1Device", kind="dependency",
+                      label="LA-1 pins")
+    return diagram
+
+
+def la1_use_cases() -> UseCaseDiagram:
+    """Host-facing capabilities of the LA-1 IP."""
+    diagram = UseCaseDiagram("LA-1 Interface")
+    diagram.actor("NetworkProcessor")
+    diagram.actor("VerificationEngineer")
+    diagram.use_case("Read lookup entry",
+                     "QDR-style read with fixed 2-cycle data latency")
+    diagram.use_case("Write table entry",
+                     "DDR write with byte enables and even parity")
+    diagram.use_case("Concurrent read and write",
+                     "simultaneous use of the unidirectional paths")
+    diagram.use_case("Validate LA-1 device",
+                     "use the IP as a validation unit for a DUT")
+    diagram.participates("NetworkProcessor", "Read lookup entry")
+    diagram.participates("NetworkProcessor", "Write table entry")
+    diagram.participates("NetworkProcessor", "Concurrent read and write")
+    diagram.participates("VerificationEngineer", "Validate LA-1 device")
+    diagram.include("Concurrent read and write", "Read lookup entry")
+    diagram.include("Concurrent read and write", "Write table entry")
+    return diagram
+
+
+def read_mode_sequence(class_diagram=None) -> SequenceDiagram:
+    """Figure 3: the reading-mode scenario.
+
+    "A read scenario starts by putting a read request at the clock K
+    which causes the ReadPort to request the data from the SRAM in the
+    next cycle at the same clock K.  After formatting the data, the
+    ReadPort releases it in two consecutive steps at the next rising
+    edges of K and K#."
+    """
+    diagram = SequenceDiagram("ReadMode", class_diagram)
+    diagram.lifeline("np", "NetworkProcessor")
+    diagram.lifeline("rp", "ReadPort")
+    diagram.lifeline("mem", "SRAM_Memory")
+    diagram.message("np", "rp", "OnReadRequest", cycle=0, clock="K",
+                    arguments=["addr"])
+    diagram.message("rp", "mem", "ReadWord", cycle=1, clock="K",
+                    arguments=["addr"])
+    diagram.message("rp", "rp", "FormatData", cycle=1, clock="K",
+                    duration=1)
+    diagram.message("rp", "np", "ReceiveBeat0", cycle=2, clock="K",
+                    arguments=["beat0"])
+    diagram.message("rp", "np", "ReceiveBeat1", cycle=2, clock="K#",
+                    arguments=["beat1"])
+    return diagram
+
+
+def write_mode_sequence(class_diagram=None) -> SequenceDiagram:
+    """The writing-mode scenario: W# at K, address+beat0 at the next K#,
+    beat1 + commit at the following K."""
+    diagram = SequenceDiagram("WriteMode", class_diagram)
+    diagram.lifeline("np", "NetworkProcessor")
+    diagram.lifeline("wp", "WritePort")
+    diagram.lifeline("mem", "SRAM_Memory")
+    diagram.message("np", "wp", "OnWriteSelect", cycle=0, clock="K")
+    diagram.message("np", "wp", "OnReceiveData", cycle=0, clock="K#",
+                    arguments=["addr", "beat0"])
+    diagram.message("np", "wp", "CommitWord", cycle=1, clock="K",
+                    arguments=["beat1"])
+    diagram.message("wp", "mem", "WriteWord", cycle=1, clock="K",
+                    arguments=["addr", "word", "byte_enables"])
+    return diagram
+
+
+def extracted_properties() -> list[tuple[str, Property]]:
+    """PSL latency properties mechanically extracted from both scenarios."""
+    classes = la1_class_diagram()
+    properties: list[tuple[str, Property]] = []
+    properties.extend(extract_latency_properties(read_mode_sequence(classes)))
+    properties.extend(extract_latency_properties(write_mode_sequence(classes)))
+    return properties

@@ -1,0 +1,18 @@
+"""``repro.mc`` -- the RuleBase-style symbolic model checker.
+
+Bit-blasts flattened RTL into BDDs (:class:`SymbolicModel`), embeds PSL
+checker automata as satellite state machines and runs BDD forward
+reachability (:class:`SymbolicModelChecker`), reporting Table 2's metrics
+(CPU time, memory, BDD counts) and detecting state explosion through the
+BDD node budget.
+"""
+
+from .transition import PHASE_VAR, SymbolicModel
+from .checker import SymbolicCheckResult, SymbolicModelChecker
+
+__all__ = [
+    "SymbolicModel",
+    "SymbolicModelChecker",
+    "SymbolicCheckResult",
+    "PHASE_VAR",
+]

@@ -1,0 +1,344 @@
+"""The RuleBase-style symbolic model checker.
+
+Given a symbolically encoded RTL design (:class:`SymbolicModel`) and a PSL
+safety property, this module
+
+1. builds the property's deterministic checker automaton
+   (:func:`repro.psl.automata.build_checker`),
+2. embeds the automaton as auxiliary binary-encoded state variables whose
+   next-state functions read the design's labelled signals -- exactly how
+   RuleBase compiles Sugar/PSL into "satellite" state machines,
+3. runs BDD-based forward reachability, flagging the property violated as
+   soon as a reachable state drives the automaton into its failure state,
+4. reports the metrics of the paper's Table 2 -- CPU time, memory estimate
+   and BDD node counts -- and converts
+   :class:`~repro.bdd.BddBudgetExceeded` into a *state explosion* verdict.
+
+Labelled signals map PSL atoms to design nets: ``{"atom": ("path", bit)}``
+or arbitrary pre-built BDDs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from ..bdd import BddBudgetExceeded, NEXT_SUFFIX
+from ..psl.ast import Property, PslError
+from ..psl.automata import CheckerAutomaton, build_checker
+from .transition import SymbolicModel
+
+__all__ = ["SymbolicCheckResult", "SymbolicModelChecker"]
+
+
+class SymbolicCheckResult:
+    """Verdict plus Table 2 metrics.
+
+    ``holds`` is True / False / None; None means the run aborted with
+    *state explosion* (BDD node budget exhausted), the 4-bank outcome of
+    Table 2.
+    """
+
+    def __init__(
+        self,
+        holds: Optional[bool],
+        cpu_time: float,
+        peak_nodes: int,
+        reached_size: int,
+        iterations: int,
+        memory_mb: float,
+        exploded: bool = False,
+        counterexample_depth: Optional[int] = None,
+        property_name: str = "property",
+    ):
+        self.holds = holds
+        self.cpu_time = cpu_time
+        self.peak_nodes = peak_nodes
+        self.reached_size = reached_size
+        self.iterations = iterations
+        self.memory_mb = memory_mb
+        self.exploded = exploded
+        self.counterexample_depth = counterexample_depth
+        self.property_name = property_name
+
+    def __repr__(self):
+        if self.exploded:
+            verdict = "STATE EXPLOSION"
+        else:
+            verdict = {True: "HOLDS", False: "FAILS", None: "UNKNOWN"}[self.holds]
+        return (
+            f"SymbolicCheckResult({self.property_name}: {verdict}, "
+            f"cpu={self.cpu_time:.3f}s, bdds={self.peak_nodes}, "
+            f"mem={self.memory_mb:.1f}MB, iters={self.iterations})"
+        )
+
+
+class SymbolicModelChecker:
+    """Forward-reachability safety checking over a :class:`SymbolicModel`.
+
+    Parameters
+    ----------
+    model:
+        The symbolically encoded design.  Its manager's ``node_budget``
+        (if any) caps *transient* allocation within one image step.
+    live_node_budget:
+        Cap on the *live* BDD size (reached set + transition partitions)
+        measured after each garbage collection -- the RuleBase "memory
+        exhausted" analogue.  Exceeding it yields a state-explosion
+        verdict.
+    gc_threshold:
+        Allocation level that triggers a copying garbage collection
+        between iterations.
+    """
+
+    def __init__(self, model: SymbolicModel,
+                 live_node_budget: Optional[int] = None,
+                 gc_threshold: int = 600000):
+        self.model = model
+        self.live_node_budget = live_node_budget
+        self.gc_threshold = gc_threshold
+
+    # ------------------------------------------------------------------
+    def check_property(
+        self,
+        prop: Property,
+        labels: dict[str, Union[tuple, int]],
+        name: str = "property",
+        max_iterations: int = 10000,
+    ) -> SymbolicCheckResult:
+        """Check a PSL safety property against the design.
+
+        ``labels`` maps every atom of the property to either a
+        ``("net.path", bit_index)`` pair or a pre-built BDD over the
+        model's variables.
+        """
+        if not prop.is_safety():
+            raise PslError(f"{prop!r} is not a safety property")
+        model = self.model
+        m = model.manager
+        start = time.perf_counter()
+        try:
+            checker = build_checker(prop)
+            atom_bdds = self._resolve_labels(checker, labels)
+            bad = self._embed_automaton(checker, atom_bdds, name)
+            return self._reachability(bad, start, name, max_iterations)
+        except BddBudgetExceeded:
+            elapsed = time.perf_counter() - start
+            return SymbolicCheckResult(
+                None,
+                elapsed,
+                m.peak_nodes,
+                0,
+                0,
+                m.estimated_memory_bytes() / 1e6,
+                exploded=True,
+                property_name=name,
+            )
+
+    def check_invariant(
+        self, bad: int, name: str = "invariant", max_iterations: int = 10000
+    ) -> SymbolicCheckResult:
+        """Check that the ``bad`` BDD (over current vars/inputs) is
+        unreachable."""
+        start = time.perf_counter()
+        try:
+            return self._reachability(bad, start, name, max_iterations)
+        except BddBudgetExceeded:
+            m = self.model.manager
+            elapsed = time.perf_counter() - start
+            return SymbolicCheckResult(
+                None,
+                elapsed,
+                m.peak_nodes,
+                0,
+                0,
+                m.estimated_memory_bytes() / 1e6,
+                exploded=True,
+                property_name=name,
+            )
+
+    # ------------------------------------------------------------------
+    def _resolve_labels(self, checker: CheckerAutomaton, labels: dict) -> dict:
+        model = self.model
+        atom_bdds: dict[str, int] = {}
+        for atom in checker.atoms:
+            if atom not in labels:
+                raise PslError(f"no label mapping for atom {atom!r}")
+            spec = labels[atom]
+            if isinstance(spec, tuple):
+                path, bit = spec
+                atom_bdds[atom] = model.net_bit(path, bit)
+            else:
+                atom_bdds[atom] = spec
+        return atom_bdds
+
+    def _embed_automaton(
+        self, checker: CheckerAutomaton, atom_bdds: dict, name: str
+    ) -> int:
+        """Add automaton state bits to the model as satellite state.
+
+        Returns the *combinational* fail condition -- the BDD over current
+        automaton state and labelled signals that is true exactly when
+        the current cycle's valuation reveals a violation.  Using the
+        condition (rather than a registered fail bit) makes the reported
+        counterexample depth equal the failing cycle.
+        """
+        model = self.model
+        m = model.manager
+        num_states = checker.num_states
+        width = max(1, (num_states - 1).bit_length()) if num_states > 1 else 1
+        bit_names = model.alloc_aux_vars(width)
+
+        state_bits = [m.var(n) for n in bit_names]
+
+        def state_eq(index: int) -> int:
+            acc = m.TRUE
+            for i, bit in enumerate(state_bits):
+                if (index >> i) & 1:
+                    acc = m.and_(acc, bit)
+                else:
+                    acc = m.and_(acc, m.not_(bit))
+            return acc
+
+        def key_match(key: tuple) -> int:
+            acc = m.TRUE
+            for atom, value in zip(checker.atoms, key):
+                bdd = atom_bdds[atom]
+                acc = m.and_(acc, bdd if value else m.not_(bdd))
+            return acc
+
+        # next-state functions per automaton bit + combinational fail
+        next_bits = [m.FALSE] * width
+        fail_cond = m.FALSE
+        from itertools import product
+
+        keys = list(product((False, True), repeat=len(checker.atoms)))
+        for src in range(num_states):
+            src_bdd = state_eq(src)
+            for key in keys:
+                dst = checker.transition(src, key)
+                cond = m.and_(src_bdd, key_match(key))
+                if dst == CheckerAutomaton.FAIL_STATE:
+                    fail_cond = m.or_(fail_cond, cond)
+                    continue
+                for i in range(width):
+                    if (dst >> i) & 1:
+                        next_bits[i] = m.or_(next_bits[i], cond)
+        for bname, bit_fn in zip(bit_names, next_bits):
+            model.add_state_var(bname, bit_fn, init_value=False)
+        return fail_cond
+
+    # ------------------------------------------------------------------
+    def _reachability(
+        self, bad: int, start: float, name: str, max_iterations: int
+    ) -> SymbolicCheckResult:
+        model = self.model
+        m = model.manager
+        state_vars = model.state_bits
+        input_vars = model.input_bits
+        next_names = [v + NEXT_SUFFIX for v in state_vars]
+        rename_back = dict(zip(next_names, state_vars))
+
+        # partitioned transition relation: one conjunct per state bit
+        partitions = []
+        for var in state_vars:
+            nxt = m.var(var + NEXT_SUFFIX)
+            partitions.append(m.xnor(nxt, model.next_functions[var]))
+
+        # early-quantification schedule: a current/input variable can be
+        # quantified out as soon as the last partition reading it has been
+        # conjoined into the relational product (IWLS95-style)
+        quantifiable = set(state_vars) | set(input_vars)
+        supports = [m.support(p) & quantifiable for p in partitions]
+        last_use = {v: -1 for v in quantifiable}
+        for i, support in enumerate(supports):
+            for v in support:
+                last_use[v] = i
+        release_at: list[list[str]] = [[] for __ in partitions]
+        unused_anywhere: list[str] = []
+        for v, i in last_use.items():
+            if i >= 0:
+                release_at[i].append(v)
+            else:
+                unused_anywhere.append(v)
+
+        reached = model.init
+        frontier = model.init
+        iterations = 0
+        peak_live = m.num_nodes
+        peak_alloc = m.num_nodes
+
+        def metrics() -> tuple[int, float]:
+            return max(peak_live, peak_alloc), (
+                max(peak_live, peak_alloc) * 88 / 1e6
+            )
+
+        def explosion() -> SymbolicCheckResult:
+            elapsed = time.perf_counter() - start
+            nodes, mem = metrics()
+            return SymbolicCheckResult(
+                None, elapsed, nodes, 0, iterations, mem,
+                exploded=True, property_name=name,
+            )
+
+        if m.and_(reached, bad) != m.FALSE:
+            elapsed = time.perf_counter() - start
+            nodes, mem = metrics()
+            return SymbolicCheckResult(
+                False, elapsed, nodes, m.size(reached), 0, mem,
+                counterexample_depth=0, property_name=name,
+            )
+        try:
+            while frontier != m.FALSE and iterations < max_iterations:
+                iterations += 1
+                # image of the frontier with early quantification:
+                # variables leave the product as soon as no later
+                # partition reads them
+                product_bdd = m.exists(unused_anywhere, frontier) \
+                    if unused_anywhere else frontier
+                for part, released in zip(partitions, release_at):
+                    product_bdd = m.and_(product_bdd, part)
+                    if released:
+                        product_bdd = m.exists(released, product_bdd)
+                image = m.rename(product_bdd, rename_back)
+                new = m.and_(image, m.not_(reached))
+                if new == m.FALSE:
+                    break
+                if m.and_(new, bad) != m.FALSE:
+                    elapsed = time.perf_counter() - start
+                    nodes, mem = metrics()
+                    return SymbolicCheckResult(
+                        False, elapsed, nodes, m.size(reached), iterations,
+                        mem, counterexample_depth=iterations,
+                        property_name=name,
+                    )
+                reached = m.or_(reached, new)
+                frontier = new
+                peak_alloc = max(peak_alloc, m.num_nodes)
+                # copying garbage collection: drop dead nodes, then judge
+                # *live* size against the budget (the RuleBase memory wall)
+                if m.num_nodes > self.gc_threshold:
+                    fresh = m.clone_empty()
+                    fresh.node_budget = m.node_budget
+                    roots = [reached, frontier, bad] + partitions
+                    copied = m.copy_roots(fresh, roots)
+                    reached, frontier, bad = copied[0], copied[1], copied[2]
+                    partitions = copied[3:]
+                    m = fresh
+                    peak_live = max(peak_live, m.num_nodes)
+                    if (
+                        self.live_node_budget is not None
+                        and m.num_nodes > self.live_node_budget
+                    ):
+                        return explosion()
+        except BddBudgetExceeded:
+            return explosion()
+        elapsed = time.perf_counter() - start
+        peak_alloc = max(peak_alloc, m.num_nodes)
+        reached_size = m.size(reached)
+        peak_live = max(peak_live, reached_size)
+        nodes, mem = metrics()
+        return SymbolicCheckResult(
+            True, elapsed, nodes, reached_size, iterations, mem,
+            property_name=name,
+        )

@@ -1,0 +1,34 @@
+"""``repro.ovl`` -- Open Verification Library style assertion monitors.
+
+Checker modules (event + message + severity) instantiated *into* the RTL
+design, reproducing the Accellera OVL methodology the paper benchmarks
+against in Table 3.
+"""
+
+from .base import Severity, attach_monitor, fresh_name
+from .assertions import (
+    assert_always,
+    assert_cycle_sequence,
+    assert_even_parity,
+    assert_frame,
+    assert_handshake,
+    assert_implication,
+    assert_never,
+    assert_next,
+    assert_unchanged,
+)
+
+__all__ = [
+    "Severity",
+    "attach_monitor",
+    "fresh_name",
+    "assert_always",
+    "assert_never",
+    "assert_implication",
+    "assert_next",
+    "assert_cycle_sequence",
+    "assert_frame",
+    "assert_unchanged",
+    "assert_handshake",
+    "assert_even_parity",
+]

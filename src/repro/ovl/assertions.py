@@ -1,0 +1,325 @@
+"""The OVL checker library: assertion monitors as RTL modules.
+
+Each function builds a dedicated checker module (the Verilog ``assert_*``
+monitor), instantiates it into the caller's design and returns the fire
+wire.  The checkers carry their own sampling registers, so -- exactly as
+the paper observes for the OVL methodology -- "writing the assertion for
+the reading mode ... requires encoding all the atomic operations in
+separate modules which gets to complex final design in the simulation".
+
+Supported checkers (modelled on OVL v03.08.02):
+
+============================ =====================================================
+``assert_always``            expression true at every sampling edge
+``assert_never``             expression false at every sampling edge
+``assert_implication``       antecedent -> consequent in the same cycle
+``assert_next``              start -> expression true ``num_cks`` cycles later
+``assert_cycle_sequence``    a list of expressions must follow cycle by cycle
+``assert_frame``             after start, test must hold within [min, max] cycles
+``assert_unchanged``         a vector holds its value for ``num_cks`` after start
+``assert_handshake``         req/ack phase discipline
+``assert_even_parity``       a vector's parity bit is correct (LA-1 extension)
+============================ =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..rtl.hdl import C, Concat, Expr, Mux, RtlModule, Wire
+from .base import Severity, attach_monitor, fresh_name
+
+__all__ = [
+    "assert_always",
+    "assert_never",
+    "assert_implication",
+    "assert_next",
+    "assert_cycle_sequence",
+    "assert_frame",
+    "assert_unchanged",
+    "assert_handshake",
+    "assert_even_parity",
+]
+
+
+def assert_always(
+    parent: RtlModule,
+    test: Expr,
+    name: Optional[str] = None,
+    message: str = "assert_always violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """``test`` must be true at every ``clock`` edge."""
+    name = name or fresh_name("assert_always")
+    checker = RtlModule(f"{name}_mod")
+    t = checker.input("test", 1)
+    fire = checker.output("fire", 1)
+    checker.assign(fire, ~t.ref())
+    return attach_monitor(parent, checker, {"test": test}, name, message,
+                          severity, clock)
+
+
+def assert_never(
+    parent: RtlModule,
+    test: Expr,
+    name: Optional[str] = None,
+    message: str = "assert_never violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """``test`` must be false at every ``clock`` edge."""
+    name = name or fresh_name("assert_never")
+    checker = RtlModule(f"{name}_mod")
+    t = checker.input("test", 1)
+    fire = checker.output("fire", 1)
+    checker.assign(fire, t.ref())
+    return attach_monitor(parent, checker, {"test": test}, name, message,
+                          severity, clock)
+
+
+def assert_implication(
+    parent: RtlModule,
+    antecedent: Expr,
+    consequent: Expr,
+    name: Optional[str] = None,
+    message: str = "assert_implication violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """If ``antecedent`` holds, ``consequent`` must hold in the same cycle."""
+    name = name or fresh_name("assert_implication")
+    checker = RtlModule(f"{name}_mod")
+    a = checker.input("antecedent", 1)
+    c = checker.input("consequent", 1)
+    fire = checker.output("fire", 1)
+    checker.assign(fire, a.ref() & ~c.ref())
+    return attach_monitor(
+        parent, checker, {"antecedent": antecedent, "consequent": consequent},
+        name, message, severity, clock,
+    )
+
+
+def assert_next(
+    parent: RtlModule,
+    start: Expr,
+    test: Expr,
+    num_cks: int = 1,
+    name: Optional[str] = None,
+    message: str = "assert_next violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """``num_cks`` edges after ``start``, ``test`` must hold.
+
+    Implemented as a shift register of pending start events -- the OVL
+    checker's internal pipeline.
+    """
+    if num_cks < 1:
+        raise ValueError("assert_next requires num_cks >= 1")
+    name = name or fresh_name("assert_next")
+    checker = RtlModule(f"{name}_mod")
+    s = checker.input("start", 1)
+    t = checker.input("test", 1)
+    fire = checker.output("fire", 1)
+    pipe = checker.reg("pipe", num_cks, clock=clock, init=0)
+    if num_cks == 1:
+        checker.sync(pipe, s.ref())
+    else:
+        checker.sync(pipe, Concat([s.ref(), pipe.ref().slice(0, num_cks - 2)]))
+    # the violation is evaluated on pre-edge samples and registered, so
+    # ``test`` is sampled exactly num_cks ticks after ``start``
+    fire_reg = checker.reg("fire_reg", 1, clock=clock, init=0)
+    checker.sync(fire_reg, pipe.ref().bit(num_cks - 1) & ~t.ref())
+    checker.assign(fire, fire_reg.ref())
+    return attach_monitor(
+        parent, checker, {"start": start, "test": test}, name, message,
+        severity, clock,
+    )
+
+
+def assert_cycle_sequence(
+    parent: RtlModule,
+    events: Sequence[Expr],
+    name: Optional[str] = None,
+    message: str = "assert_cycle_sequence violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """Once ``events[0]`` occurs, each following event must occur on each
+    following edge.  The paper notes this is the expensive checker for the
+    reading mode: every atomic step becomes monitor state."""
+    if len(events) < 2:
+        raise ValueError("assert_cycle_sequence needs at least 2 events")
+    name = name or fresh_name("assert_cycle_sequence")
+    checker = RtlModule(f"{name}_mod")
+    ports = [checker.input(f"ev{i}", 1) for i in range(len(events))]
+    fire = checker.output("fire", 1)
+    # stage[i] set means events[0..i] seen on consecutive edges
+    n_stages = len(events) - 1
+    stages = checker.reg("stages", n_stages, clock=clock, init=0)
+    next_bits = [ports[0].ref()]
+    fails = []
+    for i in range(1, n_stages):
+        # stage i advances when stage i-1 was set and events[i] holds now
+        next_bits.append(stages.ref().bit(i - 1) & ports[i].ref())
+    for i in range(1, len(events)):
+        fails.append(stages.ref().bit(i - 1) & ~ports[i].ref())
+    checker.sync(stages, Concat(next_bits) if n_stages > 1 else next_bits[0])
+    fail_expr = fails[0]
+    for f in fails[1:]:
+        fail_expr = fail_expr | f
+    fire_reg = checker.reg("fire_reg", 1, clock=clock, init=0)
+    checker.sync(fire_reg, fail_expr)
+    checker.assign(fire, fire_reg.ref())
+    connections = {f"ev{i}": e for i, e in enumerate(events)}
+    return attach_monitor(parent, checker, connections, name, message,
+                          severity, clock)
+
+
+def assert_frame(
+    parent: RtlModule,
+    start: Expr,
+    test: Expr,
+    min_cks: int,
+    max_cks: int,
+    name: Optional[str] = None,
+    message: str = "assert_frame violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """After ``start``, ``test`` must hold no earlier than ``min_cks`` and
+    no later than ``max_cks`` edges."""
+    if not (1 <= min_cks <= max_cks):
+        raise ValueError("assert_frame requires 1 <= min_cks <= max_cks")
+    name = name or fresh_name("assert_frame")
+    checker = RtlModule(f"{name}_mod")
+    s = checker.input("start", 1)
+    t = checker.input("test", 1)
+    fire = checker.output("fire", 1)
+    # one-hot age pipeline of the single outstanding window: pipe[i] set
+    # means the window opened i+1 edges ago.  Satisfaction (test) clears
+    # the window; OVL's checker likewise tracks one frame at a time.
+    pipe = checker.reg("pipe", max_cks, clock=clock, init=0)
+    active = checker.wire("active", 1)
+    checker.assign(active, pipe.ref().reduce_or())
+    new_start = s.ref() & ~active.ref()
+    if max_cks == 1:
+        shifted = new_start
+    else:
+        shifted = Concat([new_start, pipe.ref().slice(0, max_cks - 2)])
+    cleared = Mux(t.ref(), C(0, max_cks), shifted)
+    checker.sync(pipe, cleared)
+    # too early: test arrives while the window age is < min_cks
+    early = C(0, 1)
+    for i in range(min_cks - 1):
+        early = early | pipe.ref().bit(i)
+    early_fail = early & t.ref()
+    # too late: the window reaches age max_cks without test holding
+    late_fail = pipe.ref().bit(max_cks - 1) & ~t.ref()
+    fire_reg = checker.reg("fire_reg", 1, clock=clock, init=0)
+    checker.sync(fire_reg, early_fail | late_fail)
+    checker.assign(fire, fire_reg.ref())
+    return attach_monitor(
+        parent, checker, {"start": start, "test": test}, name, message,
+        severity, clock,
+    )
+
+
+def assert_unchanged(
+    parent: RtlModule,
+    start: Expr,
+    value: Expr,
+    num_cks: int,
+    name: Optional[str] = None,
+    message: str = "assert_unchanged violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """After ``start``, ``value`` must keep its sampled value for
+    ``num_cks`` edges."""
+    if num_cks < 1:
+        raise ValueError("assert_unchanged requires num_cks >= 1")
+    name = name or fresh_name("assert_unchanged")
+    checker = RtlModule(f"{name}_mod")
+    s = checker.input("start", 1)
+    v = checker.input("value", value.width)
+    fire = checker.output("fire", 1)
+    snapshot = checker.reg("snapshot", value.width, clock=clock, init=0)
+    count = checker.reg("count", max(1, num_cks.bit_length() + 1),
+                        clock=clock, init=0)
+    active = checker.wire("active", 1)
+    checker.assign(active, count.ref().reduce_or())
+    cw = count.width
+    checker.sync(
+        snapshot, Mux(s.ref() & ~active.ref(), v.ref(), snapshot.ref())
+    )
+    dec = Mux(
+        count.ref().eq(0), C(0, cw), count.ref() + C((1 << cw) - 1, cw)
+    )  # saturating decrement (two's-complement -1)
+    checker.sync(count, Mux(s.ref() & ~active.ref(), C(num_cks, cw), dec))
+    fire_reg = checker.reg("fire_reg", 1, clock=clock, init=0)
+    checker.sync(fire_reg, active.ref() & ~snapshot.ref().eq(v.ref()))
+    checker.assign(fire, fire_reg.ref())
+    return attach_monitor(
+        parent, checker, {"start": start, "value": value}, name, message,
+        severity, clock,
+    )
+
+
+def assert_handshake(
+    parent: RtlModule,
+    req: Expr,
+    ack: Expr,
+    name: Optional[str] = None,
+    message: str = "assert_handshake violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """Basic phase discipline: no ack without an outstanding req, and no
+    new req while one is outstanding."""
+    name = name or fresh_name("assert_handshake")
+    checker = RtlModule(f"{name}_mod")
+    r = checker.input("req", 1)
+    a = checker.input("ack", 1)
+    fire = checker.output("fire", 1)
+    outstanding = checker.reg("outstanding", 1, clock=clock, init=0)
+    checker.sync(
+        outstanding,
+        Mux(a.ref(), C(0, 1), Mux(r.ref(), C(1, 1), outstanding.ref())),
+    )
+    spurious_ack = a.ref() & ~(outstanding.ref() | r.ref())
+    double_req = r.ref() & outstanding.ref()
+    fire_reg = checker.reg("fire_reg", 1, clock=clock, init=0)
+    checker.sync(fire_reg, spurious_ack | double_req)
+    checker.assign(fire, fire_reg.ref())
+    return attach_monitor(
+        parent, checker, {"req": req, "ack": ack}, name, message, severity,
+        clock,
+    )
+
+
+def assert_even_parity(
+    parent: RtlModule,
+    data: Expr,
+    parity: Expr,
+    valid: Expr,
+    name: Optional[str] = None,
+    message: str = "even parity violated",
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """When ``valid``, ``parity`` must equal the XOR of ``data``'s bits
+    (LA-1 transfers even byte parity on both data paths)."""
+    name = name or fresh_name("assert_even_parity")
+    checker = RtlModule(f"{name}_mod")
+    d = checker.input("data", data.width)
+    p = checker.input("parity", 1)
+    v = checker.input("valid", 1)
+    fire = checker.output("fire", 1)
+    expected = d.ref().reduce_xor()
+    checker.assign(fire, v.ref() & (expected ^ p.ref()))
+    return attach_monitor(
+        parent, checker, {"data": data, "parity": parity, "valid": valid},
+        name, message, severity, clock,
+    )

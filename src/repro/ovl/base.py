@@ -1,0 +1,60 @@
+"""OVL monitor base machinery.
+
+"Assertion monitors are instances of modules whose purpose is to verify
+that certain conditions hold true.  An assertion monitor is composed of an
+event, a message, and a severity" (paper, Section 5.4).  And crucially for
+Table 3: "every call to an OVL will load the correspondent module as part
+of the simulated design" -- each checker below *is* an
+:class:`~repro.rtl.hdl.RtlModule` instantiated into the design, adding
+nets and registers that the Verilog-level simulator evaluates every edge.
+
+:func:`attach_monitor` wires a checker instance into a parent module and
+registers its ``fire`` output with the parent's monitor list so
+elaboration can surface it to the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..rtl.hdl import Expr, RtlModule, Wire
+
+__all__ = ["Severity", "attach_monitor", "fresh_name"]
+
+_counter = itertools.count()
+
+
+class Severity:
+    """OVL severity levels: whether a firing is fatal or informational."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+def fresh_name(prefix: str) -> str:
+    """A unique instance name for a checker."""
+    return f"{prefix}_{next(_counter)}"
+
+
+def attach_monitor(
+    parent: RtlModule,
+    checker: RtlModule,
+    connections: dict,
+    name: str,
+    message: str,
+    severity: str = Severity.ERROR,
+    clock: str = "K",
+) -> Wire:
+    """Instantiate ``checker`` in ``parent`` and register its fire output.
+
+    ``connections`` binds every checker port except ``fire``, which is
+    created here as a parent wire.  Returns that fire wire.
+    """
+    fire = parent.wire(f"{name}_fire", 1)
+    bound = dict(connections)
+    bound["fire"] = fire
+    parent.instantiate(checker, name, bound)
+    parent.monitors.append((fire, message, severity, name, clock))
+    return fire

@@ -1,0 +1,815 @@
+"""PSL abstract syntax: the Boolean, temporal, verification and modeling
+layers.
+
+"PSL is a hierarchical language, where every layer is built on top of the
+layer below" (paper, Section 2.2).  The same hierarchy is mirrored here:
+
+* **Boolean layer** -- :class:`BoolExpr` trees over named atoms, evaluated
+  in a single cycle against a ``{name: bool}`` valuation.
+* **Temporal layer** -- :class:`Sere` (Sequential Extended Regular
+  Expressions) and :class:`Property` trees (``always``, ``never``,
+  ``next[n]``, ``until``, ``before``, ``eventually!``, suffix implication
+  ``|->`` / ``|=>``, ``abort``).
+* **Verification layer** -- :class:`Directive` (``assert`` / ``assume`` /
+  ``cover``) telling tools what to do with a property.
+* **Modeling layer** -- :class:`ModelingLayer`, auxiliary signal
+  definitions computed from design signals before each evaluation cycle.
+
+All nodes are immutable and hashable, which the checker-automaton
+construction (:mod:`repro.psl.automata`) relies on for state
+canonicalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = [
+    "BoolExpr",
+    "Atom",
+    "ConstB",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Sere",
+    "SereBool",
+    "SereConcat",
+    "SereFusion",
+    "SereOr",
+    "SereRepeat",
+    "Property",
+    "PropBool",
+    "Always",
+    "Never",
+    "NextP",
+    "Until",
+    "Before",
+    "EventuallyBang",
+    "WithinBang",
+    "SuffixImpl",
+    "PropImplication",
+    "PropAnd",
+    "Abort",
+    "Directive",
+    "AssertDirective",
+    "AssumeDirective",
+    "CoverDirective",
+    "ModelingLayer",
+    "PslError",
+]
+
+
+class PslError(Exception):
+    """Raised on malformed properties or unsupported constructs."""
+
+
+# ======================================================================
+# Boolean layer
+# ======================================================================
+class BoolExpr:
+    """Base class of single-cycle boolean expressions."""
+
+    def atoms(self) -> set[str]:
+        """The names of design signals this expression reads."""
+        raise NotImplementedError
+
+    def evaluate(self, valuation: dict) -> bool:
+        """Evaluate against ``{atom_name: bool}`` (missing atoms raise)."""
+        raise NotImplementedError
+
+    # sugar ------------------------------------------------------------
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def implies(self, other: "BoolExpr") -> "BoolExpr":
+        """Single-cycle implication."""
+        return Implies(self, other)
+
+    def iff(self, other: "BoolExpr") -> "BoolExpr":
+        """Single-cycle equivalence."""
+        return Iff(self, other)
+
+
+class Atom(BoolExpr):
+    """A named design signal sampled as a boolean."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def atoms(self):
+        return {self.name}
+
+    def evaluate(self, valuation):
+        try:
+            return bool(valuation[self.name])
+        except KeyError:
+            raise PslError(f"atom {self.name!r} missing from valuation") from None
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Atom", self.name))
+
+    def __repr__(self):
+        return self.name
+
+
+class ConstB(BoolExpr):
+    """A boolean literal (``true`` / ``false``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def atoms(self):
+        return set()
+
+    def evaluate(self, valuation):
+        return self.value
+
+    def __eq__(self, other):
+        return isinstance(other, ConstB) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("ConstB", self.value))
+
+    def __repr__(self):
+        return "true" if self.value else "false"
+
+
+class Not(BoolExpr):
+    """Boolean negation."""
+
+    __slots__ = ("a",)
+
+    def __init__(self, a: BoolExpr):
+        self.a = a
+
+    def atoms(self):
+        return self.a.atoms()
+
+    def evaluate(self, valuation):
+        return not self.a.evaluate(valuation)
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and other.a == self.a
+
+    def __hash__(self):
+        return hash(("Not", self.a))
+
+    def __repr__(self):
+        return f"!{self.a!r}"
+
+
+class _BinB(BoolExpr):
+    __slots__ = ("a", "b")
+    _tag = ""
+    _symbol = ""
+
+    def __init__(self, a: BoolExpr, b: BoolExpr):
+        self.a = a
+        self.b = b
+
+    def atoms(self):
+        return self.a.atoms() | self.b.atoms()
+
+    def __eq__(self, other):
+        return (
+            type(other) is type(self) and other.a == self.a and other.b == self.b
+        )
+
+    def __hash__(self):
+        return hash((self._tag, self.a, self.b))
+
+    def __repr__(self):
+        return f"({self.a!r} {self._symbol} {self.b!r})"
+
+
+class And(_BinB):
+    """Boolean conjunction."""
+
+    _tag = "And"
+    _symbol = "&"
+
+    def evaluate(self, valuation):
+        return self.a.evaluate(valuation) and self.b.evaluate(valuation)
+
+
+class Or(_BinB):
+    """Boolean disjunction."""
+
+    _tag = "Or"
+    _symbol = "|"
+
+    def evaluate(self, valuation):
+        return self.a.evaluate(valuation) or self.b.evaluate(valuation)
+
+
+class Implies(_BinB):
+    """Single-cycle implication ``a -> b``."""
+
+    _tag = "Implies"
+    _symbol = "->"
+
+    def evaluate(self, valuation):
+        return (not self.a.evaluate(valuation)) or self.b.evaluate(valuation)
+
+
+class Iff(_BinB):
+    """Single-cycle equivalence ``a <-> b``."""
+
+    _tag = "Iff"
+    _symbol = "<->"
+
+    def evaluate(self, valuation):
+        return self.a.evaluate(valuation) == self.b.evaluate(valuation)
+
+
+# ======================================================================
+# Temporal layer: SEREs
+# ======================================================================
+class Sere:
+    """Base class of Sequential Extended Regular Expressions."""
+
+    def atoms(self) -> set[str]:
+        """Signal names referenced anywhere in the SERE."""
+        raise NotImplementedError
+
+    # sugar: {a} + {b} concatenation via ``>>``, or via ``|``
+    def __rshift__(self, other: "Sere") -> "Sere":
+        return SereConcat(self, other)
+
+    def __or__(self, other: "Sere") -> "Sere":
+        return SereOr(self, other)
+
+    def repeat(self, lo: int, hi: Optional[int]) -> "Sere":
+        """Consecutive repetition ``[*lo:hi]`` (``hi=None`` = unbounded)."""
+        return SereRepeat(self, lo, hi)
+
+    def star(self) -> "Sere":
+        """``[*]`` -- zero or more repetitions."""
+        return SereRepeat(self, 0, None)
+
+    def plus(self) -> "Sere":
+        """``[+]`` -- one or more repetitions."""
+        return SereRepeat(self, 1, None)
+
+
+class SereBool(Sere):
+    """A one-cycle SERE: a boolean expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: BoolExpr):
+        self.expr = expr
+
+    def atoms(self):
+        return self.expr.atoms()
+
+    def __eq__(self, other):
+        return isinstance(other, SereBool) and other.expr == self.expr
+
+    def __hash__(self):
+        return hash(("SereBool", self.expr))
+
+    def __repr__(self):
+        return f"{{{self.expr!r}}}"
+
+
+class _BinS(Sere):
+    __slots__ = ("a", "b")
+    _tag = ""
+    _symbol = ""
+
+    def __init__(self, a: Sere, b: Sere):
+        self.a = a
+        self.b = b
+
+    def atoms(self):
+        return self.a.atoms() | self.b.atoms()
+
+    def __eq__(self, other):
+        return (
+            type(other) is type(self) and other.a == self.a and other.b == self.b
+        )
+
+    def __hash__(self):
+        return hash((self._tag, self.a, self.b))
+
+    def __repr__(self):
+        return f"{{{self.a!r} {self._symbol} {self.b!r}}}"
+
+
+class SereConcat(_BinS):
+    """``{a ; b}`` -- b starts the cycle after a ends."""
+
+    _tag = "SereConcat"
+    _symbol = ";"
+
+
+class SereFusion(_BinS):
+    """``{a : b}`` -- b starts on the cycle a ends (overlapping)."""
+
+    _tag = "SereFusion"
+    _symbol = ":"
+
+
+class SereOr(_BinS):
+    """``{a | b}`` -- either alternative matches."""
+
+    _tag = "SereOr"
+    _symbol = "|"
+
+
+class SereRepeat(Sere):
+    """Consecutive repetition ``a[*lo:hi]``; ``hi=None`` means unbounded."""
+
+    __slots__ = ("a", "lo", "hi")
+
+    def __init__(self, a: Sere, lo: int, hi: Optional[int]):
+        if lo < 0 or (hi is not None and hi < lo):
+            raise PslError(f"bad repetition bounds [*{lo}:{hi}]")
+        self.a = a
+        self.lo = lo
+        self.hi = hi
+
+    def atoms(self):
+        return self.a.atoms()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SereRepeat)
+            and other.a == self.a
+            and other.lo == self.lo
+            and other.hi == self.hi
+        )
+
+    def __hash__(self):
+        return hash(("SereRepeat", self.a, self.lo, self.hi))
+
+    def __repr__(self):
+        hi = "" if self.hi is None else str(self.hi)
+        return f"{self.a!r}[*{self.lo}:{hi}]"
+
+
+# ======================================================================
+# Temporal layer: properties
+# ======================================================================
+class Property:
+    """Base class of temporal-layer properties."""
+
+    def atoms(self) -> set[str]:
+        """Signal names referenced anywhere in the property."""
+        raise NotImplementedError
+
+    def is_safety(self) -> bool:
+        """True when violation is always witnessed by a finite bad prefix.
+
+        Only safety properties can be model checked by the reachability
+        based procedures; liveness (`eventually!` with no bound) is
+        checked in simulation with end-of-trace semantics.
+        """
+        raise NotImplementedError
+
+
+class PropBool(Property):
+    """A boolean expression as a property (holds in the first cycle)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: BoolExpr):
+        self.expr = expr
+
+    def atoms(self):
+        return self.expr.atoms()
+
+    def is_safety(self):
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, PropBool) and other.expr == self.expr
+
+    def __hash__(self):
+        return hash(("PropBool", self.expr))
+
+    def __repr__(self):
+        return repr(self.expr)
+
+
+class Always(Property):
+    """``always p`` -- p holds at every cycle."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: Property):
+        self.p = p
+
+    def atoms(self):
+        return self.p.atoms()
+
+    def is_safety(self):
+        return self.p.is_safety()
+
+    def __eq__(self, other):
+        return isinstance(other, Always) and other.p == self.p
+
+    def __hash__(self):
+        return hash(("Always", self.p))
+
+    def __repr__(self):
+        return f"always ({self.p!r})"
+
+
+class Never(Property):
+    """``never r`` -- the SERE r matches starting at no cycle."""
+
+    __slots__ = ("sere",)
+
+    def __init__(self, sere: Sere):
+        self.sere = sere
+
+    def atoms(self):
+        return self.sere.atoms()
+
+    def is_safety(self):
+        return True
+
+    def __eq__(self, other):
+        return isinstance(other, Never) and other.sere == self.sere
+
+    def __hash__(self):
+        return hash(("Never", self.sere))
+
+    def __repr__(self):
+        return f"never {self.sere!r}"
+
+
+class NextP(Property):
+    """``next[n] p`` -- p holds n cycles from now (n >= 1)."""
+
+    __slots__ = ("p", "n")
+
+    def __init__(self, p: Property, n: int = 1):
+        if n < 1:
+            raise PslError("next[n] requires n >= 1")
+        self.p = p
+        self.n = n
+
+    def atoms(self):
+        return self.p.atoms()
+
+    def is_safety(self):
+        return self.p.is_safety()
+
+    def __eq__(self, other):
+        return isinstance(other, NextP) and other.p == self.p and other.n == self.n
+
+    def __hash__(self):
+        return hash(("NextP", self.p, self.n))
+
+    def __repr__(self):
+        return f"next[{self.n}] ({self.p!r})"
+
+
+class Until(Property):
+    """``b1 until b2`` over boolean operands.
+
+    Weak by default (``strong=False``): it is acceptable for b2 never to
+    occur as long as b1 holds forever.  Strong until additionally demands
+    b2 eventually occur (liveness; simulation end-of-trace = failure).
+    """
+
+    __slots__ = ("lhs", "rhs", "strong")
+
+    def __init__(self, lhs: BoolExpr, rhs: BoolExpr, strong: bool = False):
+        self.lhs = lhs
+        self.rhs = rhs
+        self.strong = strong
+
+    def atoms(self):
+        return self.lhs.atoms() | self.rhs.atoms()
+
+    def is_safety(self):
+        return not self.strong
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Until)
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+            and other.strong == self.strong
+        )
+
+    def __hash__(self):
+        return hash(("Until", self.lhs, self.rhs, self.strong))
+
+    def __repr__(self):
+        bang = "!" if self.strong else ""
+        return f"({self.lhs!r} until{bang} {self.rhs!r})"
+
+
+class Before(Property):
+    """``b1 before b2`` -- b1 occurs strictly before b2 (boolean operands).
+
+    Weak form: also satisfied if neither ever occurs.
+    """
+
+    __slots__ = ("lhs", "rhs", "strong")
+
+    def __init__(self, lhs: BoolExpr, rhs: BoolExpr, strong: bool = False):
+        self.lhs = lhs
+        self.rhs = rhs
+        self.strong = strong
+
+    def atoms(self):
+        return self.lhs.atoms() | self.rhs.atoms()
+
+    def is_safety(self):
+        return not self.strong
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Before)
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+            and other.strong == self.strong
+        )
+
+    def __hash__(self):
+        return hash(("Before", self.lhs, self.rhs, self.strong))
+
+    def __repr__(self):
+        bang = "!" if self.strong else ""
+        return f"({self.lhs!r} before{bang} {self.rhs!r})"
+
+
+class EventuallyBang(Property):
+    """``eventually! b`` -- b must eventually hold (liveness)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: BoolExpr):
+        self.expr = expr
+
+    def atoms(self):
+        return self.expr.atoms()
+
+    def is_safety(self):
+        return False
+
+    def __eq__(self, other):
+        return isinstance(other, EventuallyBang) and other.expr == self.expr
+
+    def __hash__(self):
+        return hash(("EventuallyBang", self.expr))
+
+    def __repr__(self):
+        return f"eventually! {self.expr!r}"
+
+
+class WithinBang(Property):
+    """``within![n] b`` -- b must hold within the next n cycles (bounded
+    liveness, hence safety).  This is the form LA-1 read-latency properties
+    take: data valid within a fixed number of half-cycles of the request.
+    """
+
+    __slots__ = ("expr", "n")
+
+    def __init__(self, expr: BoolExpr, n: int):
+        if n < 0:
+            raise PslError("within![n] requires n >= 0")
+        self.expr = expr
+        self.n = n
+
+    def atoms(self):
+        return self.expr.atoms()
+
+    def is_safety(self):
+        return True
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, WithinBang)
+            and other.expr == self.expr
+            and other.n == self.n
+        )
+
+    def __hash__(self):
+        return hash(("WithinBang", self.expr, self.n))
+
+    def __repr__(self):
+        return f"within![{self.n}] {self.expr!r}"
+
+
+class SuffixImpl(Property):
+    """Suffix implication ``{r} |-> p`` / ``{r} |=> p``.
+
+    Whenever the SERE r matches, the consequent p must hold starting at
+    the last cycle of the match (``overlap=True``, ``|->``) or the cycle
+    after it (``overlap=False``, ``|=>``).
+    """
+
+    __slots__ = ("sere", "p", "overlap")
+
+    def __init__(self, sere: Sere, p: Property, overlap: bool = True):
+        self.sere = sere
+        self.p = p
+        self.overlap = overlap
+
+    def atoms(self):
+        return self.sere.atoms() | self.p.atoms()
+
+    def is_safety(self):
+        return self.p.is_safety()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SuffixImpl)
+            and other.sere == self.sere
+            and other.p == self.p
+            and other.overlap == self.overlap
+        )
+
+    def __hash__(self):
+        return hash(("SuffixImpl", self.sere, self.p, self.overlap))
+
+    def __repr__(self):
+        arrow = "|->" if self.overlap else "|=>"
+        return f"{self.sere!r} {arrow} ({self.p!r})"
+
+
+class PropImplication(Property):
+    """``b -> p``: if the boolean b holds now, property p starts now."""
+
+    __slots__ = ("guard", "p")
+
+    def __init__(self, guard: BoolExpr, p: Property):
+        self.guard = guard
+        self.p = p
+
+    def atoms(self):
+        return self.guard.atoms() | self.p.atoms()
+
+    def is_safety(self):
+        return self.p.is_safety()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PropImplication)
+            and other.guard == self.guard
+            and other.p == self.p
+        )
+
+    def __hash__(self):
+        return hash(("PropImplication", self.guard, self.p))
+
+    def __repr__(self):
+        return f"({self.guard!r} -> {self.p!r})"
+
+
+class PropAnd(Property):
+    """Conjunction of properties."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Property]):
+        self.parts = tuple(parts)
+        if not self.parts:
+            raise PslError("empty property conjunction")
+
+    def atoms(self):
+        names: set[str] = set()
+        for part in self.parts:
+            names |= part.atoms()
+        return names
+
+    def is_safety(self):
+        return all(p.is_safety() for p in self.parts)
+
+    def __eq__(self, other):
+        return isinstance(other, PropAnd) and other.parts == self.parts
+
+    def __hash__(self):
+        return hash(("PropAnd", self.parts))
+
+    def __repr__(self):
+        return " && ".join(repr(p) for p in self.parts)
+
+
+class Abort(Property):
+    """``p abort b`` -- obligation p is cancelled when b occurs."""
+
+    __slots__ = ("p", "cond")
+
+    def __init__(self, p: Property, cond: BoolExpr):
+        self.p = p
+        self.cond = cond
+
+    def atoms(self):
+        return self.p.atoms() | self.cond.atoms()
+
+    def is_safety(self):
+        return self.p.is_safety()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Abort) and other.p == self.p and other.cond == self.cond
+        )
+
+    def __hash__(self):
+        return hash(("Abort", self.p, self.cond))
+
+    def __repr__(self):
+        return f"({self.p!r} abort {self.cond!r})"
+
+
+# ======================================================================
+# Verification layer
+# ======================================================================
+class Directive:
+    """Base class of verification-layer directives."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class AssertDirective(Directive):
+    """``assert p`` -- the tool must prove / check p."""
+
+    def __init__(self, prop: Property, name: str = "assertion"):
+        super().__init__(name)
+        self.prop = prop
+
+    def __repr__(self):
+        return f"assert {self.name}: {self.prop!r}"
+
+
+class AssumeDirective(Directive):
+    """``assume p`` -- the tool may take p as an environment constraint."""
+
+    def __init__(self, prop: Property, name: str = "assumption"):
+        super().__init__(name)
+        self.prop = prop
+
+    def __repr__(self):
+        return f"assume {self.name}: {self.prop!r}"
+
+
+class CoverDirective(Directive):
+    """``cover r`` -- the tool must witness a match of r."""
+
+    def __init__(self, sere: Sere, name: str = "cover"):
+        super().__init__(name)
+        self.sere = sere
+
+    def __repr__(self):
+        return f"cover {self.name}: {self.sere!r}"
+
+
+# ======================================================================
+# Modeling layer
+# ======================================================================
+class ModelingLayer:
+    """Auxiliary signals computed from design signals each cycle.
+
+    Definitions are ``name -> BoolExpr`` over design atoms and previously
+    defined auxiliary atoms; :meth:`extend` evaluates them in insertion
+    order, augmenting the valuation the temporal layer sees.
+    """
+
+    def __init__(self) -> None:
+        self._defs: list[tuple[str, BoolExpr]] = []
+
+    def define(self, name: str, expr: BoolExpr) -> Atom:
+        """Add an auxiliary signal; returns its atom for use in properties."""
+        if any(n == name for n, __ in self._defs):
+            raise PslError(f"modeling-layer signal {name} already defined")
+        self._defs.append((name, expr))
+        return Atom(name)
+
+    def extend(self, valuation: dict) -> dict:
+        """Return ``valuation`` augmented with all auxiliary signals."""
+        extended = dict(valuation)
+        for name, expr in self._defs:
+            extended[name] = expr.evaluate(extended)
+        return extended
+
+    @property
+    def names(self) -> list[str]:
+        """Auxiliary signal names in definition order."""
+        return [n for n, __ in self._defs]
+
+    def __len__(self) -> int:
+        return len(self._defs)

@@ -1,0 +1,424 @@
+"""Checker construction: PSL properties to deterministic monitor automata.
+
+The paper encodes each PSL property as two state variables ``P_status``
+and ``P_value``: *pending* (a temporal property mid-verification), *holds*
+or *fails*.  The same three-valued semantics is implemented here through
+**formula progression**: the checker state is a set of outstanding
+obligations; each cycle's valuation discharges, fails or rewrites them.
+
+Two consumers share this machinery:
+
+* :class:`repro.psl.monitor.PslMonitor` progresses obligations directly
+  at simulation time (the ABV path);
+* :func:`build_checker` *determinises* progression into an explicit
+  :class:`CheckerAutomaton` over the property's atoms -- the automaton the
+  exploration-based model checker (:mod:`repro.asm.checker`) composes with
+  the ASM's FSM and the symbolic model checker (:mod:`repro.mc`) encodes
+  into BDD state variables.
+
+Obligation sets are finite for the supported fragment (bounded ``next`` /
+``within!`` windows, SERE trackers over fixed NFAs), so the automaton
+construction always terminates.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional, Union
+
+from .ast import (
+    Abort,
+    Always,
+    Before,
+    EventuallyBang,
+    Never,
+    NextP,
+    PropAnd,
+    PropBool,
+    PropImplication,
+    Property,
+    PslError,
+    SuffixImpl,
+    Until,
+    WithinBang,
+)
+from .sere import Nfa, compile_sere
+
+__all__ = [
+    "SereTracker",
+    "NeverTracker",
+    "AbortWrapper",
+    "progress",
+    "progress_set",
+    "initial_obligations",
+    "is_strong",
+    "CheckerAutomaton",
+    "build_checker",
+    "FAIL",
+]
+
+#: Sentinel returned in place of a next-obligation set when a violation
+#: is detected.
+FAIL = "FAIL"
+
+
+class SereTracker:
+    """An in-flight SERE match feeding a suffix implication.
+
+    Tracks the NFA state set of the antecedent; when the match completes,
+    the consequent property is spawned (overlapping for ``|->``, one cycle
+    later for ``|=>``).
+    """
+
+    __slots__ = ("nfa", "states", "consequent", "overlap")
+
+    def __init__(self, nfa: Nfa, states: frozenset, consequent: Property,
+                 overlap: bool):
+        self.nfa = nfa
+        self.states = states
+        self.consequent = consequent
+        self.overlap = overlap
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SereTracker)
+            and other.nfa == self.nfa
+            and other.states == self.states
+            and other.consequent == self.consequent
+            and other.overlap == self.overlap
+        )
+
+    def __hash__(self):
+        return hash(("SereTracker", self.nfa, self.states, self.consequent,
+                     self.overlap))
+
+    def __repr__(self):
+        return f"track{sorted(self.states)} |{'->' if self.overlap else '=>'} ..."
+
+
+class NeverTracker:
+    """The self-renewing tracker behind ``never r``: a match starting at
+    any cycle is a violation."""
+
+    __slots__ = ("nfa", "states")
+
+    def __init__(self, nfa: Nfa, states: frozenset):
+        self.nfa = nfa
+        self.states = states
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, NeverTracker)
+            and other.nfa == self.nfa
+            and other.states == self.states
+        )
+
+    def __hash__(self):
+        return hash(("NeverTracker", self.nfa, self.states))
+
+    def __repr__(self):
+        return f"never-track{sorted(self.states)}"
+
+
+class AbortWrapper:
+    """Wraps any obligation so that ``cond`` cancels it (PSL ``abort``)."""
+
+    __slots__ = ("ob", "cond")
+
+    def __init__(self, ob, cond):
+        self.ob = ob
+        self.cond = cond
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, AbortWrapper)
+            and other.ob == self.ob
+            and other.cond == self.cond
+        )
+
+    def __hash__(self):
+        return hash(("AbortWrapper", self.ob, self.cond))
+
+    def __repr__(self):
+        return f"({self.ob!r} abort {self.cond!r})"
+
+
+Obligation = Union[Property, SereTracker, NeverTracker, AbortWrapper]
+
+_NFA_CACHE: dict = {}
+
+
+def _nfa_of(sere) -> Nfa:
+    nfa = _NFA_CACHE.get(sere)
+    if nfa is None:
+        nfa = compile_sere(sere)
+        _NFA_CACHE[sere] = nfa
+    return nfa
+
+
+def progress(ob: Obligation, valuation: dict):
+    """Progress one obligation through one cycle.
+
+    Returns :data:`FAIL` on violation, otherwise the (possibly empty) set
+    of obligations carried into the next cycle.
+    """
+    if isinstance(ob, PropBool):
+        return set() if ob.expr.evaluate(valuation) else FAIL
+
+    if isinstance(ob, Always):
+        inner = progress(ob.p, valuation)
+        if inner is FAIL:
+            return FAIL
+        inner.add(ob)
+        return inner
+
+    if isinstance(ob, NextP):
+        if ob.n > 1:
+            return {NextP(ob.p, ob.n - 1)}
+        return {ob.p}
+
+    if isinstance(ob, PropImplication):
+        if ob.guard.evaluate(valuation):
+            return progress(ob.p, valuation)
+        return set()
+
+    if isinstance(ob, PropAnd):
+        result: set = set()
+        for part in ob.parts:
+            inner = progress(part, valuation)
+            if inner is FAIL:
+                return FAIL
+            result |= inner
+        return result
+
+    if isinstance(ob, Until):
+        if ob.rhs.evaluate(valuation):
+            return set()
+        if ob.lhs.evaluate(valuation):
+            return {ob}
+        return FAIL
+
+    if isinstance(ob, Before):
+        lhs = ob.lhs.evaluate(valuation)
+        rhs = ob.rhs.evaluate(valuation)
+        if lhs and not rhs:
+            return set()
+        if rhs:
+            return FAIL
+        return {ob}
+
+    if isinstance(ob, WithinBang):
+        if ob.expr.evaluate(valuation):
+            return set()
+        if ob.n == 0:
+            return FAIL
+        return {WithinBang(ob.expr, ob.n - 1)}
+
+    if isinstance(ob, EventuallyBang):
+        if ob.expr.evaluate(valuation):
+            return set()
+        return {ob}
+
+    if isinstance(ob, SuffixImpl):
+        nfa = _nfa_of(ob.sere)
+        tracker = SereTracker(nfa, nfa.initial, ob.p, ob.overlap)
+        if nfa.accepts_empty:
+            # the antecedent matched the empty word before this cycle;
+            # the consequent starts at the current cycle
+            extra = progress(ob.p, valuation)
+            if extra is FAIL:
+                return FAIL
+            rest = progress(tracker, valuation)
+            if rest is FAIL:
+                return FAIL
+            return extra | rest
+        return progress(tracker, valuation)
+
+    if isinstance(ob, SereTracker):
+        new_states = ob.nfa.step(ob.states, valuation)
+        result: set = set()
+        if ob.nfa.accepts_now(new_states):
+            if ob.overlap:
+                # |->: the consequent's first cycle is the match's last
+                spawned = progress(ob.consequent, valuation)
+                if spawned is FAIL:
+                    return FAIL
+                result |= spawned
+            else:
+                result.add(ob.consequent)
+        if new_states:
+            result.add(SereTracker(ob.nfa, new_states, ob.consequent,
+                                   ob.overlap))
+        return result
+
+    if isinstance(ob, Never):
+        nfa = _nfa_of(ob.sere)
+        if nfa.accepts_empty:
+            return FAIL
+        return progress(NeverTracker(nfa, frozenset()), valuation)
+
+    if isinstance(ob, NeverTracker):
+        new_states = ob.nfa.step(ob.states | ob.nfa.initial, valuation)
+        if ob.nfa.accepts_now(new_states):
+            return FAIL
+        return {NeverTracker(ob.nfa, new_states)}
+
+    if isinstance(ob, Abort):
+        return progress(AbortWrapper(ob.p, ob.cond), valuation)
+
+    if isinstance(ob, AbortWrapper):
+        if ob.cond.evaluate(valuation):
+            return set()
+        inner = progress(ob.ob, valuation)
+        if inner is FAIL:
+            return FAIL
+        return {AbortWrapper(o, ob.cond) for o in inner}
+
+    raise PslError(f"cannot progress obligation {ob!r}")
+
+
+def progress_set(obligations: frozenset, valuation: dict):
+    """Progress a whole obligation set; :data:`FAIL` aborts immediately."""
+    result: set = set()
+    for ob in obligations:
+        inner = progress(ob, valuation)
+        if inner is FAIL:
+            return FAIL
+        result |= inner
+    return frozenset(result)
+
+
+def initial_obligations(prop: Property) -> frozenset:
+    """The obligation set before the first cycle."""
+    return frozenset({prop})
+
+
+def is_strong(ob: Obligation) -> bool:
+    """True when leaving ``ob`` pending at end of trace is a failure."""
+    if isinstance(ob, (EventuallyBang, WithinBang)):
+        return True
+    if isinstance(ob, Until):
+        return ob.strong
+    if isinstance(ob, Before):
+        return ob.strong
+    if isinstance(ob, AbortWrapper):
+        return is_strong(ob.ob)
+    if isinstance(ob, NextP):
+        return is_strong(ob.p)
+    return False
+
+
+class CheckerAutomaton:
+    """A deterministic safety checker over a property's atoms.
+
+    ``states[i]`` is the obligation set of state ``i``; state 0 is
+    initial.  ``transition(i, key)`` maps a state and a valuation key (a
+    tuple of booleans in :attr:`atoms` order) to the next state, or to
+    :attr:`FAIL_STATE` when the valuation reveals a violation.  A state
+    with an empty obligation set means the property already holds on
+    every extension (the accepting sink).
+    """
+
+    FAIL_STATE = -1
+
+    def __init__(self, prop: Property, atoms: list[str],
+                 states: list[frozenset], table: dict):
+        self.prop = prop
+        self.atoms = atoms
+        self.states = states
+        self._table = table
+
+    @property
+    def num_states(self) -> int:
+        """Number of non-failure states."""
+        return len(self.states)
+
+    def valuation_key(self, valuation: dict) -> tuple:
+        """Project a full valuation onto this property's atoms."""
+        return tuple(bool(valuation[a]) for a in self.atoms)
+
+    def transition(self, state: int, key: tuple) -> int:
+        """Next state index (or :attr:`FAIL_STATE`)."""
+        if state == self.FAIL_STATE:
+            return self.FAIL_STATE
+        return self._table[(state, key)]
+
+    def step(self, state: int, valuation: dict) -> int:
+        """Convenience: transition using a full valuation dict."""
+        return self.transition(state, self.valuation_key(valuation))
+
+    def is_accepting_sink(self, state: int) -> bool:
+        """True when the property can no longer fail from ``state``."""
+        return state != self.FAIL_STATE and not self.states[state]
+
+    def has_strong_pending(self, state: int) -> bool:
+        """True when end-of-trace in ``state`` is a (strong) failure."""
+        if state == self.FAIL_STATE:
+            return False
+        return any(is_strong(ob) for ob in self.states[state])
+
+    def run(self, trace: list[dict]) -> tuple[str, Optional[int]]:
+        """Run over a finite trace.
+
+        Returns ``("fails", i)`` with the 0-based failing cycle,
+        ``("holds", None)`` when the property holds on every extension or
+        ends with no strong obligation pending, or ``("pending", None)``
+        when strong obligations remain.
+        """
+        state = 0
+        for i, valuation in enumerate(trace):
+            state = self.step(state, valuation)
+            if state == self.FAIL_STATE:
+                return "fails", i
+        if self.has_strong_pending(state):
+            return "pending", None
+        return "holds", None
+
+    def __repr__(self):
+        return (
+            f"CheckerAutomaton(states={self.num_states}, "
+            f"atoms={self.atoms})"
+        )
+
+
+def build_checker(prop: Property, max_states: int = 100000) -> CheckerAutomaton:
+    """Determinise formula progression into a :class:`CheckerAutomaton`.
+
+    The construction enumerates all ``2^k`` valuations of the property's
+    ``k`` atoms per state, so it is intended for the handful-of-signals
+    properties typical of interface protocols (LA-1's largest property
+    uses six atoms).
+    """
+    atoms = sorted(prop.atoms())
+    if len(atoms) > 16:
+        raise PslError(
+            f"property reads {len(atoms)} atoms; checker construction "
+            "enumerates 2^k valuations and is capped at 16"
+        )
+    init = initial_obligations(prop)
+    states: list[frozenset] = [init]
+    index: dict[frozenset, int] = {init: 0}
+    table: dict = {}
+    frontier = [init]
+    keys = list(product((False, True), repeat=len(atoms)))
+    while frontier:
+        current = frontier.pop()
+        src = index[current]
+        for key in keys:
+            valuation = dict(zip(atoms, key))
+            nxt = progress_set(current, valuation)
+            if nxt is FAIL:
+                table[(src, key)] = CheckerAutomaton.FAIL_STATE
+                continue
+            dst = index.get(nxt)
+            if dst is None:
+                dst = len(states)
+                if dst >= max_states:
+                    raise PslError(
+                        f"checker construction exceeded {max_states} states"
+                    )
+                states.append(nxt)
+                index[nxt] = dst
+                frontier.append(nxt)
+            table[(src, key)] = dst
+    return CheckerAutomaton(prop, atoms, states, table)

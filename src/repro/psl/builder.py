@@ -1,0 +1,142 @@
+"""Fluent Python builders for PSL -- the object-oriented embedding.
+
+The paper's verification classes implement "a deep embedding of PSL in
+ASM ... with all the components defined as objects [where] every PSL layer
+extends its lower layer" (Section 4.2).  This module is the same idea in
+Python: small constructor functions that compose into property trees
+without going through the text parser, so properties can be built
+programmatically (e.g. per bank index).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .ast import (
+    Abort,
+    Always,
+    Atom,
+    Before,
+    BoolExpr,
+    ConstB,
+    EventuallyBang,
+    Never,
+    NextP,
+    PropAnd,
+    PropBool,
+    PropImplication,
+    Property,
+    Sere,
+    SereBool,
+    SuffixImpl,
+    Until,
+    WithinBang,
+)
+
+__all__ = [
+    "atom",
+    "true",
+    "false",
+    "always",
+    "never",
+    "next_",
+    "until",
+    "before",
+    "eventually",
+    "within",
+    "implies",
+    "suffix",
+    "seq",
+    "prop_and",
+    "abort",
+]
+
+
+def atom(name: str) -> Atom:
+    """A design-signal atom."""
+    return Atom(name)
+
+
+def true() -> ConstB:
+    """The boolean constant true."""
+    return ConstB(True)
+
+
+def false() -> ConstB:
+    """The boolean constant false."""
+    return ConstB(False)
+
+
+def _as_prop(p: Union[Property, BoolExpr]) -> Property:
+    return PropBool(p) if isinstance(p, BoolExpr) else p
+
+
+def always(p: Union[Property, BoolExpr]) -> Always:
+    """``always p``."""
+    return Always(_as_prop(p))
+
+
+def never(s: Union[Sere, BoolExpr]) -> Never:
+    """``never r`` (a bare boolean becomes a one-cycle SERE)."""
+    return Never(SereBool(s) if isinstance(s, BoolExpr) else s)
+
+
+def next_(p: Union[Property, BoolExpr], n: int = 1) -> NextP:
+    """``next[n] p``."""
+    return NextP(_as_prop(p), n)
+
+
+def until(lhs: BoolExpr, rhs: BoolExpr, strong: bool = False) -> Until:
+    """``lhs until rhs`` (``strong=True`` for ``until!``)."""
+    return Until(lhs, rhs, strong)
+
+
+def before(lhs: BoolExpr, rhs: BoolExpr, strong: bool = False) -> Before:
+    """``lhs before rhs`` (``strong=True`` for ``before!``)."""
+    return Before(lhs, rhs, strong)
+
+
+def eventually(expr: BoolExpr) -> EventuallyBang:
+    """``eventually! expr`` (strong / liveness)."""
+    return EventuallyBang(expr)
+
+
+def within(expr: BoolExpr, n: int) -> WithinBang:
+    """``within![n] expr`` -- expr must hold within n cycles."""
+    return WithinBang(expr, n)
+
+
+def implies(guard: BoolExpr, p: Union[Property, BoolExpr]) -> PropImplication:
+    """``guard -> p`` with a temporal consequent."""
+    return PropImplication(guard, _as_prop(p))
+
+
+def suffix(s: Sere, p: Union[Property, BoolExpr], overlap: bool = True) -> SuffixImpl:
+    """``{s} |-> p`` (``overlap=False`` for ``|=>``)."""
+    return SuffixImpl(s, _as_prop(p), overlap)
+
+
+def seq(*steps: Union[BoolExpr, Sere]) -> Sere:
+    """``{s1; s2; ...}`` -- concatenation of one-cycle steps and sub-SEREs."""
+    from .ast import SereConcat
+
+    if not steps:
+        raise ValueError("seq() needs at least one step")
+    seres = [SereBool(s) if isinstance(s, BoolExpr) else s for s in steps]
+    result = seres[0]
+    for nxt in seres[1:]:
+        result = SereConcat(result, nxt)
+    return result
+
+
+def prop_and(*parts: Union[Property, BoolExpr]) -> Property:
+    """Conjunction of properties (``PropAnd``)."""
+    converted = tuple(_as_prop(p) for p in parts)
+    if len(converted) == 1:
+        return converted[0]
+    return PropAnd(converted)
+
+
+def abort(p: Union[Property, BoolExpr], cond: BoolExpr) -> Abort:
+    """``p abort cond``."""
+    return Abort(_as_prop(p), cond)

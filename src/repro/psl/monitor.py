@@ -1,0 +1,136 @@
+"""Runtime PSL monitors -- the paper's ``P_status`` / ``P_value`` encoding.
+
+"A property is: (1) correct if P_status = true and P_value = true; (2)
+incorrect if P_status = true and P_value = false; and (3) having an
+undefined value [when] a temporal property over several cycles is being
+verified in an intermediate state" (paper, Section 5.1).
+
+:class:`PslMonitor` progresses a property's obligations cycle by cycle and
+exposes exactly that three-valued verdict, plus the trace bookkeeping
+needed for counterexample reports.  It is the engine under both the
+SystemC-level "C#" assertion monitors (:mod:`repro.abv`) and the test
+suite's reference semantics.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from .ast import ModelingLayer, Property
+from .automata import FAIL, initial_obligations, is_strong, progress_set
+
+__all__ = ["Verdict", "PslMonitor"]
+
+
+class Verdict(Enum):
+    """Three-valued property status (the paper's P_status/P_value pair)."""
+
+    #: still under verification (P_status = "status": undefined value)
+    PENDING = "pending"
+    #: verified and true (P_status = true, P_value = true)
+    HOLDS = "holds"
+    #: verified and false (P_status = true, P_value = false)
+    FAILS = "fails"
+
+
+class PslMonitor:
+    """Progress one property over a stream of valuations.
+
+    Parameters
+    ----------
+    prop:
+        The property to monitor.
+    name:
+        Reporting name.
+    modeling:
+        Optional modeling layer; its auxiliary signals are computed from
+        each incoming valuation before the temporal layer samples it.
+    history:
+        When True, keep the full valuation trace for counterexamples.
+    """
+
+    def __init__(
+        self,
+        prop: Property,
+        name: str = "property",
+        modeling: Optional[ModelingLayer] = None,
+        history: bool = True,
+    ):
+        self.prop = prop
+        self.name = name
+        self.modeling = modeling
+        self.keep_history = history
+        self.obligations = initial_obligations(prop)
+        self.verdict = Verdict.PENDING
+        self.cycle = 0
+        self.failed_at: Optional[int] = None
+        self.trace: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def step(self, valuation: dict) -> Verdict:
+        """Consume one cycle's valuation; returns the updated verdict.
+
+        After a definite verdict (HOLDS / FAILS) further cycles are
+        ignored, matching a hardware monitor that latches its result.
+        """
+        if self.verdict is not Verdict.PENDING:
+            self.cycle += 1
+            return self.verdict
+        if self.modeling is not None:
+            valuation = self.modeling.extend(valuation)
+        if self.keep_history:
+            self.trace.append(dict(valuation))
+        nxt = progress_set(self.obligations, valuation)
+        if nxt is FAIL:
+            self.verdict = Verdict.FAILS
+            self.failed_at = self.cycle
+        else:
+            self.obligations = nxt
+            if not nxt:
+                self.verdict = Verdict.HOLDS
+        self.cycle += 1
+        return self.verdict
+
+    def finish(self) -> Verdict:
+        """Apply end-of-trace semantics.
+
+        A property still pending with only weak obligations holds; strong
+        obligations (``eventually!``, ``until!``, ``within!``) left
+        outstanding fail.
+        """
+        if self.verdict is Verdict.PENDING:
+            if any(is_strong(ob) for ob in self.obligations):
+                self.verdict = Verdict.FAILS
+                self.failed_at = self.cycle
+            else:
+                self.verdict = Verdict.HOLDS
+        return self.verdict
+
+    # ------------------------------------------------------------------
+    @property
+    def p_status(self) -> bool:
+        """Paper encoding: True once the property's value is decided."""
+        return self.verdict is not Verdict.PENDING
+
+    @property
+    def p_value(self) -> bool:
+        """Paper encoding: the current property value (True while pending,
+        consistent with 'not yet falsified')."""
+        return self.verdict is not Verdict.FAILS
+
+    def counterexample(self) -> Optional[list[dict]]:
+        """The valuation trace up to and including the failing cycle."""
+        if self.verdict is not Verdict.FAILS or not self.keep_history:
+            return None
+        end = self.failed_at + 1 if self.failed_at is not None else None
+        return self.trace[:end]
+
+    def report(self) -> str:
+        """A one-line status report (the ABV 'write a report' action)."""
+        status = self.verdict.value.upper()
+        where = f" at cycle {self.failed_at}" if self.failed_at is not None else ""
+        return f"[{self.name}] {status}{where} after {self.cycle} cycles"
+
+    def __repr__(self):
+        return f"PslMonitor({self.name!r}, {self.verdict.value})"

@@ -1,0 +1,353 @@
+"""A recursive-descent parser for the supported PSL subset.
+
+The textual syntax accepted (a pragmatic slice of Accellera PSL 1.01):
+
+.. code-block:: text
+
+    property   := "always" property
+                | "never" sere
+                | "next" ("[" INT "]")? property
+                | "eventually!" boolean
+                | "within!" "[" INT "]" boolean
+                | sere ("|->" | "|=>") property
+                | boolean ("until" | "until!" | "before" | "before!") boolean
+                | boolean "->" property          (guard implication)
+                | boolean
+                | "(" property ")" ("abort" boolean)?
+
+    sere       := "{" sere_body "}"
+    sere_body  := sere_term ((";" | ":" | "|") sere_term)*
+    sere_term  := (boolean | sere) repeat?
+    repeat     := "[*" (INT (":" (INT | "$"))?)? "]" | "[+]"
+
+    boolean    := ident | "true" | "false" | "!" boolean | "(" boolean ")"
+                | boolean ("&" | "|" | "->" | "<->") boolean
+
+Operator precedence (loosest first): ``<->``, ``->``, ``|``, ``&``, ``!``.
+Identifiers may contain dots and ``#`` so hierarchical LA-1 signal names
+like ``bank0.read_port.data_valid`` parse directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .ast import (
+    Abort,
+    Always,
+    And,
+    Atom,
+    Before,
+    BoolExpr,
+    ConstB,
+    EventuallyBang,
+    Iff,
+    Implies,
+    Never,
+    NextP,
+    Not,
+    Or,
+    PropBool,
+    PropImplication,
+    Property,
+    PslError,
+    Sere,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereOr,
+    SereRepeat,
+    SuffixImpl,
+    Until,
+    WithinBang,
+)
+
+__all__ = ["parse_property", "parse_boolean", "parse_sere"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<num>\d+)
+  | (?P<op> \|->| \|=> | <-> | -> | \[\*| \[\+\] | [{}()\[\];:|&!$] )
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.#]*!?)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "always", "never", "next", "eventually!", "within!",
+    "until", "until!", "before", "before!", "abort", "true", "false",
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PslError(f"cannot tokenize at ...{text[pos:pos+20]!r}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append(match.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token utilities ------------------------------------------------
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise PslError("unexpected end of property text")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise PslError(f"expected {token!r}, got {got!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- property layer ---------------------------------------------------
+    def property_(self) -> Property:
+        prop = self._property_atom()
+        if self.accept("abort"):
+            cond = self.boolean()
+            prop = Abort(prop, cond)
+        return prop
+
+    def _property_atom(self) -> Property:
+        token = self.peek()
+        if token == "always":
+            self.next()
+            return Always(self.property_())
+        if token == "never":
+            self.next()
+            return Never(self.sere())
+        if token == "next":
+            self.next()
+            n = 1
+            if self.accept("["):
+                n = int(self.next())
+                self.expect("]")
+            return NextP(self.property_(), n)
+        if token == "eventually!":
+            self.next()
+            return EventuallyBang(self.boolean())
+        if token == "within!":
+            self.next()
+            self.expect("[")
+            n = int(self.next())
+            self.expect("]")
+            return WithinBang(self.boolean(), n)
+        if token == "{":
+            sere = self.sere()
+            op = self.next()
+            if op not in ("|->", "|=>"):
+                raise PslError(f"expected |-> or |=> after SERE, got {op!r}")
+            return SuffixImpl(sere, self.property_(), overlap=(op == "|->"))
+        if token == "(":
+            # ambiguous: "(boolean)" continuation vs "(property)";
+            # try the boolean reading first, backtrack on failure
+            saved = self.pos
+            try:
+                expr = self.boolean()
+            except PslError:
+                self.pos = saved
+                self.expect("(")
+                prop = self.property_()
+                self.expect(")")
+                return prop
+            return self._boolean_led(expr)
+        # boolean-led forms: until/before/guard-implication/plain boolean
+        return self._boolean_led(self.boolean())
+
+    def _boolean_led(self, expr: BoolExpr) -> Property:
+        nxt = self.peek()
+        if nxt in ("until", "until!"):
+            self.next()
+            rhs = self.boolean()
+            return Until(expr, rhs, strong=(nxt == "until!"))
+        if nxt in ("before", "before!"):
+            self.next()
+            rhs = self.boolean()
+            return Before(expr, rhs, strong=(nxt == "before!"))
+        if nxt == "->":
+            self.next()
+            return PropImplication(expr, self.property_())
+        return PropBool(expr)
+
+    # -- SERE layer -------------------------------------------------------
+    def sere(self) -> Sere:
+        self.expect("{")
+        sere = self._sere_body()
+        self.expect("}")
+        return sere
+
+    def _sere_body(self) -> Sere:
+        # PSL precedence within a SERE: ':' binds tighter than ';',
+        # which binds tighter than '|'
+        left = self._sere_cat()
+        while self.peek() == "|":
+            self.next()
+            left = SereOr(left, self._sere_cat())
+        return left
+
+    def _sere_cat(self) -> Sere:
+        left = self._sere_fusion()
+        while self.peek() == ";":
+            self.next()
+            left = SereConcat(left, self._sere_fusion())
+        return left
+
+    def _sere_fusion(self) -> Sere:
+        left = self._sere_term()
+        while self.peek() == ":":
+            self.next()
+            left = SereFusion(left, self._sere_term())
+        return left
+
+    def _sere_term(self) -> Sere:
+        if self.peek() == "{":
+            base: Sere = self.sere()
+        else:
+            # boolean parsing inside a SERE stops at '|' (SERE
+            # alternation); parenthesise for a boolean or
+            base = SereBool(self._and())
+        while True:
+            token = self.peek()
+            if token == "[*":
+                self.next()
+                if self.accept("]"):
+                    base = SereRepeat(base, 0, None)
+                    continue
+                lo = int(self.next())
+                hi: Optional[int] = lo
+                if self.accept(":"):
+                    if self.accept("$"):
+                        hi = None
+                    else:
+                        hi = int(self.next())
+                self.expect("]")
+                base = SereRepeat(base, lo, hi)
+            elif token == "[+]":
+                self.next()
+                base = SereRepeat(base, 1, None)
+            else:
+                return base
+
+    # -- boolean layer ------------------------------------------------------
+    def boolean(self) -> BoolExpr:
+        return self._iff()
+
+    def _iff(self) -> BoolExpr:
+        left = self._implies()
+        while self.peek() == "<->":
+            self.next()
+            left = Iff(left, self._implies())
+        return left
+
+    def _implies(self) -> BoolExpr:
+        left = self._or()
+        # '->' inside a boolean context only applies when what follows
+        # parses as a boolean; otherwise rewind and let the property
+        # layer build a PropImplication (e.g. "a -> (b until c)")
+        if self.peek() == "->" and self._lookahead_is_boolean():
+            saved = self.pos
+            self.next()
+            try:
+                rhs = self._implies()
+            except PslError:
+                self.pos = saved
+                return left
+            return Implies(left, rhs)
+        return left
+
+    def _lookahead_is_boolean(self) -> bool:
+        nxt = (
+            self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) else None
+        )
+        if nxt is None:
+            return False
+        if nxt in ("always", "never", "next", "eventually!", "within!", "{"):
+            return False
+        return True
+
+    def _or(self) -> BoolExpr:
+        left = self._and()
+        while self.peek() == "|":
+            self.next()
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> BoolExpr:
+        left = self._not()
+        while self.peek() == "&":
+            self.next()
+            left = And(left, self._not())
+        return left
+
+    def _not(self) -> BoolExpr:
+        if self.accept("!"):
+            return Not(self._not())
+        return self._bool_atom()
+
+    def _bool_atom(self) -> BoolExpr:
+        token = self.next()
+        if token == "(":
+            expr = self.boolean()
+            self.expect(")")
+            return expr
+        if token == "true":
+            return ConstB(True)
+        if token == "false":
+            return ConstB(False)
+        if token in _KEYWORDS:
+            raise PslError(f"unexpected keyword {token!r} in boolean")
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.#]*", token):
+            return Atom(token)
+        raise PslError(f"unexpected token {token!r} in boolean")
+
+
+def parse_property(text: str) -> Property:
+    """Parse a property from PSL text."""
+    parser = _Parser(_tokenize(text))
+    prop = parser.property_()
+    if not parser.at_end():
+        raise PslError(f"trailing tokens: {parser.tokens[parser.pos:]}")
+    return prop
+
+
+def parse_boolean(text: str) -> BoolExpr:
+    """Parse a boolean-layer expression from text."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.boolean()
+    if not parser.at_end():
+        raise PslError(f"trailing tokens: {parser.tokens[parser.pos:]}")
+    return expr
+
+
+def parse_sere(text: str) -> Sere:
+    """Parse a SERE (with braces) from text."""
+    parser = _Parser(_tokenize(text))
+    sere = parser.sere()
+    if not parser.at_end():
+        raise PslError(f"trailing tokens: {parser.tokens[parser.pos:]}")
+    return sere

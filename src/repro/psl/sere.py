@@ -1,0 +1,251 @@
+"""SERE compilation: Sequential Extended Regular Expressions to NFAs.
+
+SEREs "are used to describe a single or multi cycle behavior built from
+Boolean expressions" (paper, Section 2.2).  This module compiles the SERE
+AST of :mod:`repro.psl.ast` into guard-labelled nondeterministic finite
+automata using a Glushkov-style construction (no epsilon transitions):
+
+* concatenation links accepting states of the left operand to the
+  *successors* of the right operand's initial states;
+* fusion (``:``) conjoins guards across the overlap cycle;
+* repetition adds back-edges from accepting states to initial successors.
+
+The resulting :class:`Nfa` is immutable and hashable, which lets SERE
+tracking states participate in checker-automaton canonicalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    BoolExpr,
+    And,
+    PslError,
+    Sere,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereOr,
+    SereRepeat,
+)
+
+__all__ = ["Nfa", "compile_sere"]
+
+
+class Nfa:
+    """A guard-labelled NFA over boolean valuations.
+
+    ``transitions`` is a tuple of ``(src, guard, dst)``; a transition is
+    enabled in a cycle when its guard evaluates true in that cycle's
+    valuation.  ``accepts_empty`` records whether the SERE matches the
+    empty word (e.g. ``r[*0:n]``).
+    """
+
+    __slots__ = ("num_states", "initial", "accepting", "transitions",
+                 "accepts_empty", "_by_src")
+
+    def __init__(
+        self,
+        num_states: int,
+        initial: frozenset,
+        accepting: frozenset,
+        transitions: tuple,
+        accepts_empty: bool,
+    ):
+        self.num_states = num_states
+        self.initial = frozenset(initial)
+        self.accepting = frozenset(accepting)
+        self.transitions = tuple(transitions)
+        self.accepts_empty = accepts_empty
+        by_src: dict[int, list[tuple[BoolExpr, int]]] = {}
+        for src, guard, dst in self.transitions:
+            by_src.setdefault(src, []).append((guard, dst))
+        self._by_src = by_src
+
+    def step(self, states: frozenset, valuation: dict) -> frozenset:
+        """Advance a state set by one cycle under ``valuation``."""
+        result = set()
+        for state in states:
+            for guard, dst in self._by_src.get(state, ()):
+                if guard.evaluate(valuation):
+                    result.add(dst)
+        return frozenset(result)
+
+    def start_step(self, valuation: dict) -> frozenset:
+        """One cycle from the initial states (a match attempt starting now)."""
+        return self.step(self.initial, valuation)
+
+    def accepts_now(self, states: frozenset) -> bool:
+        """True if the set contains an accepting state (a match just ended)."""
+        return bool(states & self.accepting)
+
+    def matches(self, trace: list[dict]) -> bool:
+        """Whole-trace matching: does the SERE match exactly ``trace``?"""
+        if not trace:
+            return self.accepts_empty
+        states = self.initial
+        for valuation in trace:
+            states = self.step(states, valuation)
+            if not states:
+                return False
+        return self.accepts_now(states)
+
+    def first_match_end(self, trace: list[dict]) -> Optional[int]:
+        """Index (0-based, inclusive) of the earliest cycle at which a match
+        starting at cycle 0 ends, or None."""
+        if self.accepts_empty:
+            return -1  # matches before consuming anything
+        states = self.initial
+        for i, valuation in enumerate(trace):
+            states = self.step(states, valuation)
+            if self.accepts_now(states):
+                return i
+            if not states:
+                return None
+        return None
+
+    # -- hashing (structural identity is enough for canonicalisation) ----
+    def __eq__(self, other):
+        return self is other or (
+            isinstance(other, Nfa)
+            and other.num_states == self.num_states
+            and other.initial == self.initial
+            and other.accepting == self.accepting
+            and other.transitions == self.transitions
+            and other.accepts_empty == self.accepts_empty
+        )
+
+    def __hash__(self):
+        return hash(
+            (self.num_states, self.initial, self.accepting,
+             self.transitions, self.accepts_empty)
+        )
+
+    def __repr__(self):
+        return (
+            f"Nfa(states={self.num_states}, init={sorted(self.initial)}, "
+            f"acc={sorted(self.accepting)}, "
+            f"trans={len(self.transitions)}, empty={self.accepts_empty})"
+        )
+
+
+def _shift(nfa: Nfa, offset: int) -> Nfa:
+    return Nfa(
+        nfa.num_states,
+        frozenset(s + offset for s in nfa.initial),
+        frozenset(s + offset for s in nfa.accepting),
+        tuple((s + offset, g, d + offset) for s, g, d in nfa.transitions),
+        nfa.accepts_empty,
+    )
+
+
+def _initial_successors(nfa: Nfa) -> list[tuple[BoolExpr, int]]:
+    return [
+        (guard, dst)
+        for src, guard, dst in nfa.transitions
+        if src in nfa.initial
+    ]
+
+
+def _concat(a: Nfa, b: Nfa) -> Nfa:
+    b2 = _shift(b, a.num_states)
+    transitions = list(a.transitions) + list(b2.transitions)
+    for guard, dst in _initial_successors(b2):
+        for acc in a.accepting:
+            transitions.append((acc, guard, dst))
+    initial = set(a.initial)
+    if a.accepts_empty:
+        initial |= b2.initial
+    accepting = set(b2.accepting)
+    if b2.accepts_empty:
+        accepting |= a.accepting
+    return Nfa(
+        a.num_states + b.num_states,
+        frozenset(initial),
+        frozenset(accepting),
+        tuple(transitions),
+        a.accepts_empty and b.accepts_empty,
+    )
+
+
+def _fusion(a: Nfa, b: Nfa) -> Nfa:
+    if a.accepts_empty or b.accepts_empty:
+        raise PslError("fusion operands must not match the empty word")
+    b2 = _shift(b, a.num_states)
+    transitions = list(a.transitions) + list(b2.transitions)
+    # a transition that *enters* an accepting state of a overlaps with a
+    # transition that *leaves* an initial state of b: conjoin the guards
+    b_starts = _initial_successors(b2)
+    for src, guard, dst in a.transitions:
+        if dst in a.accepting:
+            for b_guard, b_dst in b_starts:
+                transitions.append((src, And(guard, b_guard), b_dst))
+    return Nfa(
+        a.num_states + b.num_states,
+        a.initial,
+        b2.accepting,
+        tuple(transitions),
+        False,
+    )
+
+
+def _union(a: Nfa, b: Nfa) -> Nfa:
+    b2 = _shift(b, a.num_states)
+    return Nfa(
+        a.num_states + b.num_states,
+        a.initial | b2.initial,
+        a.accepting | b2.accepting,
+        a.transitions + b2.transitions,
+        a.accepts_empty or b.accepts_empty,
+    )
+
+
+def _plus(a: Nfa) -> Nfa:
+    transitions = list(a.transitions)
+    for guard, dst in _initial_successors(a):
+        for acc in a.accepting:
+            transitions.append((acc, guard, dst))
+    return Nfa(a.num_states, a.initial, a.accepting, tuple(transitions),
+               a.accepts_empty)
+
+
+def _optional(a: Nfa) -> Nfa:
+    return Nfa(a.num_states, a.initial, a.accepting, a.transitions, True)
+
+
+def _repeat(a: Nfa, lo: int, hi: Optional[int]) -> Nfa:
+    if hi is None:
+        if lo == 0:
+            return _optional(_plus(a))
+        result = a
+        for __ in range(lo - 1):
+            result = _concat(result, a)
+        return _concat(result, _optional(_plus(a))) if lo >= 1 else result
+    if hi == 0:
+        # matches only the empty word: zero states
+        return Nfa(0, frozenset(), frozenset(), (), True)
+    result: Optional[Nfa] = None
+    for __ in range(lo):
+        result = a if result is None else _concat(result, a)
+    for __ in range(hi - lo):
+        opt = _optional(a)
+        result = opt if result is None else _concat(result, opt)
+    assert result is not None
+    return result
+
+
+def compile_sere(sere: Sere) -> Nfa:
+    """Compile a SERE AST into an :class:`Nfa`."""
+    if isinstance(sere, SereBool):
+        return Nfa(2, frozenset({0}), frozenset({1}),
+                   ((0, sere.expr, 1),), False)
+    if isinstance(sere, SereConcat):
+        return _concat(compile_sere(sere.a), compile_sere(sere.b))
+    if isinstance(sere, SereFusion):
+        return _fusion(compile_sere(sere.a), compile_sere(sere.b))
+    if isinstance(sere, SereOr):
+        return _union(compile_sere(sere.a), compile_sere(sere.b))
+    if isinstance(sere, SereRepeat):
+        return _repeat(compile_sere(sere.a), sere.lo, sere.hi)
+    raise PslError(f"cannot compile {sere!r}")

@@ -1,0 +1,206 @@
+"""Interpreted synchronous simulator for flattened RTL designs.
+
+This plays the role of the commercial Verilog simulator in the paper's
+Table 3 experiment: the design is evaluated at the bit level, gate by gate,
+once per clock edge, with OVL assertion monitors loaded *as part of the
+simulated design* (each monitor adds nets and registers to the netlist,
+which is exactly the overhead the paper attributes to the OVL approach).
+
+The simulator steps at half-cycle granularity.  With the LA-1 clock pair,
+edge ``"K"`` is the rising edge of the K master clock and edge ``"K#"``
+the rising edge of its complement; :meth:`RtlSimulator.cycle` performs one
+full clock period (K edge then K# edge).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from .hdl import HdlError, RtlModule
+from .netlist import FlatDesign, FlatMonitor, FlatNet, elaborate
+
+__all__ = ["AssertionFailure", "MonitorRecord", "RtlSimulator"]
+
+
+class AssertionFailure(Exception):
+    """Raised when a monitor of severity ``"error"`` fires and
+    ``stop_on_failure`` is enabled."""
+
+    def __init__(self, record: "MonitorRecord"):
+        super().__init__(f"{record.name}: {record.message} (at edge {record.time})")
+        self.record = record
+
+
+class MonitorRecord:
+    """One firing of an assertion monitor."""
+
+    __slots__ = ("name", "message", "severity", "time", "edge")
+
+    def __init__(self, name: str, message: str, severity: str, time: int, edge: str):
+        self.name = name
+        self.message = message
+        self.severity = severity
+        self.time = time
+        self.edge = edge
+
+    def __repr__(self):
+        return (
+            f"MonitorRecord({self.name!r}, {self.severity}, "
+            f"edge={self.edge}@{self.time})"
+        )
+
+
+class RtlSimulator:
+    """Evaluate a flattened RTL design edge by edge.
+
+    Parameters
+    ----------
+    top:
+        The top-level module (an :class:`RtlModule`) or an already
+        elaborated :class:`FlatDesign`.
+    stop_on_failure:
+        When True, a firing monitor of severity ``"error"`` raises
+        :class:`AssertionFailure`; otherwise failures are only recorded.
+    detect_bus_conflicts:
+        When True, two simultaneously enabled tristate drivers on one net
+        raise :class:`HdlError` (a real bus would go ``X``).
+    """
+
+    def __init__(
+        self,
+        top: Union[RtlModule, FlatDesign],
+        stop_on_failure: bool = False,
+        detect_bus_conflicts: bool = True,
+    ):
+        self.design = top if isinstance(top, FlatDesign) else elaborate(top)
+        self.stop_on_failure = stop_on_failure
+        self.detect_bus_conflicts = detect_bus_conflicts
+        self.values: dict[FlatNet, int] = {}
+        self.edge_count = 0
+        self.failures: list[MonitorRecord] = []
+        self.firings: list[MonitorRecord] = []
+        self._edge_hooks: list[Callable[[str, "RtlSimulator"], None]] = []
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return every register to its init value and re-settle logic."""
+        self.values = {}
+        for flat in self.design.inputs:
+            self.values[flat] = 0
+        for flat in self.design.regs:
+            self.values[flat] = flat.init
+        self.edge_count = 0
+        self.failures = []
+        self.firings = []
+        self._inputs_dirty = False
+        self._settle()
+
+    def set_input(self, path: str, value: int) -> None:
+        """Drive a free (testbench) input net by hierarchical path."""
+        flat = self.design.net(path)
+        if flat.kind != "input":
+            raise HdlError(f"{path} is not a free input ({flat.kind})")
+        if value < 0 or value >= (1 << flat.width):
+            raise HdlError(f"value {value} does not fit {flat.width}-bit {path}")
+        if self.values[flat] != value:
+            self.values[flat] = value
+            self._inputs_dirty = True
+
+    def read(self, path: str) -> int:
+        """Read any flat net's current settled value by path."""
+        return self.values[self.design.net(path)]
+
+    def add_edge_hook(self, hook: Callable[[str, "RtlSimulator"], None]) -> None:
+        """Register ``hook(edge_name, sim)`` called after every edge settles."""
+        self._edge_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _read_net(self, scope: dict, net) -> int:
+        return self.values[scope[net]]
+
+    def _eval_flat(self, flat: FlatNet) -> int:
+        scope = flat.scope
+        read = lambda net: self.values[scope[net]]  # noqa: E731
+        if flat.tristate is not None:
+            driven = None
+            for driver in flat.tristate:
+                if driver.enable.evaluate(read):
+                    if driven is not None and self.detect_bus_conflicts:
+                        raise HdlError(
+                            f"bus conflict on {flat.path}: multiple tristate "
+                            "drivers enabled"
+                        )
+                    driven = driver.value.evaluate(read)
+                    if not self.detect_bus_conflicts:
+                        break
+            return 0 if driven is None else driven
+        assert flat.expr is not None
+        return flat.expr.evaluate(read)
+
+    def _settle(self) -> None:
+        """Propagate combinational logic (single topological pass)."""
+        for flat in self.design.comb_order:
+            self.values[flat] = self._eval_flat(flat)
+
+    def step(self, edge: str) -> None:
+        """Apply one rising clock edge of domain ``edge``.
+
+        Sequence: sample next-state of all regs in the domain from the
+        currently settled values, commit them simultaneously, re-settle
+        combinational logic, then check assertion monitors.
+        """
+        if self._inputs_dirty:
+            self._settle()
+            self._inputs_dirty = False
+        nexts: list[tuple[FlatNet, int]] = []
+        for flat in self.design.regs:
+            if flat.clock != edge:
+                continue
+            scope = flat.scope
+            read = lambda net: self.values[scope[net]]  # noqa: E731
+            assert flat.next_expr is not None
+            nexts.append((flat, flat.next_expr.evaluate(read)))
+        for flat, value in nexts:
+            self.values[flat] = value
+        self._settle()
+        self.edge_count += 1
+        self._check_monitors(edge)
+        for hook in self._edge_hooks:
+            hook(edge, self)
+
+    def cycle(self, n: int = 1) -> None:
+        """Run ``n`` full clock periods (a K edge followed by a K# edge)."""
+        for __ in range(n):
+            self.step("K")
+            self.step("K#")
+
+    # ------------------------------------------------------------------
+    # monitors
+    # ------------------------------------------------------------------
+    def _check_monitors(self, edge: str) -> None:
+        for monitor in self.design.monitors:
+            if monitor.clock != edge:
+                continue
+            if self.values[monitor.fire]:
+                record = MonitorRecord(
+                    monitor.name,
+                    monitor.message,
+                    monitor.severity,
+                    self.edge_count,
+                    edge,
+                )
+                self.firings.append(record)
+                if monitor.severity == "error":
+                    self.failures.append(record)
+                    if self.stop_on_failure:
+                        raise AssertionFailure(record)
+
+    @property
+    def ok(self) -> bool:
+        """True while no error-severity monitor has fired."""
+        return not self.failures

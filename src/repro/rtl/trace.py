@@ -1,0 +1,87 @@
+"""Waveform tracing for the RTL simulator.
+
+Records selected flat nets after every edge and renders the result as a
+VCD document or an ASCII table -- the RTL counterpart of
+:class:`repro.sysc.trace.Tracer`, so both Table 3 simulators offer the
+same debug observability.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional, Sequence
+
+from .netlist import FlatNet
+from .simulator import RtlSimulator
+
+__all__ = ["RtlTracer"]
+
+
+class RtlTracer:
+    """Per-edge change recorder for flat nets."""
+
+    def __init__(self, sim: RtlSimulator, paths: Sequence[str]):
+        self.sim = sim
+        self._nets: list[FlatNet] = [sim.design.net(p) for p in paths]
+        self._history: dict[str, list[tuple[int, int]]] = {
+            net.path: [(sim.edge_count, sim.values[net])]
+            for net in self._nets
+        }
+        sim.add_edge_hook(self._on_edge)
+
+    def _on_edge(self, edge: str, sim: RtlSimulator) -> None:
+        for net in self._nets:
+            history = self._history[net.path]
+            value = sim.values[net]
+            if history[-1][1] != value:
+                history.append((sim.edge_count, value))
+
+    # ------------------------------------------------------------------
+    def history(self, path: str) -> list[tuple[int, int]]:
+        """``(edge_count, value)`` change list for a traced net."""
+        return list(self._history[path])
+
+    def value_at(self, path: str, edge: int) -> Optional[int]:
+        """Value of a traced net after the given edge."""
+        value = None
+        for when, v in self._history[path]:
+            if when > edge:
+                break
+            value = v
+        return value
+
+    def to_vcd(self) -> str:
+        """Render all traced nets as a VCD document (time = edge count)."""
+        out = io.StringIO()
+        out.write("$date 2004 $end\n$version repro.rtl tracer $end\n")
+        out.write("$timescale 1ns $end\n$scope module rtl $end\n")
+        codes = {}
+        for i, net in enumerate(self._nets):
+            code = chr(33 + i % 94) + (str(i // 94) if i >= 94 else "")
+            codes[net.path] = code
+            out.write(f"$var wire {net.width} {code} {net.path} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        events: dict[int, list[str]] = {}
+        for net in self._nets:
+            code = codes[net.path]
+            for when, value in self._history[net.path]:
+                rendered = (
+                    f"{value}{code}" if net.width == 1
+                    else f"b{bin(value)[2:]} {code}"
+                )
+                events.setdefault(when, []).append(rendered)
+        for when in sorted(events):
+            out.write(f"#{when}\n")
+            for line in events[when]:
+                out.write(line + "\n")
+        return out.getvalue()
+
+    def to_table(self) -> str:
+        """Render as an ASCII table (one row per edge with a change)."""
+        edges = sorted({e for h in self._history.values() for e, __ in h})
+        names = [net.path for net in self._nets]
+        rows = ["edge | " + " | ".join(names)]
+        for edge in edges:
+            cells = [str(self.value_at(name, edge)) for name in names]
+            rows.append(f"{edge:4d} | " + " | ".join(cells))
+        return "\n".join(rows)

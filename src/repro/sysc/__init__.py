@@ -1,0 +1,65 @@
+"""``repro.sysc`` -- an event-driven simulation kernel modelled on SystemC.
+
+This package substitutes for the SystemC 2.0 library used by the paper: it
+provides the event-driven scheduler with delta cycles, modules and ports for
+structure, signals / resolved signals / FIFOs / semaphores as primitive
+channels, four-valued hardware datatypes, clock generation (including the
+LA-1 K/K# master clock pair) and waveform tracing.
+"""
+
+from .datatypes import (
+    LOGIC_0,
+    LOGIC_1,
+    LOGIC_X,
+    LOGIC_Z,
+    Logic,
+    LogicVector,
+    even_parity,
+    resolve,
+)
+from .kernel import (
+    Event,
+    MethodProcess,
+    Process,
+    SimulationError,
+    Simulator,
+    ThreadProcess,
+    wait_for,
+    wait_time,
+)
+from .signal import ResolvedSignal, Signal
+from .module import InPort, Module, OutPort
+from .clock import Clock, ClockPair
+from .channels import ChannelError, Fifo, Mutex, Semaphore
+from .trace import Tracer
+
+__all__ = [
+    "Logic",
+    "LogicVector",
+    "LOGIC_0",
+    "LOGIC_1",
+    "LOGIC_X",
+    "LOGIC_Z",
+    "resolve",
+    "even_parity",
+    "Event",
+    "Process",
+    "MethodProcess",
+    "ThreadProcess",
+    "Simulator",
+    "SimulationError",
+    "wait_for",
+    "wait_time",
+    "Signal",
+    "ResolvedSignal",
+    "Module",
+    "InPort",
+    "OutPort",
+    "Clock",
+    "ClockPair",
+    "Fifo",
+    "Semaphore",
+    "Mutex",
+    "ChannelError",
+    "Tracer",
+]

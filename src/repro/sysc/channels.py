@@ -1,0 +1,129 @@
+"""Hierarchical primitive channels: FIFO, semaphore and mutex.
+
+"The primitive channels are built-in channels such as signals, semaphores
+and FIFOs" (paper, Section 2.1).  The LA-1 models mostly use signals, but
+testbench traffic generators use :class:`Fifo` to queue transactions, and
+the channels are exercised independently by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Optional, TypeVar
+
+from .kernel import Event, Simulator
+
+__all__ = ["Fifo", "Semaphore", "Mutex", "ChannelError"]
+
+T = TypeVar("T")
+
+
+class ChannelError(Exception):
+    """Raised on channel misuse (e.g. unlocking a free mutex)."""
+
+
+class Fifo(Generic[T]):
+    """A bounded FIFO channel (``sc_fifo`` analogue).
+
+    Nonblocking ``nb_read``/``nb_write`` return success flags; thread
+    processes can block by waiting on :attr:`data_written` /
+    :attr:`data_read` events and retrying.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "fifo", capacity: int = 16):
+        if capacity <= 0:
+            raise ValueError("fifo capacity must be > 0")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self.data_written = Event(sim, f"{name}.data_written")
+        self.data_read = Event(sim, f"{name}.data_read")
+
+    def nb_write(self, item: T) -> bool:
+        """Append ``item`` if space remains; returns False when full."""
+        if len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        self.data_written.notify()
+        return True
+
+    def nb_read(self) -> tuple[bool, Optional[T]]:
+        """Pop the oldest item; returns ``(False, None)`` when empty."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self.data_read.notify()
+        return True, item
+
+    def num_available(self) -> int:
+        """Number of queued items."""
+        return len(self._items)
+
+    def num_free(self) -> int:
+        """Remaining capacity."""
+        return self.capacity - len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Semaphore:
+    """A counting semaphore (``sc_semaphore`` analogue, nonblocking API)."""
+
+    def __init__(self, sim: Simulator, name: str = "sem", initial: int = 1):
+        if initial < 0:
+            raise ValueError("semaphore count must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self.posted = Event(sim, f"{name}.posted")
+
+    def trywait(self) -> bool:
+        """Take one unit if available; returns False otherwise."""
+        if self._count == 0:
+            return False
+        self._count -= 1
+        return True
+
+    def post(self) -> None:
+        """Release one unit and notify waiters."""
+        self._count += 1
+        self.posted.notify()
+
+    def get_value(self) -> int:
+        """Current count."""
+        return self._count
+
+
+class Mutex:
+    """A mutual-exclusion lock (``sc_mutex`` analogue, nonblocking API)."""
+
+    def __init__(self, sim: Simulator, name: str = "mutex"):
+        self.sim = sim
+        self.name = name
+        self._owner: Optional[str] = None
+        self.unlocked = Event(sim, f"{name}.unlocked")
+
+    def trylock(self, owner: str) -> bool:
+        """Acquire for ``owner``; returns False if already held."""
+        if self._owner is not None:
+            return False
+        self._owner = owner
+        return True
+
+    def unlock(self, owner: str) -> None:
+        """Release; only the holder may unlock."""
+        if self._owner is None:
+            raise ChannelError(f"mutex {self.name} is not locked")
+        if self._owner != owner:
+            raise ChannelError(
+                f"mutex {self.name} held by {self._owner}, not {owner}"
+            )
+        self._owner = None
+        self.unlocked.notify()
+
+    @property
+    def locked(self) -> bool:
+        """True while some owner holds the lock."""
+        return self._owner is not None

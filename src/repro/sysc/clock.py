@@ -1,0 +1,113 @@
+"""Clock generation, including the LA-1 master clock pair K / K#.
+
+The LA-1 interface "requires a master-clock pair.  The master clocks (K and
+K#) are ideally 180 degrees out of phase with each other" (paper, Section 3).
+:class:`Clock` is a free-running square wave on a boolean signal;
+:class:`ClockPair` generates K and K# from a single toggling process so the
+two are out of phase by construction.
+
+With the default ``half_period=1`` a full clock cycle is two time units:
+K rises at times 0, 2, 4, ... and K# rises at 1, 3, 5, ...
+"""
+
+from __future__ import annotations
+
+from .kernel import Simulator
+from .signal import Signal
+
+__all__ = ["Clock", "ClockPair"]
+
+
+class Clock:
+    """A free-running boolean clock signal.
+
+    The signal starts at ``start_high`` and toggles every ``half_period``
+    time units.  The generating process is a thread that never terminates;
+    bound simulations must therefore use ``run(duration)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "clk",
+        half_period: int = 1,
+        start_high: bool = True,
+    ):
+        if half_period <= 0:
+            raise ValueError("half_period must be > 0")
+        self.sim = sim
+        self.half_period = half_period
+        self.signal: Signal[bool] = Signal(sim, name, start_high)
+        self._start_high = start_high
+        from .kernel import ThreadProcess, wait_time
+
+        def toggler():
+            value = start_high
+            while True:
+                yield wait_time(half_period)
+                value = not value
+                self.signal.write(value)
+
+        ThreadProcess(sim, f"{name}.gen", toggler)
+
+    @property
+    def period(self) -> int:
+        """Full clock period in time units."""
+        return 2 * self.half_period
+
+    @property
+    def posedge(self):
+        """Rising-edge event of the clock signal."""
+        return self.signal.posedge
+
+    @property
+    def negedge(self):
+        """Falling-edge event of the clock signal."""
+        return self.signal.negedge
+
+    def read(self) -> bool:
+        """Current clock level."""
+        return self.signal.read()
+
+
+class ClockPair:
+    """The LA-1 master clock pair: K and K#, 180 degrees out of phase.
+
+    ``k`` starts high and ``k_bar`` starts low, so a rising edge of K#
+    occurs exactly between two rising edges of K -- the edge on which LA-1
+    write addresses are captured and the second read-data beat is released.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "K", half_period: int = 1):
+        if half_period <= 0:
+            raise ValueError("half_period must be > 0")
+        self.sim = sim
+        self.half_period = half_period
+        self.k: Signal[bool] = Signal(sim, name, True)
+        self.k_bar: Signal[bool] = Signal(sim, f"{name}#", False)
+        from .kernel import ThreadProcess, wait_time
+
+        def toggler():
+            level = True
+            while True:
+                yield wait_time(half_period)
+                level = not level
+                self.k.write(level)
+                self.k_bar.write(not level)
+
+        ThreadProcess(sim, f"{name}.pairgen", toggler)
+
+    @property
+    def period(self) -> int:
+        """Full clock period in time units."""
+        return 2 * self.half_period
+
+    @property
+    def posedge_k(self):
+        """Rising edge of K (read select / write select sampling edge)."""
+        return self.k.posedge
+
+    @property
+    def posedge_k_bar(self):
+        """Rising edge of K# (write-address capture, 2nd data beat)."""
+        return self.k_bar.posedge

@@ -1,0 +1,311 @@
+"""Hardware datatypes for the SystemC-like kernel.
+
+SystemC provides ``sc_logic`` / ``sc_lv`` four-valued types for hardware
+modeling.  This module provides the Python equivalents used throughout the
+reproduction:
+
+* :class:`Logic` -- a single four-valued scalar (``0``, ``1``, ``X``, ``Z``).
+* :class:`LogicVector` -- a fixed-width vector of :class:`Logic` values with
+  integer conversion, slicing, bitwise operations and parity helpers.
+
+The LA-1 interface transfers 18-bit DDR words (16 data bits plus 2 even
+byte-parity bits), so parity computation lives here as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+__all__ = [
+    "Logic",
+    "LogicVector",
+    "LOGIC_0",
+    "LOGIC_1",
+    "LOGIC_X",
+    "LOGIC_Z",
+    "resolve",
+    "even_parity",
+]
+
+
+class Logic:
+    """A four-valued logic scalar: ``'0'``, ``'1'``, ``'X'`` or ``'Z'``.
+
+    Instances are interned -- there are exactly four of them, exposed as the
+    module constants :data:`LOGIC_0`, :data:`LOGIC_1`, :data:`LOGIC_X` and
+    :data:`LOGIC_Z` -- so identity comparison is safe.
+    """
+
+    __slots__ = ("value",)
+    _interned: dict[str, "Logic"] = {}
+
+    def __new__(cls, value: Union[str, int, bool, "Logic"]) -> "Logic":
+        key = cls._normalise(value)
+        inst = cls._interned.get(key)
+        if inst is None:
+            inst = object.__new__(cls)
+            inst.value = key
+            cls._interned[key] = inst
+        return inst
+
+    @staticmethod
+    def _normalise(value: Union[str, int, bool, "Logic"]) -> str:
+        if isinstance(value, Logic):
+            return value.value
+        if value is True or value == 1:
+            return "1"
+        if value is False or value == 0:
+            return "0"
+        if isinstance(value, str):
+            upper = value.upper()
+            if upper in ("0", "1", "X", "Z"):
+                return upper
+        raise ValueError(f"not a logic value: {value!r}")
+
+    def is_known(self) -> bool:
+        """True when the value is ``0`` or ``1`` (neither ``X`` nor ``Z``)."""
+        return self.value in ("0", "1")
+
+    def to_bool(self) -> bool:
+        """Convert to ``bool``; raises :class:`ValueError` on ``X``/``Z``."""
+        if self.value == "1":
+            return True
+        if self.value == "0":
+            return False
+        raise ValueError(f"logic value {self.value} has no boolean meaning")
+
+    def __bool__(self) -> bool:
+        return self.value == "1"
+
+    def __invert__(self) -> "Logic":
+        if self.value == "0":
+            return LOGIC_1
+        if self.value == "1":
+            return LOGIC_0
+        return LOGIC_X
+
+    def __and__(self, other: "Logic") -> "Logic":
+        other = Logic(other)
+        if self.value == "0" or other.value == "0":
+            return LOGIC_0
+        if self.value == "1" and other.value == "1":
+            return LOGIC_1
+        return LOGIC_X
+
+    def __or__(self, other: "Logic") -> "Logic":
+        other = Logic(other)
+        if self.value == "1" or other.value == "1":
+            return LOGIC_1
+        if self.value == "0" and other.value == "0":
+            return LOGIC_0
+        return LOGIC_X
+
+    def __xor__(self, other: "Logic") -> "Logic":
+        other = Logic(other)
+        if self.is_known() and other.is_known():
+            return LOGIC_1 if self.value != other.value else LOGIC_0
+        return LOGIC_X
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Logic):
+            return self.value == other.value
+        if isinstance(other, (bool, int, str)):
+            try:
+                return self.value == Logic(other).value
+            except ValueError:
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Logic", self.value))
+
+    def __repr__(self) -> str:
+        return f"Logic('{self.value}')"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+LOGIC_0 = Logic("0")
+LOGIC_1 = Logic("1")
+LOGIC_X = Logic("X")
+LOGIC_Z = Logic("Z")
+
+
+def resolve(drivers: Iterable[Logic]) -> Logic:
+    """Resolve multiple drivers on one net (tristate bus semantics).
+
+    ``Z`` loses to everything; conflicting known values resolve to ``X``;
+    any ``X`` driver forces ``X``.  An undriven net (all ``Z`` or no
+    drivers) stays ``Z``.
+    """
+    result = LOGIC_Z
+    for drv in drivers:
+        drv = Logic(drv)
+        if drv.value == "Z":
+            continue
+        if result.value == "Z":
+            result = drv
+        elif result.value != drv.value:
+            return LOGIC_X
+        if drv.value == "X":
+            return LOGIC_X
+    return result
+
+
+class LogicVector:
+    """A fixed-width little-endian vector of :class:`Logic` values.
+
+    Index 0 is the least-significant bit, matching Verilog ``[w-1:0]``
+    vectors.  Vectors are immutable; all mutating-style operations return
+    new vectors.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: Sequence[Union[Logic, str, int, bool]]):
+        self._bits: tuple[Logic, ...] = tuple(Logic(b) for b in bits)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "LogicVector":
+        """Build a vector of ``width`` bits from a non-negative integer."""
+        if value < 0:
+            raise ValueError("LogicVector.from_int requires value >= 0")
+        if width <= 0:
+            raise ValueError("LogicVector width must be positive")
+        if value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        return cls([(value >> i) & 1 for i in range(width)])
+
+    @classmethod
+    def filled(cls, bit: Union[Logic, str, int, bool], width: int) -> "LogicVector":
+        """A vector with every position set to ``bit``."""
+        return cls([Logic(bit)] * width)
+
+    @classmethod
+    def unknown(cls, width: int) -> "LogicVector":
+        """An all-``X`` vector (the reset value of uninitialised buses)."""
+        return cls.filled(LOGIC_X, width)
+
+    @classmethod
+    def high_impedance(cls, width: int) -> "LogicVector":
+        """An all-``Z`` vector (an undriven tristate bus)."""
+        return cls.filled(LOGIC_Z, width)
+
+    @classmethod
+    def from_string(cls, text: str) -> "LogicVector":
+        """Parse ``"10XZ"`` style strings (MSB first, Verilog literal order)."""
+        return cls([Logic(ch) for ch in reversed(text)])
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Number of bits in the vector."""
+        return len(self._bits)
+
+    def is_known(self) -> bool:
+        """True when every bit is ``0`` or ``1``."""
+        return all(b.is_known() for b in self._bits)
+
+    def to_int(self) -> int:
+        """Convert to an integer; raises :class:`ValueError` if any bit is X/Z."""
+        value = 0
+        for i, bit in enumerate(self._bits):
+            if not bit.is_known():
+                raise ValueError(f"bit {i} is {bit.value}; vector not fully known")
+            if bit.value == "1":
+                value |= 1 << i
+        return value
+
+    def to_int_or(self, default: int) -> int:
+        """Like :meth:`to_int` but returning ``default`` on unknown bits."""
+        try:
+            return self.to_int()
+        except ValueError:
+            return default
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def __iter__(self) -> Iterator[Logic]:
+        return iter(self._bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return LogicVector(self._bits[index])
+        return self._bits[index]
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def replace(self, index: int, bit: Union[Logic, str, int, bool]) -> "LogicVector":
+        """Return a copy with bit ``index`` replaced."""
+        bits = list(self._bits)
+        bits[index] = Logic(bit)
+        return LogicVector(bits)
+
+    def byte(self, lane: int) -> "LogicVector":
+        """Extract 8-bit lane ``lane`` (lane 0 = bits 7..0)."""
+        lo = lane * 8
+        if lo + 8 > self.width:
+            raise IndexError(f"byte lane {lane} out of range for width {self.width}")
+        return self[lo : lo + 8]
+
+    def concat(self, other: "LogicVector") -> "LogicVector":
+        """Concatenate with ``other`` placed in the high bits."""
+        return LogicVector(self._bits + other._bits)
+
+    def __invert__(self) -> "LogicVector":
+        return LogicVector([~b for b in self._bits])
+
+    def _zip(self, other: "LogicVector") -> Iterable[tuple[Logic, Logic]]:
+        if not isinstance(other, LogicVector) or other.width != self.width:
+            raise ValueError("LogicVector operation requires equal widths")
+        return zip(self._bits, other._bits)
+
+    def __and__(self, other: "LogicVector") -> "LogicVector":
+        return LogicVector([a & b for a, b in self._zip(other)])
+
+    def __or__(self, other: "LogicVector") -> "LogicVector":
+        return LogicVector([a | b for a, b in self._zip(other)])
+
+    def __xor__(self, other: "LogicVector") -> "LogicVector":
+        return LogicVector([a ^ b for a, b in self._zip(other)])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LogicVector):
+            return self._bits == other._bits
+        if isinstance(other, int):
+            try:
+                return self.to_int() == other
+            except ValueError:
+                return False
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        return f"LogicVector('{self}')"
+
+    def __str__(self) -> str:
+        return "".join(b.value for b in reversed(self._bits))
+
+
+def even_parity(bits: LogicVector) -> Logic:
+    """Even parity over a vector: the bit that makes total ones count even.
+
+    LA-1 transfers even byte parity -- the parity bit is chosen so that the
+    8 data bits plus the parity bit contain an even number of ones, i.e.
+    the parity bit equals the XOR of the data bits.  Unknown inputs yield
+    ``X``.
+    """
+    acc = LOGIC_0
+    for bit in bits:
+        acc = acc ^ bit
+    return acc

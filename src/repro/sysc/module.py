@@ -1,0 +1,137 @@
+"""Modules and ports -- the structural half of the SystemC core language.
+
+"The other core language consists of modules and ports for representing
+structures" (paper, Section 2.1).  :class:`Module` gives hierarchical
+naming and convenient process registration; :class:`InPort` / :class:`OutPort`
+are thin bindable indirections to :class:`~repro.sysc.signal.Signal` so a
+module can be written against its ports and wired up later, exactly like
+``sc_in``/``sc_out``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Generic, Optional, TypeVar
+
+from .kernel import Event, MethodProcess, Simulator, ThreadProcess
+from .signal import Signal
+
+__all__ = ["Module", "InPort", "OutPort"]
+
+T = TypeVar("T")
+
+
+class Module:
+    """A hierarchical design unit.
+
+    Subclasses build their structure (signals, ports, children) in
+    ``__init__`` and register behaviour with :meth:`method_process` /
+    :meth:`thread_process`.  Hierarchical names are dot-separated, e.g.
+    ``la1.bank0.read_port``.
+    """
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional["Module"] = None):
+        self.sim = sim
+        self.basename = name
+        self.parent = parent
+        self.children: list[Module] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def name(self) -> str:
+        """Full hierarchical (dot-separated) name."""
+        if self.parent is None:
+            return self.basename
+        return f"{self.parent.name}.{self.basename}"
+
+    # ------------------------------------------------------------------
+    def method_process(
+        self, fn: Callable[[], None], sensitive: tuple[Event, ...] = (), name: str = ""
+    ) -> MethodProcess:
+        """Register an ``SC_METHOD``-style process sensitive to ``sensitive``."""
+        pname = f"{self.name}.{name or fn.__name__}"
+        process = MethodProcess(self.sim, pname, fn)
+        process.make_sensitive(*sensitive)
+        return process
+
+    def thread_process(
+        self, genfn: Callable[[], Generator], name: str = ""
+    ) -> ThreadProcess:
+        """Register an ``SC_THREAD``-style generator process."""
+        pname = f"{self.name}.{name or genfn.__name__}"
+        return ThreadProcess(self.sim, pname, genfn)
+
+    def signal(self, name: str, initial) -> Signal:
+        """Create a signal owned by (and named under) this module."""
+        return Signal(self.sim, f"{self.name}.{name}", initial)
+
+    def iter_modules(self):
+        """Yield this module and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_modules()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class _Port(Generic[T]):
+    """Common machinery of input and output ports."""
+
+    def __init__(self, name: str = "port"):
+        self.name = name
+        self._signal: Optional[Signal[T]] = None
+
+    def bind(self, signal: Signal[T]) -> None:
+        """Connect the port to a signal (``port(signal)`` in SystemC)."""
+        self._signal = signal
+
+    @property
+    def bound(self) -> bool:
+        """True once the port has been bound to a signal."""
+        return self._signal is not None
+
+    @property
+    def signal(self) -> Signal[T]:
+        """The bound signal; raises if the port is still unbound."""
+        if self._signal is None:
+            raise RuntimeError(f"port {self.name} is not bound")
+        return self._signal
+
+    def __call__(self, signal: Signal[T]) -> None:
+        self.bind(signal)
+
+
+class InPort(_Port[T]):
+    """An ``sc_in``: read access plus edge/change events of the bound signal."""
+
+    def read(self) -> T:
+        """Read the bound signal's committed value."""
+        return self.signal.read()
+
+    @property
+    def changed(self) -> Event:
+        """The bound signal's value-changed event."""
+        return self.signal.changed
+
+    @property
+    def posedge(self) -> Event:
+        """The bound signal's rising-edge event."""
+        return self.signal.posedge
+
+    @property
+    def negedge(self) -> Event:
+        """The bound signal's falling-edge event."""
+        return self.signal.negedge
+
+
+class OutPort(_Port[T]):
+    """An ``sc_out``: write access to the bound signal."""
+
+    def write(self, value: T) -> None:
+        """Schedule ``value`` on the bound signal."""
+        self.signal.write(value)
+
+    def read(self) -> T:
+        """Read back the committed value (``sc_out`` allows this too)."""
+        return self.signal.read()

@@ -1,0 +1,49 @@
+"""``repro.uml`` -- the UML top level of the refinement flow.
+
+Class diagrams, use-case diagrams, and the paper's *modified sequence
+diagrams* whose messages carry cycle stamps and activation clocks
+(``OnReadRequest[2]()@K#``), plus consistency validation, text/dot
+rendering and mechanical extraction of PSL latency properties from
+sequence diagrams.
+"""
+
+from .classdiagram import (
+    Association,
+    ClassDiagram,
+    UmlAttribute,
+    UmlClass,
+    UmlError,
+    UmlOperation,
+    UmlParameter,
+)
+from .sequence import Lifeline, Message, SequenceDiagram
+from .usecase import Actor, UseCase, UseCaseDiagram
+from .extract import extract_latency_properties, extract_response_property
+from .render import (
+    class_diagram_dot,
+    render_class_diagram,
+    render_sequence_diagram,
+    render_use_case_diagram,
+)
+
+__all__ = [
+    "UmlError",
+    "UmlAttribute",
+    "UmlParameter",
+    "UmlOperation",
+    "UmlClass",
+    "Association",
+    "ClassDiagram",
+    "Lifeline",
+    "Message",
+    "SequenceDiagram",
+    "Actor",
+    "UseCase",
+    "UseCaseDiagram",
+    "extract_latency_properties",
+    "extract_response_property",
+    "render_class_diagram",
+    "render_sequence_diagram",
+    "render_use_case_diagram",
+    "class_diagram_dot",
+]

@@ -1,0 +1,200 @@
+"""UML class diagrams -- the top of the paper's refinement flow.
+
+"We start with an informal specification for the intended design developed
+in UML.  This step provides a better view of the design components and
+their interactions" (paper, Section 4).  The data model here is small but
+faithful: classes with attributes and operations (operations can carry an
+activation clock, anticipating the modified sequence diagram), and typed
+associations with multiplicities.  :meth:`ClassDiagram.validate` performs
+the well-formedness checks the downstream ASM mapping relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "UmlError",
+    "UmlAttribute",
+    "UmlParameter",
+    "UmlOperation",
+    "UmlClass",
+    "Association",
+    "ClassDiagram",
+]
+
+
+class UmlError(Exception):
+    """Raised on ill-formed diagrams."""
+
+
+class UmlAttribute:
+    """A named, typed class attribute."""
+
+    def __init__(self, name: str, type_name: str, initial: Optional[str] = None):
+        self.name = name
+        self.type_name = type_name
+        self.initial = initial
+
+    def __repr__(self):
+        init = f" = {self.initial}" if self.initial is not None else ""
+        return f"{self.name}: {self.type_name}{init}"
+
+
+class UmlParameter:
+    """An operation parameter."""
+
+    def __init__(self, name: str, type_name: str):
+        self.name = name
+        self.type_name = type_name
+
+    def __repr__(self):
+        return f"{self.name}: {self.type_name}"
+
+
+class UmlOperation:
+    """A class operation, optionally bound to an activation clock.
+
+    The clock annotation (``@K`` / ``@K#``) is the paper's extension for
+    "specifying information principally to the methods activation clocks,
+    execution cycles and duration of execution".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parameters: Optional[list[UmlParameter]] = None,
+        returns: str = "void",
+        clock: Optional[str] = None,
+    ):
+        self.name = name
+        self.parameters = list(parameters or [])
+        self.returns = returns
+        self.clock = clock
+
+    def __repr__(self):
+        params = ", ".join(repr(p) for p in self.parameters)
+        clock = f" @{self.clock}" if self.clock else ""
+        return f"{self.name}({params}): {self.returns}{clock}"
+
+
+class UmlClass:
+    """A UML class with attributes, operations and an optional stereotype."""
+
+    def __init__(self, name: str, stereotype: Optional[str] = None):
+        self.name = name
+        self.stereotype = stereotype
+        self.attributes: list[UmlAttribute] = []
+        self.operations: list[UmlOperation] = []
+
+    def attribute(self, name: str, type_name: str,
+                  initial: Optional[str] = None) -> UmlAttribute:
+        """Add an attribute."""
+        attr = UmlAttribute(name, type_name, initial)
+        self.attributes.append(attr)
+        return attr
+
+    def operation(
+        self,
+        name: str,
+        parameters: Optional[list[UmlParameter]] = None,
+        returns: str = "void",
+        clock: Optional[str] = None,
+    ) -> UmlOperation:
+        """Add an operation."""
+        op = UmlOperation(name, parameters, returns, clock)
+        self.operations.append(op)
+        return op
+
+    def find_operation(self, name: str) -> Optional[UmlOperation]:
+        """Look up an operation by name."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        return None
+
+    def __repr__(self):
+        tag = f"<<{self.stereotype}>> " if self.stereotype else ""
+        return f"UmlClass({tag}{self.name})"
+
+
+class Association:
+    """A typed relation between two classes."""
+
+    KINDS = ("association", "composition", "aggregation", "dependency")
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        kind: str = "association",
+        source_multiplicity: str = "1",
+        target_multiplicity: str = "1",
+        label: str = "",
+    ):
+        if kind not in self.KINDS:
+            raise UmlError(f"unknown association kind {kind!r}")
+        self.source = source
+        self.target = target
+        self.kind = kind
+        self.source_multiplicity = source_multiplicity
+        self.target_multiplicity = target_multiplicity
+        self.label = label
+
+    def __repr__(self):
+        return (
+            f"{self.source} --{self.kind}--> {self.target} "
+            f"[{self.source_multiplicity}..{self.target_multiplicity}]"
+        )
+
+
+class ClassDiagram:
+    """A collection of classes and associations with validation."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.classes: dict[str, UmlClass] = {}
+        self.associations: list[Association] = []
+
+    def add_class(self, cls: UmlClass) -> UmlClass:
+        """Register a class; duplicate names are errors."""
+        if cls.name in self.classes:
+            raise UmlError(f"duplicate class {cls.name}")
+        self.classes[cls.name] = cls
+        return cls
+
+    def new_class(self, name: str, stereotype: Optional[str] = None) -> UmlClass:
+        """Create and register a class."""
+        return self.add_class(UmlClass(name, stereotype))
+
+    def associate(self, source: str, target: str, **kwargs) -> Association:
+        """Add an association between two registered classes."""
+        assoc = Association(source, target, **kwargs)
+        self.associations.append(assoc)
+        return assoc
+
+    def validate(self) -> list[str]:
+        """Well-formedness check; returns a list of problems (empty = ok)."""
+        problems: list[str] = []
+        for assoc in self.associations:
+            if assoc.source not in self.classes:
+                problems.append(f"association source {assoc.source} undefined")
+            if assoc.target not in self.classes:
+                problems.append(f"association target {assoc.target} undefined")
+        for cls in self.classes.values():
+            seen_ops: set[str] = set()
+            for op in cls.operations:
+                if op.name in seen_ops:
+                    problems.append(f"{cls.name}: duplicate operation {op.name}")
+                seen_ops.add(op.name)
+                if op.clock is not None and op.clock not in ("K", "K#"):
+                    problems.append(
+                        f"{cls.name}.{op.name}: unknown clock {op.clock!r}"
+                    )
+        return problems
+
+    def __repr__(self):
+        return (
+            f"ClassDiagram({self.name!r}, classes={len(self.classes)}, "
+            f"associations={len(self.associations)})"
+        )

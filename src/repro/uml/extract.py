@@ -1,0 +1,84 @@
+"""Property extraction from modified sequence diagrams.
+
+"The LA-1 Interface properties are extracted from both the sequence
+diagrams and the class diagram" (paper, Section 4.2).  Because the
+modified sequence diagram carries exact clock stamps, each consecutive
+pair of messages yields a checkable latency obligation: if the first
+operation is observed, the second must be observed exactly ``delta``
+half-cycles later.
+
+The extraction produces PSL ``always (a -> next[delta] b)`` properties
+over atoms derived from operation names through a caller-supplied naming
+function (by default the lower-cased operation name), which the LA-1
+property suite maps onto design signals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..psl.ast import Always, Atom, NextP, PropBool, PropImplication, Property
+from .sequence import SequenceDiagram
+
+__all__ = ["extract_latency_properties", "extract_response_property"]
+
+
+def _default_naming(operation: str) -> str:
+    return operation.lower()
+
+
+def extract_latency_properties(
+    diagram: SequenceDiagram,
+    naming: Optional[Callable[[str], str]] = None,
+) -> list[tuple[str, Property]]:
+    """One latency property per consecutive message pair.
+
+    Returns ``(name, property)`` pairs; a pair of messages stamped at the
+    same half-cycle yields a same-cycle implication instead of a ``next``.
+    """
+    naming = naming or _default_naming
+    ordered = diagram.ordered_messages()
+    properties: list[tuple[str, Property]] = []
+    for first, second in zip(ordered, ordered[1:]):
+        delta = second.half_cycle - first.half_cycle
+        a = Atom(naming(first.operation))
+        b = Atom(naming(second.operation))
+        if delta == 0:
+            body: Property = PropImplication(a, PropBool(b))
+        else:
+            body = PropImplication(a, NextP(PropBool(b), delta))
+        name = (
+            f"{diagram.name}:{first.operation}->{second.operation}"
+            f"[+{delta}h]"
+        )
+        properties.append((name, Always(body)))
+    return properties
+
+
+def extract_response_property(
+    diagram: SequenceDiagram,
+    request_op: str,
+    response_op: str,
+    naming: Optional[Callable[[str], str]] = None,
+) -> tuple[str, Property]:
+    """The end-to-end latency property between two named operations.
+
+    For the read-mode diagram this is the paper's headline property: a
+    read request is answered with valid data a fixed number of half-cycles
+    later.
+    """
+    naming = naming or _default_naming
+    delta = diagram.latency(request_op, response_op)
+    if delta is None:
+        raise ValueError(
+            f"{diagram.name} does not contain both {request_op} and "
+            f"{response_op}"
+        )
+    a = Atom(naming(request_op))
+    b = Atom(naming(response_op))
+    if delta == 0:
+        body: Property = PropImplication(a, PropBool(b))
+    else:
+        body = PropImplication(a, NextP(PropBool(b), delta))
+    name = f"{diagram.name}:{request_op}~>{response_op}[+{delta}h]"
+    return name, Always(body)

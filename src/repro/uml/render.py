@@ -1,0 +1,89 @@
+"""Text renderers for UML diagrams (ASCII and Graphviz dot)."""
+
+from __future__ import annotations
+
+import io
+
+from .classdiagram import ClassDiagram
+from .sequence import SequenceDiagram
+from .usecase import UseCaseDiagram
+
+__all__ = ["render_class_diagram", "render_sequence_diagram",
+           "render_use_case_diagram", "class_diagram_dot"]
+
+
+def render_class_diagram(diagram: ClassDiagram) -> str:
+    """ASCII boxes: one per class, then the association list."""
+    out = io.StringIO()
+    out.write(f"== Class diagram: {diagram.name} ==\n")
+    for cls in diagram.classes.values():
+        title = f"<<{cls.stereotype}>> {cls.name}" if cls.stereotype else cls.name
+        body = [repr(a) for a in cls.attributes]
+        ops = [repr(o) for o in cls.operations]
+        width = max(
+            [len(title)] + [len(s) for s in body + ops] + [8]
+        )
+        bar = "+" + "-" * (width + 2) + "+"
+        out.write(bar + "\n")
+        out.write(f"| {title.ljust(width)} |\n")
+        out.write(bar + "\n")
+        for line in body:
+            out.write(f"| {line.ljust(width)} |\n")
+        out.write(bar + "\n")
+        for line in ops:
+            out.write(f"| {line.ljust(width)} |\n")
+        out.write(bar + "\n\n")
+    for assoc in diagram.associations:
+        out.write(f"{assoc!r}\n")
+    return out.getvalue()
+
+
+def render_sequence_diagram(diagram: SequenceDiagram) -> str:
+    """ASCII rendering in the paper's Figure 3 style: one line per message
+    with clock-stamped notation."""
+    out = io.StringIO()
+    out.write(f"== Sequence diagram: {diagram.name} ==\n")
+    parts = "   ".join(repr(l) for l in diagram.lifelines.values())
+    out.write(parts + "\n")
+    for msg in diagram.ordered_messages():
+        out.write(
+            f"  [{msg.half_cycle:2d}h] {msg.source} -> {msg.target}: "
+            f"{msg.notation()}\n"
+        )
+    return out.getvalue()
+
+
+def render_use_case_diagram(diagram: UseCaseDiagram) -> str:
+    """ASCII rendering of actors and their use cases."""
+    out = io.StringIO()
+    out.write(f"== Use cases: {diagram.name} ==\n")
+    for actor, case in diagram.participations:
+        out.write(f"  {actor} --- ({case})\n")
+    for base, included in diagram.includes:
+        out.write(f"  ({base}) ..> <<include>> ({included})\n")
+    for ext, base in diagram.extends:
+        out.write(f"  ({ext}) ..> <<extend>> ({base})\n")
+    return out.getvalue()
+
+
+def class_diagram_dot(diagram: ClassDiagram) -> str:
+    """Graphviz dot for the class diagram."""
+    lines = ["digraph classes {", "  node [shape=record];"]
+    for cls in diagram.classes.values():
+        attrs = "\\l".join(repr(a) for a in cls.attributes)
+        ops = "\\l".join(repr(o) for o in cls.operations)
+        label = f"{{{cls.name}|{attrs}\\l|{ops}\\l}}"
+        lines.append(f'  "{cls.name}" [label="{label}"];')
+    arrow = {
+        "association": "vee",
+        "composition": "diamond",
+        "aggregation": "odiamond",
+        "dependency": "open",
+    }
+    for assoc in diagram.associations:
+        lines.append(
+            f'  "{assoc.source}" -> "{assoc.target}" '
+            f"[arrowhead={arrow[assoc.kind]}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

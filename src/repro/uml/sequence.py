@@ -1,0 +1,178 @@
+"""Modified sequence diagrams with clock annotations (the paper's Figure 3).
+
+"In order to enable a better representation of the properties at the UML
+level, we propose to use a modified sequence diagram where new notation
+are included to enable specifying information principally to the methods
+activation clocks, execution cycles and duration of execution."
+
+A message carries the Figure 3 notation ``Operation[cycle]()@clock``:
+
+* ``cycle`` -- the full-clock-cycle stamp relative to the scenario start;
+* ``clock`` -- which edge of the master clock pair activates it
+  (``K`` or ``K#``, where a K# edge falls half a cycle after the same
+  cycle's K edge);
+* ``duration`` -- execution cycles of the method (0 = combinational).
+
+:meth:`SequenceDiagram.validate` checks time monotonicity per lifeline
+and that every message's operation exists on the target class when a
+class diagram is attached -- the UML-level consistency the flow relies on
+before capturing the model in ASM.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .classdiagram import ClassDiagram, UmlError
+
+__all__ = ["Lifeline", "Message", "SequenceDiagram"]
+
+_CLOCKS = ("K", "K#")
+
+
+class Lifeline:
+    """A participant: an instance name bound to a class name."""
+
+    def __init__(self, name: str, class_name: str):
+        self.name = name
+        self.class_name = class_name
+
+    def __repr__(self):
+        return f"{self.name}:{self.class_name}"
+
+
+class Message:
+    """A clock-annotated message, e.g. ``OnReadRequest[2]()@K#``."""
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        operation: str,
+        cycle: int,
+        clock: str = "K",
+        duration: int = 0,
+        arguments: Optional[list[str]] = None,
+    ):
+        if clock not in _CLOCKS:
+            raise UmlError(f"message clock must be K or K#, got {clock!r}")
+        if cycle < 0 or duration < 0:
+            raise UmlError("cycle and duration must be non-negative")
+        self.source = source
+        self.target = target
+        self.operation = operation
+        self.cycle = cycle
+        self.clock = clock
+        self.duration = duration
+        self.arguments = list(arguments or [])
+
+    @property
+    def half_cycle(self) -> int:
+        """Global time in half-cycles: K edges are even, K# edges odd."""
+        return 2 * self.cycle + (0 if self.clock == "K" else 1)
+
+    def notation(self) -> str:
+        """Figure 3 rendering: ``Op[cycle](args)@clock``."""
+        args = ", ".join(self.arguments)
+        return f"{self.operation}[{self.cycle}]({args})@{self.clock}"
+
+    def __repr__(self):
+        return f"{self.source} -> {self.target}: {self.notation()}"
+
+
+class SequenceDiagram:
+    """An ordered scenario over lifelines with clock-stamped messages."""
+
+    def __init__(self, name: str, class_diagram: Optional[ClassDiagram] = None):
+        self.name = name
+        self.class_diagram = class_diagram
+        self.lifelines: dict[str, Lifeline] = {}
+        self.messages: list[Message] = []
+
+    def lifeline(self, name: str, class_name: str) -> Lifeline:
+        """Add a participant."""
+        if name in self.lifelines:
+            raise UmlError(f"duplicate lifeline {name}")
+        line = Lifeline(name, class_name)
+        self.lifelines[name] = line
+        return line
+
+    def message(
+        self,
+        source: str,
+        target: str,
+        operation: str,
+        cycle: int,
+        clock: str = "K",
+        duration: int = 0,
+        arguments: Optional[list[str]] = None,
+    ) -> Message:
+        """Add a message; lifelines must already exist."""
+        for endpoint in (source, target):
+            if endpoint not in self.lifelines:
+                raise UmlError(f"unknown lifeline {endpoint}")
+        msg = Message(source, target, operation, cycle, clock, duration,
+                      arguments)
+        self.messages.append(msg)
+        return msg
+
+    # ------------------------------------------------------------------
+    def ordered_messages(self) -> list[Message]:
+        """Messages sorted by global half-cycle time (stable)."""
+        return sorted(self.messages, key=lambda m: m.half_cycle)
+
+    def validate(self) -> list[str]:
+        """Consistency checks; returns a list of problems."""
+        problems: list[str] = []
+        # half-cycle monotonicity in declaration order (a scenario is a
+        # story: later messages must not be stamped earlier)
+        last = -1
+        for msg in self.messages:
+            if msg.half_cycle < last:
+                problems.append(
+                    f"message {msg.notation()} goes back in time "
+                    f"(half-cycle {msg.half_cycle} < {last})"
+                )
+            last = max(last, msg.half_cycle)
+        # operations must exist on the target class
+        if self.class_diagram is not None:
+            for msg in self.messages:
+                line = self.lifelines[msg.target]
+                cls = self.class_diagram.classes.get(line.class_name)
+                if cls is None:
+                    problems.append(
+                        f"lifeline {msg.target} has unknown class "
+                        f"{line.class_name}"
+                    )
+                    continue
+                op = cls.find_operation(msg.operation)
+                if op is None:
+                    problems.append(
+                        f"{line.class_name} has no operation {msg.operation}"
+                    )
+                elif op.clock is not None and op.clock != msg.clock:
+                    problems.append(
+                        f"{msg.notation()}: operation declared @{op.clock} "
+                        f"but message uses @{msg.clock}"
+                    )
+        return problems
+
+    def latency(self, first_op: str, second_op: str) -> Optional[int]:
+        """Half-cycles between the first occurrences of two operations."""
+        first = next(
+            (m for m in self.ordered_messages() if m.operation == first_op),
+            None,
+        )
+        second = next(
+            (m for m in self.ordered_messages() if m.operation == second_op),
+            None,
+        )
+        if first is None or second is None:
+            return None
+        return second.half_cycle - first.half_cycle
+
+    def __repr__(self):
+        return (
+            f"SequenceDiagram({self.name!r}, lifelines={len(self.lifelines)}, "
+            f"messages={len(self.messages)})"
+        )

@@ -1,0 +1,90 @@
+"""Use-case diagrams: the third UML view the flow starts from."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .classdiagram import UmlError
+
+__all__ = ["Actor", "UseCase", "UseCaseDiagram"]
+
+
+class Actor:
+    """An external actor (e.g. the Network Processor host)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"Actor({self.name!r})"
+
+
+class UseCase:
+    """A named system capability."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+
+    def __repr__(self):
+        return f"UseCase({self.name!r})"
+
+
+class UseCaseDiagram:
+    """Actors, use cases and their relations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.actors: dict[str, Actor] = {}
+        self.use_cases: dict[str, UseCase] = {}
+        self.participations: list[tuple[str, str]] = []
+        self.includes: list[tuple[str, str]] = []
+        self.extends: list[tuple[str, str]] = []
+
+    def actor(self, name: str) -> Actor:
+        """Add an actor."""
+        if name in self.actors:
+            raise UmlError(f"duplicate actor {name}")
+        actor = Actor(name)
+        self.actors[name] = actor
+        return actor
+
+    def use_case(self, name: str, description: str = "") -> UseCase:
+        """Add a use case."""
+        if name in self.use_cases:
+            raise UmlError(f"duplicate use case {name}")
+        case = UseCase(name, description)
+        self.use_cases[name] = case
+        return case
+
+    def participates(self, actor: str, use_case: str) -> None:
+        """Relate an actor to a use case."""
+        self.participations.append((actor, use_case))
+
+    def include(self, base: str, included: str) -> None:
+        """``base`` <<include>> ``included``."""
+        self.includes.append((base, included))
+
+    def extend(self, extension: str, base: str) -> None:
+        """``extension`` <<extend>> ``base``."""
+        self.extends.append((extension, base))
+
+    def validate(self) -> list[str]:
+        """Referential checks; returns a list of problems."""
+        problems = []
+        for actor, case in self.participations:
+            if actor not in self.actors:
+                problems.append(f"unknown actor {actor}")
+            if case not in self.use_cases:
+                problems.append(f"unknown use case {case}")
+        for a, b in self.includes + self.extends:
+            for case in (a, b):
+                if case not in self.use_cases:
+                    problems.append(f"unknown use case {case}")
+        return problems
+
+    def __repr__(self):
+        return (
+            f"UseCaseDiagram({self.name!r}, actors={len(self.actors)}, "
+            f"use_cases={len(self.use_cases)})"
+        )

@@ -1,0 +1,89 @@
+"""Tests for PSL assume-directive support in the ASM model checker."""
+
+import pytest
+
+from repro.asm import AsmMachine, AsmModelChecker, Labeling
+from repro.core import (
+    La1AsmConfig,
+    asm_labeling,
+    build_la1_asm,
+    device_property_suite,
+)
+from repro.core.asm_model import La1AsmAtoms as A
+from repro.psl import builder as B
+from repro.psl import parse_property
+
+
+def _glitchy_counter():
+    m = AsmMachine("c")
+    m.var("n", 0)
+    m.rule("inc", lambda s: s["n"] < 3, lambda s: {"n": s["n"] + 1})
+    m.rule("glitch", lambda s: s["n"] == 0, lambda s: {"n": 3})
+    labeling = Labeling({
+        "at3": lambda s: s["n"] == 3,
+        "at1": lambda s: s["n"] == 1,
+    })
+    return m, labeling
+
+
+class TestAssumptions:
+    def test_violation_without_assumption(self):
+        machine, labeling = _glitchy_counter()
+        checker = AsmModelChecker(machine, labeling)
+        result = checker.check_combined(
+            [parse_property("always (at3 -> at1)")])
+        assert result.holds is False
+
+    def test_assumption_prunes_offending_behaviour(self):
+        machine, labeling = _glitchy_counter()
+        checker = AsmModelChecker(machine, labeling)
+        # assume the environment never reaches 3 at all: the property
+        # about 3 becomes vacuously true on the remaining behaviours
+        result = checker.check_combined(
+            [parse_property("always (!at3)")],
+            assumptions=[parse_property("never {at3}")],
+        )
+        assert result.holds is True
+
+    def test_assumption_shrinks_state_space(self):
+        machine, labeling = _glitchy_counter()
+        checker = AsmModelChecker(machine, labeling)
+        free = checker.check_combined([parse_property("always (true)")])
+        constrained = checker.check_combined(
+            [parse_property("always (true)")],
+            assumptions=[parse_property("never {at3}")],
+        )
+        assert constrained.num_nodes < free.num_nodes
+
+    def test_unsatisfiable_assumption_is_vacuous(self):
+        machine, labeling = _glitchy_counter()
+        checker = AsmModelChecker(machine, labeling)
+        result = checker.check_combined(
+            [parse_property("always (false)")],
+            assumptions=[parse_property("always (at3)")],  # false at init
+        )
+        assert result.holds is True  # no behaviour satisfies the env
+
+    def test_liveness_assumption_rejected(self):
+        machine, labeling = _glitchy_counter()
+        checker = AsmModelChecker(machine, labeling)
+        with pytest.raises(Exception):
+            checker.check_combined(
+                [parse_property("always (true)")],
+                assumptions=[parse_property("eventually! at3")],
+            )
+
+    def test_la1_write_free_environment(self):
+        """Assume a read-only host: write properties hold vacuously,
+        read properties still hold, the product is smaller."""
+        banks = 1
+        machine = build_la1_asm(La1AsmConfig(banks=banks))
+        checker = AsmModelChecker(machine, asm_labeling(banks))
+        suite = [p for __, p in device_property_suite(banks)]
+        no_writes = B.never(B.atom(A.write_sel(0)))
+        free = checker.check_combined(suite)
+        constrained = checker.check_combined(suite,
+                                             assumptions=[no_writes])
+        assert free.holds is True
+        assert constrained.holds is True
+        assert constrained.num_nodes < free.num_nodes

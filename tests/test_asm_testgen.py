@@ -1,0 +1,134 @@
+"""Tests for FSM-derived test-suite generation and replay."""
+
+import pytest
+
+from repro.asm import (
+    AsmMachine,
+    Explorer,
+    ExplorationConfig,
+    Implementation,
+    generate_transition_cover,
+    replay_suite,
+)
+from repro.core import (
+    La1AsmConfig,
+    La1RtlImplementation,
+    La1SyscImplementation,
+    build_la1_asm,
+    observables_for,
+)
+
+
+def _counter_machine(limit=3):
+    m = AsmMachine("counter")
+    m.var("n", 0)
+    m.rule("inc", lambda s: s["n"] < limit, lambda s: {"n": s["n"] + 1})
+    m.rule("reset", lambda s: s["n"] == limit, lambda s: {"n": 0})
+    return m
+
+
+class _CounterImpl(Implementation):
+    def __init__(self, bug_at=None):
+        self.n = 0
+        self.bug_at = bug_at
+
+    def reset(self):
+        self.n = 0
+
+    def apply(self, rule_name, args):
+        if rule_name == "inc":
+            self.n += 1
+            if self.bug_at is not None and self.n == self.bug_at:
+                self.n += 1
+        else:
+            self.n = 0
+
+    def observe(self):
+        return {"n": self.n}
+
+
+class TestGeneration:
+    def test_full_transition_coverage(self):
+        fsm = Explorer(_counter_machine()).explore().fsm
+        suite = generate_transition_cover(fsm)
+        assert suite.transition_coverage == 1.0
+        assert suite.covered_transitions() == set(fsm.transitions)
+
+    def test_single_cycle_machine_one_case(self):
+        fsm = Explorer(_counter_machine()).explore().fsm
+        suite = generate_transition_cover(fsm)
+        # the counter's FSM is one cycle; one walk covers it
+        assert suite.num_cases == 1
+
+    def test_labels_are_replayable_syntax(self):
+        fsm = Explorer(_counter_machine()).explore().fsm
+        suite = generate_transition_cover(fsm)
+        for case in suite.labels():
+            for label in case:
+                assert label in ("inc", "reset")
+
+    def test_branching_machine_multiple_visits(self):
+        m = AsmMachine("branch")
+        m.var("x", 0)
+        m.rule("a", lambda s: s["x"] == 0, lambda s: {"x": 1})
+        m.rule("b", lambda s: s["x"] == 0, lambda s: {"x": 2})
+        m.rule("back", lambda s: s["x"] != 0, lambda s: {"x": 0})
+        fsm = Explorer(m).explore().fsm
+        suite = generate_transition_cover(fsm)
+        assert suite.transition_coverage == 1.0
+        # both branches (a and b) must appear somewhere in the suite
+        labels = {label for case in suite.labels() for label in case}
+        assert {"a", "b", "back"} <= labels
+
+    def test_empty_fsm(self):
+        m = AsmMachine("dead")
+        m.var("x", 0)
+        fsm = Explorer(m).explore().fsm
+        suite = generate_transition_cover(fsm)
+        assert suite.num_cases == 0
+        assert suite.transition_coverage == 1.0
+
+    def test_coverage_relative_to_explored_portion(self):
+        # truncated exploration -> suite covers the explored part fully
+        fsm = Explorer(_counter_machine(10),
+                       ExplorationConfig(max_states=4)).explore().fsm
+        suite = generate_transition_cover(fsm)
+        assert suite.transition_coverage == 1.0
+
+
+class TestReplay:
+    def test_faithful_implementation_passes(self):
+        machine = _counter_machine()
+        fsm = Explorer(machine).explore().fsm
+        suite = generate_transition_cover(fsm)
+        report = replay_suite(suite, machine, _CounterImpl(), ["n"])
+        assert report.passed
+        assert report.steps_run == suite.total_steps
+
+    def test_buggy_implementation_caught_with_path(self):
+        machine = _counter_machine()
+        fsm = Explorer(machine).explore().fsm
+        suite = generate_transition_cover(fsm)
+        report = replay_suite(suite, machine, _CounterImpl(bug_at=2), ["n"])
+        assert not report.passed
+        assert report.divergence.path[-1] == "inc"
+        assert report.divergence.impl_obs["n"] == 3
+
+    def test_la1_suite_replays_on_systemc_model(self):
+        config = La1AsmConfig(banks=1)
+        machine = build_la1_asm(config)
+        fsm = Explorer(machine).explore().fsm
+        suite = generate_transition_cover(fsm)
+        assert suite.transition_coverage == 1.0
+        report = replay_suite(suite, machine, La1SyscImplementation(config),
+                              observables_for(1))
+        assert report.passed, report.divergence
+
+    def test_la1_suite_replays_on_rtl_model(self):
+        config = La1AsmConfig(banks=1)
+        machine = build_la1_asm(config)
+        fsm = Explorer(machine).explore().fsm
+        suite = generate_transition_cover(fsm)
+        report = replay_suite(suite, machine, La1RtlImplementation(config),
+                              observables_for(1))
+        assert report.passed, report.divergence

@@ -1,0 +1,247 @@
+"""Unit and property-based tests for the ROBDD engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import (
+    BddBudgetExceeded,
+    BddManager,
+    interleaved_order,
+    naive_order,
+)
+
+
+def fresh(names="abcd"):
+    m = BddManager()
+    vars_ = {n: m.add_var(n) for n in names}
+    return m, vars_
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = BddManager()
+        assert m.FALSE == 0 and m.TRUE == 1
+        assert m.not_(m.TRUE) == m.FALSE
+
+    def test_var_redeclaration(self):
+        m = BddManager()
+        m.add_var("a")
+        with pytest.raises(ValueError):
+            m.add_var("a")
+
+    def test_canonicity(self):
+        m, v = fresh()
+        f1 = m.or_(m.and_(v["a"], v["b"]), m.and_(v["b"], v["a"]))
+        f2 = m.and_(v["b"], v["a"])
+        assert f1 == f2  # same node id
+
+    def test_tautology_collapses(self):
+        m, v = fresh()
+        assert m.or_(v["a"], m.not_(v["a"])) == m.TRUE
+        assert m.and_(v["a"], m.not_(v["a"])) == m.FALSE
+        assert m.xnor(v["a"], v["a"]) == m.TRUE
+
+    def test_implies(self):
+        m, v = fresh()
+        f = m.implies(v["a"], v["b"])
+        assert m.evaluate(f, {"a": False, "b": False})
+        assert not m.evaluate(f, {"a": True, "b": False})
+
+    def test_and_or_all(self):
+        m, v = fresh()
+        f = m.and_all([v["a"], v["b"], v["c"]])
+        assert m.sat_count(f) == 2  # d free
+        g = m.or_all([])
+        assert g == m.FALSE
+        assert m.and_all([]) == m.TRUE
+
+
+class TestQuantification:
+    def test_exists(self):
+        m, v = fresh()
+        f = m.and_(v["a"], v["b"])
+        assert m.exists(["a"], f) == v["b"]
+        assert m.exists(["a", "b"], f) == m.TRUE
+
+    def test_forall(self):
+        m, v = fresh()
+        f = m.or_(v["a"], v["b"])
+        assert m.forall(["a"], f) == v["b"]
+        assert m.forall(["a", "b"], f) == m.FALSE
+
+    def test_exists_of_false(self):
+        m, v = fresh()
+        assert m.exists(["a"], m.FALSE) == m.FALSE
+
+
+class TestSubstitution:
+    def test_compose(self):
+        m, v = fresh()
+        f = m.and_(v["a"], v["b"])
+        g = m.compose(f, "a", v["c"])  # c & b
+        assert m.evaluate(g, {"a": False, "b": True, "c": True, "d": False})
+        assert not m.evaluate(g, {"a": True, "b": True, "c": False, "d": False})
+
+    def test_rename_monotone(self):
+        m, v = fresh()
+        f = m.and_(v["a"], v["c"])
+        g = m.rename(f, {"a": "b", "c": "d"})
+        assert g == m.and_(v["b"], v["d"])
+
+    def test_rename_non_monotone_falls_back(self):
+        m, v = fresh()
+        f = m.and_(v["a"], m.not_(v["d"]))
+        g = m.rename(f, {"a": "d", "d": "a"})
+        assert m.evaluate(g, {"a": False, "b": False, "c": False, "d": True})
+
+    def test_restrict(self):
+        m, v = fresh()
+        f = m.ite(v["a"], v["b"], v["c"])
+        assert m.restrict(f, {"a": True}) == v["b"]
+        assert m.restrict(f, {"a": False}) == v["c"]
+
+
+class TestCounting:
+    def test_sat_count_basics(self):
+        m, v = fresh("ab")
+        assert m.sat_count(m.TRUE) == 4
+        assert m.sat_count(m.FALSE) == 0
+        assert m.sat_count(v["a"]) == 2
+        assert m.sat_count(m.and_(v["a"], v["b"])) == 1
+        assert m.sat_count(m.xor(v["a"], v["b"])) == 2
+
+    def test_any_sat(self):
+        m, v = fresh("ab")
+        assert m.any_sat(m.FALSE) is None
+        assignment = m.any_sat(m.and_(v["a"], m.not_(v["b"])))
+        assert assignment == {"a": True, "b": False}
+
+    def test_support(self):
+        m, v = fresh()
+        f = m.and_(v["a"], m.or_(v["c"], v["d"]))
+        assert m.support(f) == {"a", "c", "d"}
+        assert m.support(m.TRUE) == set()
+
+    def test_size(self):
+        m, v = fresh("ab")
+        assert m.size(m.TRUE) == 0
+        assert m.size(v["a"]) == 1
+        xor = m.xor(v["a"], v["b"])
+        assert m.size(xor) == 3
+        # the bare a-node differs from xor's root; no sharing here
+        assert m.size_many([v["a"], xor]) == 4
+        # but counting the same root twice does not double-count
+        assert m.size_many([xor, xor]) == 3
+
+
+class TestBudgetAndGc:
+    def test_budget_raises(self):
+        m = BddManager(node_budget=8)
+        vars_ = [m.add_var(f"v{i}") for i in range(4)]
+        with pytest.raises(BddBudgetExceeded):
+            f = m.TRUE
+            for i, v in enumerate(vars_):
+                f = m.xor(f, v)
+
+    def test_peak_nodes_tracked(self):
+        m, v = fresh("ab")
+        m.xor(v["a"], v["b"])
+        assert m.peak_nodes == m.num_nodes
+
+    def test_clone_and_copy_roots(self):
+        m, v = fresh()
+        f = m.ite(v["a"], m.xor(v["b"], v["c"]), v["d"])
+        junk = m.and_(v["a"], v["b"])  # dead after copy
+        other = m.clone_empty()
+        (f2,) = m.copy_roots(other, [f])
+        assert other.num_nodes <= m.num_nodes
+        for assignment in (
+            {"a": True, "b": True, "c": False, "d": False},
+            {"a": False, "b": False, "c": False, "d": True},
+        ):
+            assert m.evaluate(f, assignment) == other.evaluate(f2, assignment)
+
+    def test_copy_roots_requires_same_order(self):
+        m, v = fresh("ab")
+        other = BddManager()
+        other.add_var("b")
+        other.add_var("a")
+        with pytest.raises(ValueError):
+            m.copy_roots(other, [v["a"]])
+
+    def test_memory_estimate_positive(self):
+        m, v = fresh("ab")
+        assert m.estimated_memory_bytes() > 0
+
+
+class TestOrderings:
+    def test_interleaved(self):
+        order = interleaved_order(["x", "y"], ["i"])
+        assert order == ["i", "x", "x'", "y", "y'"]
+
+    def test_naive(self):
+        order = naive_order(["x", "y"], ["i"])
+        assert order == ["i", "x", "y", "x'", "y'"]
+
+
+# ----------------------------------------------------------------------
+# property-based: BDD semantics equal truth-table semantics
+# ----------------------------------------------------------------------
+_expr = st.deferred(
+    lambda: st.one_of(
+        st.sampled_from(["a", "b", "c"]),
+        st.booleans(),
+        st.tuples(st.just("not"), _expr),
+        st.tuples(st.sampled_from(["and", "or", "xor"]), _expr, _expr),
+    )
+)
+
+
+def _build(m, vars_, expr):
+    if isinstance(expr, bool):
+        return m.TRUE if expr else m.FALSE
+    if isinstance(expr, str):
+        return vars_[expr]
+    if expr[0] == "not":
+        return m.not_(_build(m, vars_, expr[1]))
+    op, lhs, rhs = expr
+    f = _build(m, vars_, lhs)
+    g = _build(m, vars_, rhs)
+    return {"and": m.and_, "or": m.or_, "xor": m.xor}[op](f, g)
+
+
+def _truth(expr, env):
+    if isinstance(expr, bool):
+        return expr
+    if isinstance(expr, str):
+        return env[expr]
+    if expr[0] == "not":
+        return not _truth(expr[1], env)
+    op, lhs, rhs = expr
+    a, b = _truth(lhs, env), _truth(rhs, env)
+    return {"and": a and b, "or": a or b, "xor": a != b}[op]
+
+
+@settings(max_examples=200)
+@given(_expr)
+def test_bdd_matches_truth_table(expr):
+    m, vars_ = fresh("abc")
+    f = _build(m, vars_, expr)
+    count = 0
+    for bits in range(8):
+        env = {"a": bool(bits & 1), "b": bool(bits & 2), "c": bool(bits & 4)}
+        expected = _truth(expr, env)
+        assert m.evaluate(f, env) == expected
+        count += expected
+    assert m.sat_count(f) == count
+
+
+@settings(max_examples=100)
+@given(_expr, st.sampled_from(["a", "b", "c"]))
+def test_quantification_matches_cofactors(expr, name):
+    m, vars_ = fresh("abc")
+    f = _build(m, vars_, expr)
+    lo = m.restrict(f, {name: False})
+    hi = m.restrict(f, {name: True})
+    assert m.exists([name], f) == m.or_(lo, hi)
+    assert m.forall([name], f) == m.and_(lo, hi)

@@ -1,0 +1,265 @@
+"""Tests for the SystemC-level LA-1 model and its assertion monitors."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abv import summarize
+from repro.core import (
+    La1Config,
+    SramMemory,
+    attach_read_mode_monitors,
+    build_la1_system,
+    even_parity_int,
+)
+from repro.psl import Verdict
+
+CFG = La1Config(banks=2, beat_bits=16, addr_bits=3)
+
+
+def _drained(host, sim, budget=4000):
+    sim.run(budget)
+    assert host.idle, "traffic did not drain"
+
+
+class TestSramMemory:
+    def test_read_write(self):
+        mem = SramMemory(CFG)
+        mem.write(3, 0xDEADBEEF)
+        assert mem.read(3) == 0xDEADBEEF
+        assert mem.read(0) == 0
+
+    def test_byte_enables(self):
+        mem = SramMemory(CFG)
+        mem.write(0, 0xFFFFFFFF)
+        mem.write(0, 0, byte_enables=0b0011)  # only beat0's two lanes
+        assert mem.read(0) == 0xFFFF0000
+
+    def test_address_wraps(self):
+        mem = SramMemory(CFG)
+        mem.write(8, 0x1234)  # 3-bit address space
+        assert mem.read(0) == 0x1234
+
+    def test_word_masked_to_width(self):
+        mem = SramMemory(CFG)
+        mem.write(0, 1 << 40)
+        assert mem.read(0) == 0
+
+    def test_snapshot(self):
+        mem = SramMemory(CFG)
+        mem.write(1, 5)
+        snap = mem.snapshot()
+        assert snap[1] == 5 and len(snap) == CFG.mem_words
+
+
+class TestReadWrite:
+    def test_write_then_read(self):
+        sim, __, device, host = build_la1_system(CFG)
+        host.write(0, 2, 0xCAFEBABE)
+        host.read(0, 2)
+        _drained(host, sim)
+        assert host.results[0].word == 0xCAFEBABE
+
+    def test_unwritten_reads_zero(self):
+        sim, __, __, host = build_la1_system(CFG)
+        host.read(1, 5)
+        _drained(host, sim)
+        assert host.results[0].word == 0
+
+    def test_banks_are_independent(self):
+        sim, __, device, host = build_la1_system(CFG)
+        host.write(0, 1, 0x11111111)
+        host.write(1, 1, 0x22222222)
+        host.read(0, 1)
+        host.read(1, 1)
+        _drained(host, sim)
+        assert [r.word for r in host.results] == [0x11111111, 0x22222222]
+
+    def test_read_latency_is_constant(self):
+        sim, __, __, host = build_la1_system(CFG)
+        for addr in range(3):
+            host.read(0, addr)
+        _drained(host, sim)
+        latencies = {r.completed_at - r.issued_at for r in host.results}
+        assert len(latencies) == 1
+
+    def test_beats_split_word(self):
+        sim, __, __, host = build_la1_system(CFG)
+        host.write(0, 0, 0xAAAA5555)
+        host.read(0, 0)
+        _drained(host, sim)
+        result = host.results[0]
+        assert result.beats == (0x5555, 0xAAAA)
+
+    def test_parity_accompanies_each_beat(self):
+        sim, __, __, host = build_la1_system(CFG)
+        host.write(0, 0, 0x01020304)
+        host.read(0, 0)
+        _drained(host, sim)
+        result = host.results[0]
+        for beat, parity in zip(result.beats, result.parities):
+            expected = even_parity_int(beat & 0xFF, 8) | (
+                even_parity_int((beat >> 8) & 0xFF, 8) << 1)
+            assert parity == expected
+
+    def test_byte_enable_write(self):
+        sim, __, __, host = build_la1_system(CFG)
+        host.write(0, 0, 0xFFFFFFFF)
+        host.write(0, 0, 0x00000000, byte_enables=0b1000)
+        host.read(0, 0)
+        _drained(host, sim)
+        assert host.results[0].word == 0x00FFFFFF
+
+    def test_program_order_read_after_write(self):
+        sim, __, __, host = build_la1_system(CFG)
+        host.write(0, 0, 0x1)
+        host.read(0, 0)
+        host.write(0, 0, 0x2)
+        host.read(0, 0)
+        _drained(host, sim)
+        assert [r.word for r in host.results] == [1, 2]
+
+    def test_concurrent_mode_issues_same_cycle(self):
+        sim, __, device, host = build_la1_system(CFG, concurrent=True)
+        host.write(0, 0, 0xAB)
+        host.read(1, 0)
+        _drained(host, sim)
+        assert len(host.results) == 1
+        assert device.banks[0].memory.read(0) == 0xAB
+
+    def test_no_bus_conflicts_under_traffic(self):
+        sim, __, device, host = build_la1_system(CFG)
+        rng = random.Random(3)
+        for __ in range(25):
+            if rng.random() < 0.5:
+                host.read(rng.randrange(2), rng.randrange(8))
+            else:
+                host.write(rng.randrange(2), rng.randrange(8),
+                           rng.getrandbits(32))
+        _drained(host, sim, 6000)
+        assert device.bus_conflicts == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 7),
+                  st.integers(0, 2**32 - 1)),
+        min_size=1, max_size=6))
+    def test_memory_semantics_random(self, writes):
+        """Reads return the last write per (bank, addr) in program order."""
+        sim, __, __, host = build_la1_system(CFG)
+        reference = {}
+        for bank, addr, word in writes:
+            host.write(bank, addr, word)
+            reference[(bank, addr)] = word
+        for (bank, addr) in reference:
+            host.read(bank, addr)
+        _drained(host, sim, 20000)
+        for result in host.results:
+            assert result.word == reference[(result.bank, result.addr)]
+
+
+class TestStatusStrobes:
+    def test_request_strobe_one_half_cycle(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        port = device.banks[0].read_port
+        highs = []
+        port.stat_read_req.watch(
+            lambda n, old, new: highs.append((sim.time, new)))
+        host.read(0, 0)
+        sim.run(40)
+        rises = [t for t, v in highs if v]
+        falls = [t for t, v in highs if not v]
+        assert len(rises) == 1
+        assert falls[0] - rises[0] == 1  # exactly one half-cycle
+
+    def test_data_valid_beats_are_adjacent(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        port = device.banks[0].read_port
+        events = []
+        port.stat_data_valid.watch(
+            lambda n, o, new: events.append(("v0", sim.time, new)))
+        port.stat_data_valid2.watch(
+            lambda n, o, new: events.append(("v1", sim.time, new)))
+        host.read(0, 0)
+        sim.run(40)
+        v0_rise = next(t for k, t, v in events if k == "v0" and v)
+        v1_rise = next(t for k, t, v in events if k == "v1" and v)
+        assert v1_rise - v0_rise == 1
+
+
+class TestAbvMonitorsOnModel:
+    def test_clean_traffic_passes(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        monitors = attach_read_mode_monitors(sim, device, clocks)
+        rng = random.Random(9)
+        for __ in range(20):
+            if rng.random() < 0.5:
+                host.read(rng.randrange(2), rng.randrange(8))
+            else:
+                host.write(rng.randrange(2), rng.randrange(8),
+                           rng.getrandbits(32))
+        sim.run(4000)
+        report = summarize(monitors).finish()
+        assert report.passed, report.render()
+
+    def test_injected_latency_fault_is_caught(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        monitors = attach_read_mode_monitors(sim, device, clocks)
+        port = device.banks[0].read_port
+        # sabotage: suppress the fetch stage once, stretching the latency
+        original = port._on_k
+        state = {"skipped": False}
+
+        def faulty():
+            if port._stage == "req" and not state["skipped"]:
+                state["skipped"] = True
+                return  # swallow one pipeline advance
+            original()
+
+        # rebind the process body
+        for proc in sim._processes:
+            if proc.name.endswith("bank0.read_port.on_k"):
+                proc.fn = faulty
+        host.read(0, 0)
+        sim.run(60)
+        report = summarize(monitors).finish()
+        assert not report.passed
+        failed_names = {m.name for m in report.failed}
+        assert any("read_latency[0]" in n for n in failed_names)
+
+    def test_injected_parity_fault_is_caught(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        monitors = attach_read_mode_monitors(sim, device, clocks)
+        port = device.banks[0].read_port
+        # corrupt the parity generator
+        port._beat_parity = lambda beat: 3 ^ (beat & 1)
+        host.write(0, 0, 0x00FF00FF)
+        host.read(0, 0)
+        sim.run(80)
+        report = summarize(monitors).finish()
+        failed = {m.name for m in report.failed}
+        assert any("parity" in n for n in failed), report.render()
+
+    def test_stop_on_failure_halts_simulation(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        monitors = attach_read_mode_monitors(sim, device, clocks,
+                                             stop_on_failure=True)
+        port = device.banks[0].read_port
+        port._beat_parity = lambda beat: 3
+        host.write(0, 0, 0)
+        host.read(0, 0)
+        sim.run(500)
+        assert sim.time < 500
+        assert "fired" in (sim.stop_reason or "")
+
+    def test_monitor_count_scales_with_banks(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        monitors = attach_read_mode_monitors(sim, device, clocks)
+        assert len(monitors) == 2 * 4  # 3 read-mode + parity per bank
+
+    def test_monitors_sample_every_half_cycle(self):
+        sim, clocks, device, host = build_la1_system(CFG)
+        monitors = attach_read_mode_monitors(sim, device, clocks)
+        sim.run(10)
+        assert monitors[0].samples == 10

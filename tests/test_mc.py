@@ -1,0 +1,246 @@
+"""Unit tests for the symbolic model checker: encoding and reachability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddBudgetExceeded
+from repro.mc import PHASE_VAR, SymbolicModel, SymbolicModelChecker
+from repro.psl import PslError, parse_property
+from repro.rtl import C, Mux, RtlModule, RtlSimulator, elaborate
+
+
+def _counter(width=3, clock="K"):
+    m = RtlModule("top")
+    en = m.input("en", 1)
+    cnt = m.reg("cnt", width, clock=clock, init=0)
+    m.sync(cnt, Mux(en.ref(), cnt.ref() + C(1, width), cnt.ref()))
+    hit = m.wire("hit", 1)
+    m.assign(hit, cnt.ref().eq((1 << width) - 1))
+    at0 = m.wire("at0", 1)
+    m.assign(at0, cnt.ref().eq(0))
+    out = m.output("q", width)
+    m.assign(out, cnt.ref())
+    return m
+
+
+class TestSymbolicEncoding:
+    def test_state_and_input_bits(self):
+        model = SymbolicModel(elaborate(_counter()))
+        assert "top.cnt[0]" in model.state_bits
+        assert model.input_bits == ["top.en"]
+        assert PHASE_VAR not in model.state_bits  # single clock domain
+
+    def test_phase_bit_for_two_domains(self):
+        m = RtlModule("ddr")
+        r1 = m.reg("r1", 1, clock="K")
+        r2 = m.reg("r2", 1, clock="K#")
+        m.sync(r1, ~r1.ref())
+        m.sync(r2, ~r2.ref())
+        q = m.output("q", 1)
+        m.assign(q, r1.ref() ^ r2.ref())
+        model = SymbolicModel(elaborate(m))
+        assert PHASE_VAR in model.state_bits
+
+    def test_three_domains_rejected(self):
+        m = RtlModule("bad")
+        for i, clk in enumerate(("K", "K#", "J")):
+            r = m.reg(f"r{i}", 1, clock=clk)
+            m.sync(r, ~r.ref())
+        with pytest.raises(ValueError):
+            SymbolicModel(elaborate(m))
+
+    def test_net_bdd_lookup(self):
+        model = SymbolicModel(elaborate(_counter()))
+        bits = model.net_bdd("top.cnt")
+        assert len(bits) == 3
+        assert model.net_bit("top.hit") is not None
+
+    def test_orderings(self):
+        for ordering in ("interleaved", "naive"):
+            model = SymbolicModel(elaborate(_counter()), ordering=ordering)
+            assert model.manager.num_nodes > 2
+        with pytest.raises(ValueError):
+            SymbolicModel(elaborate(_counter()), ordering="random")
+
+
+class TestSymbolicVsSimulation:
+    """The symbolic next-state functions must agree with the interpreted
+    simulator on every input sequence."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=6))
+    def test_counter_equivalence(self, inputs):
+        design = elaborate(_counter())
+        model = SymbolicModel(design)
+        sim = RtlSimulator(elaborate(_counter()))
+        m = model.manager
+        # symbolic state as a concrete assignment dict
+        assignment = {name: False for name in model.state_bits}
+        for en in inputs:
+            sim.set_input("top.en", int(en))
+            sim.step("K")
+            env = dict(assignment)
+            env["top.en"] = en
+            new_assignment = {}
+            for name in model.state_bits:
+                fn = model.next_functions[name]
+                new_assignment[name] = m.evaluate(fn, env)
+            assignment = new_assignment
+            symbolic_cnt = sum(
+                (1 << i)
+                for i in range(3)
+                if assignment[f"top.cnt[{i}]"]
+            )
+            assert symbolic_cnt == sim.read("top.cnt")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=6))
+    def test_ddr_equivalence(self, inputs):
+        def build():
+            m = RtlModule("ddr")
+            d = m.input("d", 2)
+            rk = m.reg("rk", 2, clock="K", init=0)
+            rks = m.reg("rks", 2, clock="K#", init=0)
+            m.sync(rk, d.ref())
+            m.sync(rks, rk.ref() ^ d.ref())
+            q = m.output("q", 2)
+            m.assign(q, rk.ref() & rks.ref())
+            return m
+
+        model = SymbolicModel(elaborate(build()))
+        sim = RtlSimulator(elaborate(build()))
+        m = model.manager
+        assignment = {name: False for name in model.state_bits}
+        edges = ["K", "K#"]
+        for step, d in enumerate(inputs):
+            sim.set_input("ddr.d", d)
+            sim.step(edges[step % 2])
+            env = dict(assignment)
+            env["ddr.d[0]"] = bool(d & 1)
+            env["ddr.d[1]"] = bool(d & 2)
+            assignment = {
+                name: m.evaluate(model.next_functions[name], env)
+                for name in model.state_bits
+            }
+            for reg, width in (("rk", 2), ("rks", 2)):
+                symbolic = sum(
+                    (1 << i)
+                    for i in range(width)
+                    if assignment[f"ddr.{reg}[{i}]"]
+                )
+                assert symbolic == sim.read(f"ddr.{reg}"), (step, reg)
+
+
+class TestReachabilityChecking:
+    def test_reachable_violation_found_at_right_depth(self):
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        result = checker.check_property(
+            parse_property("always (!hit)"), {"hit": ("top.hit", 0)})
+        assert result.holds is False
+        assert result.counterexample_depth == 3
+
+    def test_unreachable_bad_state(self):
+        # with en tied low... en is free, so use a property true by design
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        result = checker.check_property(
+            parse_property("always (hit -> next (!hit) -> true)")
+            if False else parse_property("always (true)"),
+            {},
+        )
+        assert result.holds is True
+
+    def test_temporal_property_over_design(self):
+        # from the max value the counter either holds (en=0) or wraps to
+        # zero (en=1) -- true for every input sequence
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        result = checker.check_property(
+            parse_property("always (hit -> next (hit | at0))"),
+            {"hit": ("top.hit", 0), "at0": ("top.at0", 0)},
+        )
+        assert result.holds is True
+
+    def test_temporal_property_violation_over_design(self):
+        # claiming the counter always wraps is refuted by en=0
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        result = checker.check_property(
+            parse_property("always (hit -> next (at0))"),
+            {"hit": ("top.hit", 0), "at0": ("top.at0", 0)},
+        )
+        assert result.holds is False
+
+    def test_invariant_api(self):
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        bad = model.net_bit("top.hit")
+        result = checker.check_invariant(bad, "no-hit")
+        assert result.holds is False
+
+    def test_initial_state_violation_depth_zero(self):
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        m = model.manager
+        at0 = m.not_(m.or_all(model.net_bdd("top.cnt")))
+        result = checker.check_invariant(at0, "not-zero")
+        assert result.holds is False
+        assert result.counterexample_depth == 0
+
+    def test_liveness_rejected(self):
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        with pytest.raises(PslError):
+            checker.check_property(parse_property("eventually! hit"),
+                                   {"hit": ("top.hit", 0)})
+
+    def test_missing_label_rejected(self):
+        model = SymbolicModel(elaborate(_counter(width=2)))
+        checker = SymbolicModelChecker(model)
+        with pytest.raises(PslError):
+            checker.check_property(parse_property("always (mystery)"), {})
+
+    def test_transient_budget_explosion(self):
+        # a budget too small for the check surfaces as either an exploded
+        # result (budget hit during reachability) or the raw exception
+        # (budget hit while encoding the model)
+        try:
+            model = SymbolicModel(elaborate(_counter(width=6)),
+                                  node_budget=250)
+            checker = SymbolicModelChecker(model)
+            result = checker.check_property(
+                parse_property("always (!hit)"), {"hit": ("top.hit", 0)})
+            assert result.exploded
+            assert result.holds is None
+        except BddBudgetExceeded:
+            pass
+
+    def test_live_budget_explosion_via_gc(self):
+        model = SymbolicModel(elaborate(_counter(width=4)))
+        checker = SymbolicModelChecker(model, live_node_budget=1,
+                                       gc_threshold=10)
+        result = checker.check_property(
+            parse_property("always (true)"), {})
+        # live budget of 1 node is always exceeded after the first GC
+        assert result.exploded
+
+    def test_gc_preserves_verdict(self):
+        # force GC every iteration; the verdict must be unchanged
+        plain = SymbolicModelChecker(
+            SymbolicModel(elaborate(_counter(width=3)))
+        ).check_property(parse_property("always (!hit)"),
+                         {"hit": ("top.hit", 0)})
+        gc = SymbolicModelChecker(
+            SymbolicModel(elaborate(_counter(width=3))),
+            gc_threshold=1,
+        ).check_property(parse_property("always (!hit)"),
+                         {"hit": ("top.hit", 0)})
+        assert plain.holds == gc.holds is False
+        assert plain.counterexample_depth == gc.counterexample_depth
+
+    def test_aux_slot_overflow_falls_back(self):
+        model = SymbolicModel(elaborate(_counter(width=2)), aux_slots=1)
+        names = model.alloc_aux_vars(3)
+        assert len(names) == 3
+        assert len(set(names)) == 3

@@ -1,0 +1,345 @@
+"""Unit tests for the OVL checker library and the ABV monitor framework."""
+
+import pytest
+
+from repro.abv import AssertionMonitor, FailureAction, bind_atom, summarize
+from repro.ovl import (
+    Severity,
+    assert_always,
+    assert_cycle_sequence,
+    assert_even_parity,
+    assert_frame,
+    assert_handshake,
+    assert_implication,
+    assert_never,
+    assert_next,
+    assert_unchanged,
+)
+from repro.psl import Verdict
+from repro.rtl import AssertionFailure, C, Mux, RtlModule, RtlSimulator
+from repro.sysc import ClockPair, Signal, Simulator
+
+
+def _sim_with(builder):
+    top = RtlModule("t")
+    nets = builder(top)
+    return RtlSimulator(top), nets
+
+
+class TestOvlBasics:
+    def test_assert_always_pass_and_fail(self):
+        top = RtlModule("t")
+        x = top.input("x", 1)
+        assert_always(top, x.ref(), name="alw")
+        sim = RtlSimulator(top)
+        sim.set_input("t.x", 1)
+        sim.cycle(2)
+        assert sim.ok
+        sim.set_input("t.x", 0)
+        sim.cycle(1)
+        assert not sim.ok
+        assert "alw" in sim.failures[0].name
+
+    def test_assert_never(self):
+        top = RtlModule("t")
+        x = top.input("x", 1)
+        assert_never(top, x.ref(), name="nev")
+        sim = RtlSimulator(top)
+        sim.cycle(2)
+        assert sim.ok
+        sim.set_input("t.x", 1)
+        sim.cycle(1)
+        assert not sim.ok
+
+    def test_monitor_clock_gating(self):
+        # a K#-clocked monitor must not fire on K edges
+        top = RtlModule("t")
+        x = top.input("x", 1)
+        assert_never(top, x.ref(), name="nev", clock="K#")
+        sim = RtlSimulator(top)
+        sim.set_input("t.x", 1)
+        sim.step("K")
+        assert sim.ok
+        sim.step("K#")
+        assert not sim.ok
+
+    def test_severity_warning_does_not_fail(self):
+        top = RtlModule("t")
+        x = top.input("x", 1)
+        assert_never(top, x.ref(), name="warn", severity=Severity.WARNING)
+        sim = RtlSimulator(top)
+        sim.set_input("t.x", 1)
+        sim.cycle(1)
+        assert sim.ok           # warnings are not failures
+        assert sim.firings      # but they are recorded
+
+    def test_stop_on_failure_raises(self):
+        top = RtlModule("t")
+        x = top.input("x", 1)
+        assert_never(top, x.ref(), name="fatal")
+        sim = RtlSimulator(top, stop_on_failure=True)
+        sim.set_input("t.x", 1)
+        with pytest.raises(AssertionFailure):
+            sim.cycle(1)
+
+    def test_assert_implication(self):
+        top = RtlModule("t")
+        a = top.input("a", 1)
+        c = top.input("c", 1)
+        assert_implication(top, a.ref(), c.ref(), name="imp")
+        sim = RtlSimulator(top)
+        sim.set_input("t.a", 1)
+        sim.set_input("t.c", 1)
+        sim.cycle(1)
+        assert sim.ok
+        sim.set_input("t.c", 0)
+        sim.cycle(1)
+        assert not sim.ok
+
+
+class TestOvlTemporal:
+    def test_assert_next_pass(self):
+        top = RtlModule("t")
+        s = top.input("s", 1)
+        t = top.input("t", 1)
+        assert_next(top, s.ref(), t.ref(), num_cks=2, name="nxt")
+        sim = RtlSimulator(top)
+        sim.set_input("t.s", 1)
+        sim.step("K")
+        sim.set_input("t.s", 0)
+        sim.step("K#")
+        sim.step("K")
+        sim.step("K#")
+        sim.set_input("t.t", 1)
+        sim.step("K")
+        assert sim.ok
+
+    def test_assert_next_fail(self):
+        top = RtlModule("t")
+        s = top.input("s", 1)
+        t = top.input("t", 1)
+        assert_next(top, s.ref(), t.ref(), num_cks=1, name="nxt")
+        sim = RtlSimulator(top)
+        sim.set_input("t.s", 1)
+        sim.step("K")
+        sim.set_input("t.s", 0)
+        sim.step("K#")
+        sim.step("K")  # t still low one K-tick after s
+        assert not sim.ok
+
+    def test_assert_next_validation(self):
+        top = RtlModule("t")
+        s = top.input("s", 1)
+        with pytest.raises(ValueError):
+            assert_next(top, s.ref(), s.ref(), num_cks=0)
+
+    def test_cycle_sequence(self):
+        top = RtlModule("t")
+        a = top.input("a", 1)
+        b = top.input("b", 1)
+        c = top.input("c", 1)
+        assert_cycle_sequence(top, [a.ref(), b.ref(), c.ref()], name="seq")
+        sim = RtlSimulator(top)
+        # correct sequence a, b, c on consecutive K edges
+        for pins in ((1, 0, 0), (0, 1, 0), (0, 0, 1), (0, 0, 0)):
+            sim.set_input("t.a", pins[0])
+            sim.set_input("t.b", pins[1])
+            sim.set_input("t.c", pins[2])
+            sim.step("K")
+            sim.step("K#")
+        assert sim.ok
+        # broken sequence: a then nothing
+        sim.reset()
+        sim.set_input("t.a", 1)
+        sim.step("K")
+        sim.set_input("t.a", 0)
+        sim.step("K#")
+        sim.step("K")
+        assert not sim.ok
+
+    def test_cycle_sequence_validation(self):
+        top = RtlModule("t")
+        a = top.input("a", 1)
+        with pytest.raises(ValueError):
+            assert_cycle_sequence(top, [a.ref()])
+
+    def test_frame_window(self):
+        top = RtlModule("t")
+        s = top.input("s", 1)
+        t = top.input("t", 1)
+        assert_frame(top, s.ref(), t.ref(), 2, 3, name="frm")
+        sim = RtlSimulator(top)
+        # test at age 1 -> too early
+        sim.set_input("t.s", 1)
+        sim.cycle(1)
+        sim.set_input("t.s", 0)
+        sim.set_input("t.t", 1)
+        sim.cycle(1)
+        assert not sim.ok
+
+    def test_frame_validation(self):
+        top = RtlModule("t")
+        s = top.input("s", 1)
+        with pytest.raises(ValueError):
+            assert_frame(top, s.ref(), s.ref(), 0, 2)
+        with pytest.raises(ValueError):
+            assert_frame(top, s.ref(), s.ref(), 3, 2)
+
+    def test_unchanged(self):
+        top = RtlModule("t")
+        s = top.input("s", 1)
+        v = top.input("v", 4)
+        assert_unchanged(top, s.ref(), v.ref(), 3, name="unc")
+        sim = RtlSimulator(top)
+        sim.set_input("t.v", 9)
+        sim.set_input("t.s", 1)
+        sim.cycle(1)
+        sim.set_input("t.s", 0)
+        sim.cycle(3)
+        assert sim.ok
+        sim.reset()
+        sim.set_input("t.v", 9)
+        sim.set_input("t.s", 1)
+        sim.cycle(1)
+        sim.set_input("t.s", 0)
+        sim.set_input("t.v", 5)  # changes within the window
+        sim.cycle(1)
+        assert not sim.ok
+
+    def test_handshake(self):
+        top = RtlModule("t")
+        req = top.input("req", 1)
+        ack = top.input("ack", 1)
+        assert_handshake(top, req.ref(), ack.ref(), name="hs")
+        sim = RtlSimulator(top)
+        sim.set_input("t.req", 1)
+        sim.cycle(1)
+        sim.set_input("t.req", 0)
+        sim.set_input("t.ack", 1)
+        sim.cycle(1)
+        sim.set_input("t.ack", 0)
+        sim.cycle(1)
+        assert sim.ok
+        # spurious ack with nothing outstanding
+        sim.set_input("t.ack", 1)
+        sim.cycle(1)
+        assert not sim.ok
+
+    def test_even_parity_checker(self):
+        top = RtlModule("t")
+        d = top.input("d", 8)
+        p = top.input("p", 1)
+        v = top.input("v", 1)
+        assert_even_parity(top, d.ref(), p.ref(), v.ref(), name="par")
+        sim = RtlSimulator(top)
+        sim.set_input("t.d", 0b1110)
+        sim.set_input("t.p", 1)
+        sim.set_input("t.v", 1)
+        sim.cycle(1)
+        assert sim.ok
+        sim.set_input("t.p", 0)
+        sim.cycle(1)
+        assert not sim.ok
+
+    def test_checker_adds_design_load(self):
+        """The paper's Table 3 premise: each OVL call loads a module."""
+        from repro.rtl import elaborate
+
+        bare = RtlModule("t")
+        x = bare.input("x", 1)
+        out = bare.output("q", 1)
+        bare.assign(out, x.ref())
+        bare_nets = elaborate(bare).stats()["nets"]
+
+        loaded = RtlModule("t")
+        x = loaded.input("x", 1)
+        out = loaded.output("q", 1)
+        loaded.assign(out, x.ref())
+        for i in range(5):
+            assert_next(loaded, x.ref(), out.ref(), 2, name=f"a{i}")
+        loaded_stats = elaborate(loaded).stats()
+        assert loaded_stats["nets"] > bare_nets
+        # one pipeline + one registered fire strobe per checker
+        assert loaded_stats["regs"] == 10
+        assert loaded_stats["monitors"] == 5
+
+
+class TestAbvMonitors:
+    def _system(self):
+        sim = Simulator()
+        clocks = ClockPair(sim, "K")
+        sig = Signal(sim, "ok", True)
+        return sim, clocks, sig
+
+    def test_monitor_samples_on_trigger(self):
+        sim, clocks, sig = self._system()
+        monitor = AssertionMonitor("always (ok)", "m", {"ok": sig})
+        monitor.attach(sim, clocks.posedge_k)
+        sim.run(8)
+        assert monitor.samples == 4
+        assert monitor.verdict is Verdict.PENDING
+        assert monitor.finish() is Verdict.HOLDS
+
+    def test_monitor_detects_failure_and_reports(self):
+        sim, clocks, sig = self._system()
+        monitor = AssertionMonitor("always (ok)", "m", {"ok": sig},
+                                   actions=(FailureAction.REPORT,))
+        monitor.attach(sim, clocks.posedge_k)
+        sim.run(4)
+        sig.write(False)
+        sim.run(4)
+        assert monitor.verdict is Verdict.FAILS
+        assert monitor.reports and "ASSERTION FIRED" in monitor.reports[0]
+
+    def test_monitor_stops_simulation(self):
+        sim, clocks, sig = self._system()
+        monitor = AssertionMonitor(
+            "always (ok)", "m", {"ok": sig},
+            actions=(FailureAction.STOP,))
+        monitor.attach(sim, clocks.posedge_k)
+        sig.write_now(False)
+        sim.run(100)
+        assert sim.time < 100
+        assert "fired" in (sim.stop_reason or "")
+
+    def test_monitor_warning_signal(self):
+        sim, clocks, sig = self._system()
+        warn = Signal(sim, "warn", False)
+        monitor = AssertionMonitor(
+            "always (ok)", "m", {"ok": sig},
+            actions=(FailureAction.WARN,))
+        monitor.attach(sim, clocks.posedge_k, warning_signal=warn)
+        sig.write_now(False)
+        sim.run(4)
+        assert warn.read() is True
+
+    def test_unbound_atom_rejected(self):
+        with pytest.raises(ValueError):
+            AssertionMonitor("always (a & b)", "m", {"a": lambda: True})
+
+    def test_bind_atom_variants(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", 1)
+        assert bind_atom(sig)() is True
+        assert bind_atom(lambda: 0)() is False
+        with pytest.raises(TypeError):
+            bind_atom(42)
+
+    def test_summary_report(self):
+        sim, clocks, sig = self._system()
+        good = AssertionMonitor("always (ok)", "good", {"ok": sig})
+        bad = AssertionMonitor("always (!ok)", "bad", {"ok": sig})
+        for monitor in (good, bad):
+            monitor.attach(sim, clocks.posedge_k)
+        sim.run(4)
+        report = summarize([good, bad]).finish()
+        assert not report.passed
+        assert [m.name for m in report.failed] == ["bad"]
+        assert "good" in report.render() and "FAIL" in report.render()
+
+    def test_p_status_encoding(self):
+        sim, clocks, sig = self._system()
+        monitor = AssertionMonitor("always (ok)", "m", {"ok": sig})
+        monitor.attach(sim, clocks.posedge_k)
+        sim.run(2)
+        assert not monitor.p_status and monitor.p_value

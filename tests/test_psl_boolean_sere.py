@@ -1,0 +1,195 @@
+"""Unit tests for the PSL Boolean layer and SERE compilation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.psl import (
+    And,
+    Atom,
+    ConstB,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PslError,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereRepeat,
+    compile_sere,
+    parse_boolean,
+    parse_sere,
+)
+
+
+def _v(**kwargs):
+    return kwargs
+
+
+class TestBooleanLayer:
+    def test_atom_eval(self):
+        assert Atom("x").evaluate({"x": 1})
+        assert not Atom("x").evaluate({"x": 0})
+
+    def test_missing_atom_raises(self):
+        with pytest.raises(PslError):
+            Atom("x").evaluate({})
+
+    def test_const(self):
+        assert ConstB(True).evaluate({})
+        assert not ConstB(False).evaluate({})
+
+    def test_operators(self):
+        a, b = Atom("a"), Atom("b")
+        env = _v(a=1, b=0)
+        assert Not(b).evaluate(env)
+        assert not And(a, b).evaluate(env)
+        assert Or(a, b).evaluate(env)
+        assert not Iff(a, b).evaluate(env)
+        assert not Implies(a, b).evaluate(env)
+        assert Implies(b, a).evaluate(env)
+
+    def test_sugar(self):
+        a, b = Atom("a"), Atom("b")
+        assert ((a & b) | ~a).evaluate(_v(a=0, b=0))
+
+    def test_atoms_collection(self):
+        expr = And(Atom("x"), Or(Atom("y"), Not(Atom("x"))))
+        assert expr.atoms() == {"x", "y"}
+
+    def test_structural_equality_and_hash(self):
+        assert And(Atom("a"), Atom("b")) == And(Atom("a"), Atom("b"))
+        assert hash(Atom("a")) == hash(Atom("a"))
+        assert And(Atom("a"), Atom("b")) != Or(Atom("a"), Atom("b"))
+
+    def test_parse_boolean_precedence(self):
+        expr = parse_boolean("a | b & !c")
+        # & binds tighter than |
+        assert expr.evaluate(_v(a=0, b=1, c=0))
+        assert not expr.evaluate(_v(a=0, b=1, c=1))
+
+    def test_parse_iff_implies(self):
+        expr = parse_boolean("a <-> (b -> c)")
+        assert expr.evaluate(_v(a=1, b=0, c=0))
+        assert not expr.evaluate(_v(a=0, b=0, c=0))
+
+    def test_parse_hierarchical_names(self):
+        expr = parse_boolean("bank0.read_port.data_valid")
+        assert expr.atoms() == {"bank0.read_port.data_valid"}
+
+    def test_parse_errors(self):
+        with pytest.raises(PslError):
+            parse_boolean("a &")
+        with pytest.raises(PslError):
+            parse_boolean("(a")
+        with pytest.raises(PslError):
+            parse_boolean("a b")
+
+    @given(st.booleans(), st.booleans())
+    def test_implies_truth_table(self, a, b):
+        assert parse_boolean("a -> b").evaluate(_v(a=a, b=b)) == \
+            ((not a) or b)
+
+
+A = {"a": 1, "b": 0}
+B = {"a": 0, "b": 1}
+AB = {"a": 1, "b": 1}
+NONE = {"a": 0, "b": 0}
+
+
+class TestSereMatching:
+    def test_single_boolean(self):
+        nfa = compile_sere(parse_sere("{a}"))
+        assert nfa.matches([A])
+        assert not nfa.matches([B])
+        assert not nfa.matches([])
+        assert not nfa.matches([A, A])
+
+    def test_concat(self):
+        nfa = compile_sere(parse_sere("{a; b}"))
+        assert nfa.matches([A, B])
+        assert not nfa.matches([A])
+        assert not nfa.matches([B, A])
+
+    def test_or(self):
+        nfa = compile_sere(parse_sere("{a | b; b}"))
+        assert nfa.matches([A])
+        assert nfa.matches([B, B])
+        assert not nfa.matches([NONE])
+
+    def test_fusion_overlaps(self):
+        nfa = compile_sere(parse_sere("{a : b}"))
+        assert nfa.matches([AB])
+        assert not nfa.matches([A, B])
+
+    def test_fusion_multi_cycle(self):
+        # {a;b : b;a} -- the b cycle is shared
+        nfa = compile_sere(parse_sere("{{a; b} : {b; a}}"))
+        assert nfa.matches([A, B, A])
+        assert not nfa.matches([A, B, B, A])
+
+    def test_fusion_rejects_empty(self):
+        with pytest.raises(PslError):
+            compile_sere(parse_sere("{a[*] : b}"))
+
+    def test_star(self):
+        nfa = compile_sere(parse_sere("{a[*]; b}"))
+        assert nfa.matches([B])
+        assert nfa.matches([A, B])
+        assert nfa.matches([A, A, A, B])
+        assert not nfa.matches([A, A])
+
+    def test_plus(self):
+        nfa = compile_sere(parse_sere("{a[+]}"))
+        assert not nfa.matches([])
+        assert nfa.matches([A])
+        assert nfa.matches([A, A, A])
+        assert not nfa.matches([A, B])
+
+    def test_exact_repeat(self):
+        nfa = compile_sere(parse_sere("{a[*3]}"))
+        assert nfa.matches([A, A, A])
+        assert not nfa.matches([A, A])
+        assert not nfa.matches([A, A, A, A])
+
+    def test_bounded_repeat(self):
+        nfa = compile_sere(parse_sere("{a[*1:2]; b}"))
+        assert nfa.matches([A, B])
+        assert nfa.matches([A, A, B])
+        assert not nfa.matches([B])
+        assert not nfa.matches([A, A, A, B])
+
+    def test_unbounded_from(self):
+        nfa = compile_sere(parse_sere("{a[*2:$]}"))
+        assert not nfa.matches([A])
+        assert nfa.matches([A, A])
+        assert nfa.matches([A] * 5)
+
+    def test_zero_repeat_matches_empty(self):
+        nfa = compile_sere(parse_sere("{a[*0:2]}"))
+        assert nfa.accepts_empty
+        assert nfa.matches([])
+        assert nfa.matches([A, A])
+
+    def test_first_match_end(self):
+        nfa = compile_sere(parse_sere("{a; b}"))
+        assert nfa.first_match_end([A, B, A]) == 1
+        assert nfa.first_match_end([B]) is None
+
+    def test_repeat_bounds_validation(self):
+        with pytest.raises(PslError):
+            parse_sere("{a[*3:2]}")
+
+    @settings(max_examples=100)
+    @given(st.lists(st.sampled_from([A, B, AB, NONE]), max_size=6))
+    def test_star_matches_all_a_traces(self, trace):
+        nfa = compile_sere(parse_sere("{a[*]}"))
+        assert nfa.matches(trace) == all(v["a"] for v in trace)
+
+    @settings(max_examples=100)
+    @given(st.integers(0, 5), st.integers(0, 3))
+    def test_repeat_counts(self, n, extra):
+        nfa = compile_sere(SereRepeat(SereBool(Atom("a")), n, n))
+        assert nfa.matches([A] * n)
+        if extra:
+            assert not nfa.matches([A] * (n + extra))

@@ -1,0 +1,144 @@
+"""Tests for verification-layer directives and remaining PSL surface."""
+
+import pytest
+
+from repro.psl import (
+    AssertDirective,
+    AssumeDirective,
+    CoverDirective,
+    ModelingLayer,
+    PropAnd,
+    PslError,
+    PslMonitor,
+    Verdict,
+    parse_boolean,
+    parse_property,
+    parse_sere,
+)
+from repro.psl import builder as B
+
+
+class TestDirectives:
+    def test_assert_directive(self):
+        directive = AssertDirective(parse_property("always (ok)"),
+                                    "safety1")
+        assert directive.name == "safety1"
+        assert "assert safety1" in repr(directive)
+
+    def test_assume_directive(self):
+        directive = AssumeDirective(parse_property("never {glitch}"),
+                                    "env")
+        assert "assume env" in repr(directive)
+
+    def test_cover_directive(self):
+        directive = CoverDirective(parse_sere("{req; ack}"), "handshake")
+        assert "cover handshake" in repr(directive)
+
+
+class TestPropAnd:
+    def test_conjunction_semantics(self):
+        prop = PropAnd([
+            parse_property("always (a)"),
+            parse_property("always (b)"),
+        ])
+        monitor = PslMonitor(prop)
+        monitor.step({"a": 1, "b": 1})
+        assert monitor.verdict is Verdict.PENDING
+        monitor.step({"a": 1, "b": 0})
+        assert monitor.verdict is Verdict.FAILS
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(PslError):
+            PropAnd([])
+
+    def test_atoms_union(self):
+        prop = PropAnd([parse_property("always (a)"),
+                        parse_property("never {b}")])
+        assert prop.atoms() == {"a", "b"}
+
+    def test_builder_single_passthrough(self):
+        single = B.prop_and(B.atom("x"))
+        assert single.atoms() == {"x"}
+
+
+class TestModelingLayerOrder:
+    def test_definitions_see_earlier_definitions(self):
+        layer = ModelingLayer()
+        layer.define("ab", parse_boolean("a & b"))
+        layer.define("ab_or_c", parse_boolean("ab | c"))
+        extended = layer.extend({"a": 1, "b": 1, "c": 0})
+        assert extended["ab"] is True
+        assert extended["ab_or_c"] is True
+
+    def test_names_in_order(self):
+        layer = ModelingLayer()
+        layer.define("x", parse_boolean("a"))
+        layer.define("y", parse_boolean("x"))
+        assert layer.names == ["x", "y"]
+        assert len(layer) == 2
+
+    def test_original_valuation_untouched(self):
+        layer = ModelingLayer()
+        layer.define("x", parse_boolean("a"))
+        base = {"a": 1}
+        layer.extend(base)
+        assert "x" not in base
+
+
+class TestBuilderCoverage:
+    def test_constants(self):
+        assert B.true().evaluate({})
+        assert not B.false().evaluate({})
+
+    def test_until_before_builders(self):
+        assert B.until(B.atom("a"), B.atom("b"), strong=True).strong
+        assert not B.before(B.atom("a"), B.atom("b")).strong
+
+    def test_eventually_within(self):
+        monitor = PslMonitor(B.within(B.atom("d"), 1))
+        monitor.step({"d": 0})
+        monitor.step({"d": 1})
+        assert monitor.verdict is Verdict.HOLDS
+        live = B.eventually(B.atom("d"))
+        assert not live.is_safety()
+
+    def test_abort_builder(self):
+        prop = B.abort(B.within(B.atom("d"), 1), B.atom("rst"))
+        monitor = PslMonitor(prop)
+        monitor.step({"d": 0, "rst": 1})
+        assert monitor.finish() is Verdict.HOLDS
+
+    def test_never_accepts_bare_boolean(self):
+        prop = B.never(B.atom("bad"))
+        monitor = PslMonitor(prop)
+        monitor.step({"bad": 0})
+        monitor.step({"bad": 1})
+        assert monitor.verdict is Verdict.FAILS
+
+    def test_seq_requires_steps(self):
+        with pytest.raises(ValueError):
+            B.seq()
+
+    def test_suffix_builder_boolean_consequent(self):
+        prop = B.suffix(B.seq(B.atom("a")), B.atom("b"), overlap=False)
+        monitor = PslMonitor(prop)
+        monitor.step({"a": 1, "b": 0})
+        monitor.step({"a": 0, "b": 1})
+        assert monitor.finish() is Verdict.HOLDS
+
+
+class TestReprStability:
+    """Reprs are part of the debugging UX; pin their shape loosely."""
+
+    def test_property_reprs(self):
+        assert "always" in repr(parse_property("always (a)"))
+        assert "never" in repr(parse_property("never {a}"))
+        assert "|->" in repr(parse_property("{a} |-> (b)"))
+        assert "until!" in repr(parse_property("a until! b"))
+        assert "within![2]" in repr(parse_property("within![2] a"))
+        assert "abort" in repr(parse_property("(always (a)) abort r"))
+
+    def test_sere_reprs(self):
+        assert ";" in repr(parse_sere("{a; b}"))
+        assert ":" in repr(parse_sere("{a : b}"))
+        assert "[*1:" in repr(parse_sere("{a[+]}"))

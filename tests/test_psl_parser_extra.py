@@ -1,0 +1,151 @@
+"""Additional PSL parser tests: reprs, round trips, corner syntax."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.psl import (
+    Abort,
+    Always,
+    Before,
+    EventuallyBang,
+    Never,
+    NextP,
+    PropImplication,
+    PslError,
+    SereFusion,
+    SereOr,
+    SereRepeat,
+    SuffixImpl,
+    Until,
+    WithinBang,
+    parse_property,
+    parse_sere,
+)
+
+
+class TestPropertyShapes:
+    def test_always_nesting(self):
+        prop = parse_property("always always (a)")
+        assert isinstance(prop, Always)
+        assert isinstance(prop.p, Always)
+
+    def test_next_default_one(self):
+        prop = parse_property("next (a)")
+        assert isinstance(prop, NextP) and prop.n == 1
+
+    def test_next_bracketed(self):
+        prop = parse_property("next[5] (a)")
+        assert prop.n == 5
+
+    def test_guard_implication_with_temporal_consequent(self):
+        prop = parse_property("a -> next[2] (b)")
+        assert isinstance(prop, PropImplication)
+        assert isinstance(prop.p, NextP)
+
+    def test_boolean_implication_stays_boolean(self):
+        prop = parse_property("a -> b")
+        # single-cycle implication: a PropBool wrapping Implies
+        assert prop.atoms() == {"a", "b"}
+        assert prop.is_safety()
+
+    def test_suffix_arrows(self):
+        overlap = parse_property("{a} |-> (b)")
+        non_overlap = parse_property("{a} |=> (b)")
+        assert isinstance(overlap, SuffixImpl) and overlap.overlap
+        assert isinstance(non_overlap, SuffixImpl) and not non_overlap.overlap
+
+    def test_strong_variants(self):
+        assert parse_property("a until! b").strong
+        assert not parse_property("a until b").strong
+        assert parse_property("a before! b").strong
+
+    def test_eventually_and_within(self):
+        assert isinstance(parse_property("eventually! done"), EventuallyBang)
+        within = parse_property("within![4] done")
+        assert isinstance(within, WithinBang) and within.n == 4
+
+    def test_abort(self):
+        prop = parse_property("(always (ok)) abort reset")
+        assert isinstance(prop, Abort)
+        assert isinstance(prop.p, Always)
+
+    def test_never_takes_sere(self):
+        prop = parse_property("never {a; b[*2]}")
+        assert isinstance(prop, Never)
+
+    def test_parenthesised_property(self):
+        prop = parse_property("always ((a until b))")
+        assert isinstance(prop.p, Until)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(PslError):
+            parse_property("always (a) banana")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(PslError):
+            parse_property("")
+
+    def test_unclosed_sere(self):
+        with pytest.raises(PslError):
+            parse_property("never {a; b")
+
+    def test_bad_tokens(self):
+        with pytest.raises(PslError):
+            parse_property("always (a @ b)")
+
+
+class TestSereShapes:
+    def test_precedence_fusion_tightest(self):
+        sere = parse_sere("{a : b; c | d}")
+        # ((a:b); c) | d
+        assert isinstance(sere, SereOr)
+        from repro.psl import SereConcat
+
+        assert isinstance(sere.a, SereConcat)
+        assert isinstance(sere.a.a, SereFusion)
+
+    def test_nested_braces(self):
+        sere = parse_sere("{{a; b}[*2]}")
+        assert isinstance(sere, SereRepeat)
+        assert sere.lo == sere.hi == 2
+
+    def test_star_plus_shorthand(self):
+        star = parse_sere("{a[*]}")
+        plus = parse_sere("{a[+]}")
+        assert (star.lo, star.hi) == (0, None)
+        assert (plus.lo, plus.hi) == (1, None)
+
+    def test_range_with_dollar(self):
+        sere = parse_sere("{a[*2:$]}")
+        assert (sere.lo, sere.hi) == (2, None)
+
+    def test_boolean_and_inside_term(self):
+        sere = parse_sere("{a & b; c}")
+        nfa_atoms = sere.atoms()
+        assert nfa_atoms == {"a", "b", "c"}
+
+    def test_repr_round_trip_atoms(self):
+        # reprs are human-oriented; atoms survive
+        for text in ("{a; b}", "{a : b}", "{a | b}", "{a[*1:3]}"):
+            sere = parse_sere(text)
+            assert sere.atoms() <= {"a", "b"}
+
+
+@settings(max_examples=60)
+@given(st.integers(1, 6), st.integers(0, 4))
+def test_parse_next_n_round_trip(n, extra):
+    prop = parse_property(f"always (a -> next[{n}] (b))")
+    inner = prop.p.p
+    assert inner.n == n
+
+
+@settings(max_examples=60)
+@given(st.sampled_from(["a", "b", "sig_1", "bank0.port.x", "K#q"]))
+def test_identifier_forms(name):
+    if name == "K#q":
+        # '#' only allowed after the first character
+        prop = parse_property(f"always ({name})")
+        assert name in prop.atoms()
+    else:
+        prop = parse_property(f"always ({name})")
+        assert prop.atoms() == {name}

@@ -1,0 +1,239 @@
+"""Unit tests for PSL temporal properties: runtime monitor semantics."""
+
+import pytest
+
+from repro.psl import (
+    ModelingLayer,
+    PslError,
+    PslMonitor,
+    Verdict,
+    parse_boolean,
+    parse_property,
+)
+from repro.psl import builder as B
+
+
+def run(prop_text, trace, finish=True):
+    monitor = PslMonitor(parse_property(prop_text))
+    for valuation in trace:
+        monitor.step(valuation)
+    if finish:
+        monitor.finish()
+    return monitor
+
+
+def V(**kwargs):
+    return kwargs
+
+
+class TestAlwaysNext:
+    def test_always_bool_holds(self):
+        m = run("always (ok)", [V(ok=1)] * 5)
+        assert m.verdict is Verdict.HOLDS
+
+    def test_always_bool_fails_at_cycle(self):
+        m = run("always (ok)", [V(ok=1), V(ok=1), V(ok=0)], finish=False)
+        assert m.verdict is Verdict.FAILS
+        assert m.failed_at == 2
+
+    def test_next_n(self):
+        m = run("always (req -> next[3] (ack))",
+                [V(req=1, ack=0), V(req=0, ack=0), V(req=0, ack=0),
+                 V(req=0, ack=1)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_next_n_wrong_cycle_fails(self):
+        m = run("always (req -> next[3] (ack))",
+                [V(req=1, ack=0), V(req=0, ack=0), V(req=0, ack=1),
+                 V(req=0, ack=0)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+    def test_overlapping_windows(self):
+        # two requests one cycle apart, both must be answered
+        m = run("always (req -> next[2] (ack))",
+                [V(req=1, ack=0), V(req=1, ack=0), V(req=0, ack=1),
+                 V(req=0, ack=1)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_next_validation(self):
+        with pytest.raises(PslError):
+            parse_property("next[0] (a)")
+
+
+class TestUntilBefore:
+    def test_weak_until_released(self):
+        m = run("busy until done", [V(busy=1, done=0), V(busy=1, done=1)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_weak_until_forever_ok(self):
+        m = run("busy until done", [V(busy=1, done=0)] * 4)
+        assert m.verdict is Verdict.HOLDS  # weak: done may never come
+
+    def test_strong_until_requires_release(self):
+        m = run("busy until! done", [V(busy=1, done=0)] * 4)
+        assert m.verdict is Verdict.FAILS
+
+    def test_until_gap_fails(self):
+        m = run("busy until done",
+                [V(busy=1, done=0), V(busy=0, done=0)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+    def test_before(self):
+        m = run("grant before use", [V(grant=0, use=0), V(grant=1, use=0),
+                                     V(grant=0, use=1)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_before_violated(self):
+        m = run("grant before use", [V(grant=0, use=1)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+    def test_before_same_cycle_fails(self):
+        m = run("grant before use", [V(grant=1, use=1)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+    def test_before_weak_neither_occurs(self):
+        m = run("grant before use", [V(grant=0, use=0)] * 3)
+        assert m.verdict is Verdict.HOLDS
+
+    def test_before_strong(self):
+        m = run("grant before! use", [V(grant=0, use=0)] * 3)
+        assert m.verdict is Verdict.FAILS
+
+
+class TestEventuallyWithin:
+    def test_eventually_satisfied(self):
+        m = run("eventually! done", [V(done=0), V(done=0), V(done=1)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_eventually_pending_at_end_fails(self):
+        m = run("eventually! done", [V(done=0)] * 3)
+        assert m.verdict is Verdict.FAILS
+
+    def test_within_satisfied_at_bound(self):
+        m = run("within![2] done", [V(done=0), V(done=0), V(done=1)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_within_exceeded(self):
+        m = run("within![2] done", [V(done=0)] * 4, finish=False)
+        assert m.verdict is Verdict.FAILS
+        assert m.failed_at == 2
+
+    def test_within_zero(self):
+        m = run("within![0] done", [V(done=1)])
+        assert m.verdict is Verdict.HOLDS
+
+
+class TestSuffixImplication:
+    def test_overlap_consequent_at_match_end(self):
+        m = run("always {req; ack} |-> (ack)",
+                [V(req=1, ack=0), V(req=0, ack=1), V(req=0, ack=0)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_non_overlap_consequent_next_cycle(self):
+        m = run("always {req} |=> (ack)",
+                [V(req=1, ack=0), V(req=0, ack=1)])
+        assert m.verdict is Verdict.HOLDS
+        m = run("always {req} |=> (ack)",
+                [V(req=1, ack=0), V(req=0, ack=0)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+    def test_vacuous_when_antecedent_never_matches(self):
+        m = run("always {req; req} |-> (false)",
+                [V(req=1), V(req=0), V(req=1), V(req=0)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_repeated_antecedent(self):
+        m = run("always {busy[*2]} |-> next (idle)",
+                [V(busy=1, idle=0), V(busy=1, idle=0), V(busy=0, idle=1)])
+        assert m.verdict is Verdict.HOLDS
+
+
+class TestNever:
+    def test_never_single(self):
+        m = run("never {w & r}", [V(w=1, r=0), V(w=0, r=1)])
+        assert m.verdict is Verdict.HOLDS
+        m = run("never {w & r}", [V(w=1, r=1)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+    def test_never_sequence_any_start(self):
+        # matches starting at any cycle must be caught
+        m = run("never {a; b}",
+                [V(a=0, b=0), V(a=1, b=0), V(a=0, b=1)], finish=False)
+        assert m.verdict is Verdict.FAILS
+        assert m.failed_at == 2
+
+    def test_never_sequence_clean(self):
+        m = run("never {a; b}", [V(a=1, b=0), V(a=1, b=0), V(a=0, b=0)])
+        assert m.verdict is Verdict.HOLDS
+
+
+class TestAbort:
+    def test_abort_cancels_obligation(self):
+        m = run("(within![2] done) abort reset",
+                [V(done=0, reset=0), V(done=0, reset=1), V(done=0, reset=0)])
+        assert m.verdict is Verdict.HOLDS
+
+    def test_abort_does_not_mask_failure_before(self):
+        m = run("(always (ok)) abort reset",
+                [V(ok=0, reset=0)], finish=False)
+        assert m.verdict is Verdict.FAILS
+
+
+class TestMonitorBookkeeping:
+    def test_p_status_p_value_encoding(self):
+        monitor = PslMonitor(parse_property("always (ok)"))
+        monitor.step(V(ok=1))
+        assert not monitor.p_status        # pending
+        assert monitor.p_value
+        monitor.step(V(ok=0))
+        assert monitor.p_status and not monitor.p_value
+
+    def test_counterexample_trace(self):
+        monitor = PslMonitor(parse_property("always (ok)"))
+        monitor.step(V(ok=1))
+        monitor.step(V(ok=0))
+        trace = monitor.counterexample()
+        assert trace == [V(ok=1), V(ok=0)]
+
+    def test_verdict_latches(self):
+        monitor = PslMonitor(parse_property("always (ok)"))
+        monitor.step(V(ok=0))
+        monitor.step(V(ok=1))
+        assert monitor.verdict is Verdict.FAILS
+
+    def test_report_format(self):
+        monitor = PslMonitor(parse_property("always (ok)"), "my_prop")
+        monitor.step(V(ok=0))
+        assert "my_prop" in monitor.report()
+        assert "FAILS" in monitor.report()
+
+    def test_modeling_layer(self):
+        modeling = ModelingLayer()
+        modeling.define("both", parse_boolean("a & b"))
+        monitor = PslMonitor(parse_property("always (both)"),
+                             modeling=modeling)
+        monitor.step(V(a=1, b=1))
+        assert monitor.verdict is Verdict.PENDING
+        monitor.step(V(a=1, b=0))
+        assert monitor.verdict is Verdict.FAILS
+
+    def test_modeling_layer_duplicate(self):
+        modeling = ModelingLayer()
+        modeling.define("x", parse_boolean("a"))
+        with pytest.raises(PslError):
+            modeling.define("x", parse_boolean("b"))
+
+    def test_builder_api(self):
+        prop = B.always(B.implies(B.atom("req"),
+                                  B.next_(B.atom("ack"), 2)))
+        monitor = PslMonitor(prop)
+        for v in [V(req=1, ack=0), V(req=0, ack=0), V(req=0, ack=1)]:
+            monitor.step(v)
+        assert monitor.finish() is Verdict.HOLDS
+
+    def test_builder_seq_and_suffix(self):
+        prop = B.suffix(B.seq(B.atom("a"), B.atom("b")), B.atom("b"))
+        monitor = PslMonitor(prop)
+        monitor.step(V(a=1, b=0))
+        monitor.step(V(a=0, b=1))
+        assert monitor.finish() is Verdict.HOLDS

@@ -1,0 +1,117 @@
+"""Property-based tests: the SERE->NFA compiler against a denotational
+reference matcher.
+
+The reference evaluates SERE membership directly from the AST semantics
+(concatenation = all splits, fusion = all overlapping splits, repetition
+= all decompositions); the compiled NFA must agree on every trace.
+"""
+
+from functools import lru_cache
+
+from hypothesis import given, settings, strategies as st
+
+from repro.psl import (
+    Atom,
+    SereBool,
+    SereConcat,
+    SereFusion,
+    SereOr,
+    SereRepeat,
+    compile_sere,
+)
+
+
+def _ref_matches(sere, trace) -> bool:
+    """Reference denotational semantics over a concrete trace tuple."""
+    if isinstance(sere, SereBool):
+        return len(trace) == 1 and sere.expr.evaluate(trace[0])
+    if isinstance(sere, SereOr):
+        return _ref_matches(sere.a, trace) or _ref_matches(sere.b, trace)
+    if isinstance(sere, SereConcat):
+        return any(
+            _ref_matches(sere.a, trace[:i]) and _ref_matches(sere.b, trace[i:])
+            for i in range(len(trace) + 1)
+        )
+    if isinstance(sere, SereFusion):
+        # last letter of the a-match is the first letter of the b-match
+        return any(
+            _ref_matches(sere.a, trace[: i + 1])
+            and _ref_matches(sere.b, trace[i:])
+            for i in range(len(trace))
+        )
+    if isinstance(sere, SereRepeat):
+        return _ref_repeat(sere.a, sere.lo, sere.hi, trace)
+    raise TypeError(sere)
+
+
+def _ref_repeat(inner, lo, hi, trace) -> bool:
+    # if the inner SERE matches the empty word, any repetition count can
+    # be padded upward with empty matches, so reaching lo is free
+    inner_empty = _ref_matches(inner, ())
+
+    def count_matches(remaining, count) -> bool:
+        if not remaining:
+            return count >= lo or inner_empty
+        if hi is not None and count >= hi:
+            return False
+        return any(
+            _ref_matches(inner, remaining[:i])
+            and count_matches(remaining[i:], count + 1)
+            for i in range(1, len(remaining) + 1)
+        )
+
+    if not trace:
+        return lo == 0 or inner_empty
+    return count_matches(trace, 0)
+
+
+# ----------------------------------------------------------------------
+# strategies: small SEREs over two atoms, traces up to length 5
+# ----------------------------------------------------------------------
+_sere = st.deferred(
+    lambda: st.one_of(
+        st.sampled_from(["a", "b"]).map(lambda n: SereBool(Atom(n))),
+        st.tuples(_sere, _sere).map(lambda t: SereConcat(*t)),
+        st.tuples(_sere, _sere).map(lambda t: SereOr(*t)),
+        st.tuples(_sere, st.integers(0, 2), st.integers(0, 1)).map(
+            lambda t: SereRepeat(t[0], t[1], t[1] + t[2])
+        ),
+    )
+)
+
+_letters = st.fixed_dictionaries({"a": st.booleans(), "b": st.booleans()})
+_traces = st.lists(_letters, max_size=5).map(tuple)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_sere, _traces)
+def test_nfa_agrees_with_reference(sere, trace):
+    nfa = compile_sere(sere)
+    assert nfa.matches(list(trace)) == _ref_matches(sere, trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_sere, _sere, _traces)
+def test_fusion_agrees_with_reference(left, right, trace):
+    sere = SereFusion(left, right)
+    left_nfa = compile_sere(left)
+    right_nfa = compile_sere(right)
+    if left_nfa.accepts_empty or right_nfa.accepts_empty:
+        return  # fusion of possibly-empty operands is rejected upstream
+    nfa = compile_sere(sere)
+    assert nfa.matches(list(trace)) == _ref_matches(sere, trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_sere, st.integers(0, 2), st.integers(0, 2), _traces)
+def test_unbounded_repeat_agrees(inner, lo, extra, trace):
+    sere = SereRepeat(inner, lo, None)
+    nfa = compile_sere(sere)
+    assert nfa.matches(list(trace)) == _ref_repeat(inner, lo, None, trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_sere, _traces)
+def test_accepts_empty_is_exact(sere, trace):
+    nfa = compile_sere(sere)
+    assert nfa.accepts_empty == _ref_matches(sere, ())

@@ -1,0 +1,197 @@
+"""Unit tests for the RTL IR: expressions, nets, module construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl import (
+    BinOp,
+    C,
+    Concat,
+    Const,
+    HdlError,
+    Mux,
+    Reduce,
+    RtlModule,
+    Slice,
+    UnOp,
+)
+
+
+def _eval(expr, values=None):
+    values = values or {}
+    return expr.evaluate(lambda net: values[net])
+
+
+class TestConst:
+    def test_basic(self):
+        assert _eval(C(5, 4)) == 5
+        assert C(1).width == 1
+
+    def test_validation(self):
+        with pytest.raises(HdlError):
+            Const(16, 4)
+        with pytest.raises(HdlError):
+            Const(-1, 4)
+        with pytest.raises(HdlError):
+            Const(0, 0)
+
+
+class TestOperators:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_bitwise(self, a, b):
+        ea, eb = C(a, 8), C(b, 8)
+        assert _eval(ea & eb) == (a & b)
+        assert _eval(ea | eb) == (a | b)
+        assert _eval(ea ^ eb) == (a ^ b)
+        assert _eval(~ea) == (~a) & 0xFF
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_add_wraps(self, a, b):
+        assert _eval(C(a, 8) + C(b, 8)) == (a + b) & 0xFF
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_eq(self, a, b):
+        result = _eval(C(a, 4).eq(C(b, 4)))
+        assert result == (1 if a == b else 0)
+        assert _eval(C(a, 4).ne(C(b, 4))) == (1 if a != b else 0)
+
+    def test_eq_result_is_one_bit(self):
+        assert C(3, 4).eq(C(3, 4)).width == 1
+
+    def test_int_promotion(self):
+        # ints on the RHS are promoted to constants of matching width
+        assert _eval(C(3, 4) & 1) == 1
+        assert _eval(C(2, 4).eq(2)) == 1
+
+    def test_width_mismatch(self):
+        with pytest.raises(HdlError):
+            BinOp("and", C(1, 2), C(1, 3))
+        with pytest.raises(HdlError):
+            Mux(C(1, 2), C(0, 1), C(0, 1))
+        with pytest.raises(HdlError):
+            Mux(C(1, 1), C(0, 2), C(0, 3))
+
+    def test_unknown_ops(self):
+        with pytest.raises(HdlError):
+            BinOp("nand", C(0), C(0))
+        with pytest.raises(HdlError):
+            UnOp("neg", C(0))
+        with pytest.raises(HdlError):
+            Reduce("nor", C(0))
+
+
+class TestMuxSliceConcat:
+    def test_mux(self):
+        assert _eval(Mux(C(1), C(5, 4), C(9, 4))) == 5
+        assert _eval(Mux(C(0), C(5, 4), C(9, 4))) == 9
+
+    @given(st.integers(0, 255))
+    def test_slice(self, value):
+        expr = C(value, 8)
+        assert _eval(expr.slice(0, 3)) == value & 0xF
+        assert _eval(expr.slice(4, 7)) == (value >> 4) & 0xF
+        assert _eval(expr.bit(7)) == (value >> 7) & 1
+
+    def test_slice_bounds(self):
+        with pytest.raises(HdlError):
+            Slice(C(0, 4), 2, 5)
+        with pytest.raises(HdlError):
+            Slice(C(0, 4), 3, 1)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_concat_lsb_first(self, lo, hi):
+        assert _eval(Concat([C(lo, 4), C(hi, 4)])) == lo | (hi << 4)
+
+    def test_empty_concat(self):
+        with pytest.raises(HdlError):
+            Concat([])
+
+    @given(st.integers(0, 255))
+    def test_reductions(self, value):
+        expr = C(value, 8)
+        assert _eval(expr.reduce_xor()) == bin(value).count("1") % 2
+        assert _eval(expr.reduce_or()) == (1 if value else 0)
+        assert _eval(expr.reduce_and()) == (1 if value == 255 else 0)
+
+
+class TestModuleConstruction:
+    def test_duplicate_net(self):
+        m = RtlModule("m")
+        m.wire("w", 1)
+        with pytest.raises(HdlError):
+            m.wire("w", 2)
+
+    def test_double_assign(self):
+        m = RtlModule("m")
+        w = m.wire("w", 1)
+        m.assign(w, C(0))
+        with pytest.raises(HdlError):
+            m.assign(w, C(1))
+
+    def test_assign_width_check(self):
+        m = RtlModule("m")
+        w = m.wire("w", 4)
+        with pytest.raises(HdlError):
+            m.assign(w, C(0, 2))
+
+    def test_assign_to_reg_rejected(self):
+        m = RtlModule("m")
+        r = m.reg("r", 1)
+        with pytest.raises(HdlError):
+            m.assign(r, C(0))
+
+    def test_double_sync(self):
+        m = RtlModule("m")
+        r = m.reg("r", 1)
+        m.sync(r, C(0))
+        with pytest.raises(HdlError):
+            m.sync(r, C(1))
+
+    def test_sync_width_check(self):
+        m = RtlModule("m")
+        r = m.reg("r", 4)
+        with pytest.raises(HdlError):
+            m.sync(r, C(0, 2))
+
+    def test_reg_init_validation(self):
+        m = RtlModule("m")
+        with pytest.raises(HdlError):
+            m.reg("r", 2, init=4)
+
+    def test_tristate_after_assign_rejected(self):
+        m = RtlModule("m")
+        w = m.wire("w", 1)
+        m.assign(w, C(0))
+        with pytest.raises(HdlError):
+            m.tristate(w, C(1), C(1))
+
+    def test_tristate_enable_width(self):
+        m = RtlModule("m")
+        w = m.wire("w", 1)
+        with pytest.raises(HdlError):
+            m.tristate(w, C(0, 2), C(1))
+
+    def test_instance_port_checks(self):
+        child = RtlModule("child")
+        child.input("a", 2)
+        out = child.output("q", 2)
+        child.assign(out, child.net("a").ref())
+        parent = RtlModule("parent")
+        q = parent.wire("q", 2)
+        with pytest.raises(HdlError):  # unknown port
+            parent.instantiate(child, "c", {"a": C(0, 2), "q": q, "x": C(0)})
+        with pytest.raises(HdlError):  # missing port
+            parent.instantiate(child, "c", {"a": C(0, 2)})
+        with pytest.raises(HdlError):  # width mismatch on input
+            parent.instantiate(child, "c", {"a": C(0, 3), "q": q})
+        with pytest.raises(HdlError):  # output must bind a wire
+            parent.instantiate(child, "c", {"a": C(0, 2), "q": C(0, 2)})
+        parent.instantiate(child, "c", {"a": C(0, 2), "q": q})
+
+    def test_port_queries(self):
+        m = RtlModule("m")
+        m.input("a", 1)
+        out = m.output("b", 1)
+        m.assign(out, C(0))
+        assert [p.name for p in m.input_ports()] == ["a"]
+        assert [p.name for p in m.output_ports()] == ["b"]

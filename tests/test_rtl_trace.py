@@ -1,0 +1,70 @@
+"""Tests for the RTL waveform tracer."""
+
+import pytest
+
+from repro.rtl import C, Mux, RtlModule, RtlSimulator, RtlTracer
+
+
+def _sim():
+    m = RtlModule("t")
+    en = m.input("en", 1)
+    cnt = m.reg("cnt", 3, init=0)
+    m.sync(cnt, Mux(en.ref(), cnt.ref() + C(1, 3), cnt.ref()))
+    q = m.output("q", 3)
+    m.assign(q, cnt.ref())
+    return RtlSimulator(m)
+
+
+class TestRtlTracer:
+    def test_initial_value_recorded(self):
+        sim = _sim()
+        tracer = RtlTracer(sim, ["t.cnt"])
+        assert tracer.history("t.cnt") == [(0, 0)]
+
+    def test_changes_per_edge(self):
+        sim = _sim()
+        tracer = RtlTracer(sim, ["t.cnt"])
+        sim.set_input("t.en", 1)
+        sim.cycle(2)
+        # counter changes only on K edges (edges 1, 3)
+        assert tracer.history("t.cnt") == [(0, 0), (1, 1), (3, 2)]
+
+    def test_unchanged_values_not_duplicated(self):
+        sim = _sim()
+        tracer = RtlTracer(sim, ["t.cnt"])
+        sim.cycle(4)  # en = 0, no counting
+        assert tracer.history("t.cnt") == [(0, 0)]
+
+    def test_value_at(self):
+        sim = _sim()
+        tracer = RtlTracer(sim, ["t.cnt"])
+        sim.set_input("t.en", 1)
+        sim.cycle(3)
+        assert tracer.value_at("t.cnt", 0) == 0
+        assert tracer.value_at("t.cnt", 2) == 1
+        assert tracer.value_at("t.cnt", 5) == 3
+
+    def test_vcd_structure(self):
+        sim = _sim()
+        tracer = RtlTracer(sim, ["t.cnt", "t.en"])
+        sim.set_input("t.en", 1)
+        sim.cycle(1)
+        vcd = tracer.to_vcd()
+        assert "$enddefinitions $end" in vcd
+        assert "$var wire 3" in vcd
+        assert "$var wire 1" in vcd
+        assert "#0" in vcd
+
+    def test_table_structure(self):
+        sim = _sim()
+        tracer = RtlTracer(sim, ["t.cnt"])
+        sim.set_input("t.en", 1)
+        sim.cycle(1)
+        table = tracer.to_table()
+        assert table.splitlines()[0].startswith("edge |")
+        assert len(table.splitlines()) >= 3
+
+    def test_unknown_path_rejected(self):
+        sim = _sim()
+        with pytest.raises(KeyError):
+            RtlTracer(sim, ["t.nothing"])

@@ -1,0 +1,178 @@
+"""Unit tests for channels, clocks and the tracer."""
+
+import pytest
+
+from repro.sysc import (
+    ChannelError,
+    Clock,
+    ClockPair,
+    Fifo,
+    MethodProcess,
+    Mutex,
+    Semaphore,
+    Signal,
+    Simulator,
+    Tracer,
+)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=3)
+        assert fifo.nb_write("a")
+        assert fifo.nb_write("b")
+        ok, item = fifo.nb_read()
+        assert ok and item == "a"
+        ok, item = fifo.nb_read()
+        assert ok and item == "b"
+
+    def test_fifo_full_and_empty(self):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity=1)
+        assert fifo.nb_write(1)
+        assert not fifo.nb_write(2)
+        assert fifo.num_free() == 0
+        ok, __ = fifo.nb_read()
+        assert ok
+        ok, item = fifo.nb_read()
+        assert not ok and item is None
+
+    def test_fifo_events(self):
+        sim = Simulator()
+        fifo = Fifo(sim, "f", capacity=2)
+        log = []
+        p = MethodProcess(sim, "w", lambda: log.append(len(fifo)))
+        p.make_sensitive(fifo.data_written)
+        sim.initialize()
+        log.clear()
+        fifo.nb_write(1)
+        sim.run(0)
+        assert log == [1]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Fifo(Simulator(), capacity=0)
+
+
+class TestSemaphoreMutex:
+    def test_semaphore_counting(self):
+        sem = Semaphore(Simulator(), initial=2)
+        assert sem.trywait()
+        assert sem.trywait()
+        assert not sem.trywait()
+        sem.post()
+        assert sem.get_value() == 1
+        assert sem.trywait()
+
+    def test_semaphore_validation(self):
+        with pytest.raises(ValueError):
+            Semaphore(Simulator(), initial=-1)
+
+    def test_mutex_exclusion(self):
+        mutex = Mutex(Simulator())
+        assert mutex.trylock("a")
+        assert not mutex.trylock("b")
+        with pytest.raises(ChannelError):
+            mutex.unlock("b")
+        mutex.unlock("a")
+        assert not mutex.locked
+        assert mutex.trylock("b")
+
+    def test_unlock_free_mutex(self):
+        mutex = Mutex(Simulator())
+        with pytest.raises(ChannelError):
+            mutex.unlock("a")
+
+
+class TestClocks:
+    def test_clock_toggles(self):
+        sim = Simulator()
+        clk = Clock(sim, "c", half_period=2, start_high=True)
+        values = []
+        p = MethodProcess(sim, "obs", lambda: values.append(
+            (sim.time, clk.read())))
+        p.make_sensitive(clk.signal.changed)
+        sim.run(8)
+        # toggles at 2, 4, 6, 8
+        assert (2, False) in values
+        assert (4, True) in values
+        assert clk.period == 4
+
+    def test_clock_pair_out_of_phase(self):
+        sim = Simulator()
+        pair = ClockPair(sim, "K", half_period=1)
+        k_edges, kb_edges = [], []
+        p1 = MethodProcess(sim, "k", lambda: k_edges.append(sim.time))
+        p1.make_sensitive(pair.posedge_k)
+        p2 = MethodProcess(sim, "kb", lambda: kb_edges.append(sim.time))
+        p2.make_sensitive(pair.posedge_k_bar)
+        sim.run(8)
+        # skip the initialization run at t=0
+        assert [t for t in k_edges if t > 0] == [2, 4, 6, 8]
+        assert [t for t in kb_edges if t > 0] == [1, 3, 5, 7]
+
+    def test_complementarity(self):
+        sim = Simulator()
+        pair = ClockPair(sim, "K")
+        samples = []
+        p = MethodProcess(sim, "s", lambda: samples.append(
+            (pair.k.read(), pair.k_bar.read())))
+        p.make_sensitive(pair.k.changed)
+        sim.run(6)
+        assert all(k != kb for k, kb in samples)
+
+    def test_half_period_validation(self):
+        with pytest.raises(ValueError):
+            Clock(Simulator(), half_period=0)
+        with pytest.raises(ValueError):
+            ClockPair(Simulator(), half_period=-1)
+
+
+class TestTracer:
+    def _traced_sim(self):
+        sim = Simulator()
+        sim.initialize()
+        sig = Signal(sim, "data", 0)
+        tracer = Tracer(sim)
+        tracer.trace(sig)
+        return sim, sig, tracer
+
+    def test_history_records_changes(self):
+        sim, sig, tracer = self._traced_sim()
+        sig.write(1)
+        sim.run(0)
+        history = tracer.history("data")
+        assert history[0] == (0, 0)
+        assert history[-1] == (0, 1)
+
+    def test_value_at(self):
+        sim, sig, tracer = self._traced_sim()
+        sim.run(5)
+        sig.write(9)
+        sim.run(0)
+        assert tracer.value_at("data", 0) == 0
+        assert tracer.value_at("data", 5) == 9
+
+    def test_vcd_output_structure(self):
+        sim, sig, tracer = self._traced_sim()
+        sig.write(3)
+        sim.run(0)
+        vcd = tracer.to_vcd()
+        assert "$enddefinitions" in vcd
+        assert "data" in vcd
+        assert "#0" in vcd
+
+    def test_table_output(self):
+        sim, sig, tracer = self._traced_sim()
+        sig.write(2)
+        sim.run(0)
+        table = tracer.to_table()
+        assert "data" in table.splitlines()[0]
+
+    def test_double_trace_is_idempotent(self):
+        sim, sig, tracer = self._traced_sim()
+        tracer.trace(sig)
+        sig.write(1)
+        sim.run(0)
+        assert len(tracer.history("data")) == 2

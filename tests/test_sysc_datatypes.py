@@ -1,0 +1,203 @@
+"""Unit tests for four-valued logic datatypes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sysc import (
+    LOGIC_0,
+    LOGIC_1,
+    LOGIC_X,
+    LOGIC_Z,
+    Logic,
+    LogicVector,
+    even_parity,
+    resolve,
+)
+
+
+class TestLogic:
+    def test_interning(self):
+        assert Logic("1") is LOGIC_1
+        assert Logic(0) is LOGIC_0
+        assert Logic(True) is LOGIC_1
+        assert Logic(False) is LOGIC_0
+        assert Logic("x") is LOGIC_X
+        assert Logic("z") is LOGIC_Z
+        assert Logic(LOGIC_X) is LOGIC_X
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            Logic("2")
+        with pytest.raises(ValueError):
+            Logic("")
+
+    def test_is_known(self):
+        assert LOGIC_0.is_known()
+        assert LOGIC_1.is_known()
+        assert not LOGIC_X.is_known()
+        assert not LOGIC_Z.is_known()
+
+    def test_to_bool(self):
+        assert LOGIC_1.to_bool() is True
+        assert LOGIC_0.to_bool() is False
+        with pytest.raises(ValueError):
+            LOGIC_X.to_bool()
+        with pytest.raises(ValueError):
+            LOGIC_Z.to_bool()
+
+    def test_truthiness(self):
+        assert bool(LOGIC_1)
+        assert not bool(LOGIC_0)
+        assert not bool(LOGIC_X)
+
+    def test_invert(self):
+        assert ~LOGIC_0 is LOGIC_1
+        assert ~LOGIC_1 is LOGIC_0
+        assert ~LOGIC_X is LOGIC_X
+        assert ~LOGIC_Z is LOGIC_X
+
+    def test_and_dominance(self):
+        # 0 dominates even X/Z
+        assert (LOGIC_0 & LOGIC_X) is LOGIC_0
+        assert (LOGIC_X & LOGIC_0) is LOGIC_0
+        assert (LOGIC_1 & LOGIC_1) is LOGIC_1
+        assert (LOGIC_1 & LOGIC_X) is LOGIC_X
+        assert (LOGIC_Z & LOGIC_1) is LOGIC_X
+
+    def test_or_dominance(self):
+        assert (LOGIC_1 | LOGIC_X) is LOGIC_1
+        assert (LOGIC_X | LOGIC_1) is LOGIC_1
+        assert (LOGIC_0 | LOGIC_0) is LOGIC_0
+        assert (LOGIC_0 | LOGIC_X) is LOGIC_X
+
+    def test_xor(self):
+        assert (LOGIC_1 ^ LOGIC_0) is LOGIC_1
+        assert (LOGIC_1 ^ LOGIC_1) is LOGIC_0
+        assert (LOGIC_1 ^ LOGIC_X) is LOGIC_X
+
+    def test_equality_with_raw_values(self):
+        assert LOGIC_1 == 1
+        assert LOGIC_1 == True  # noqa: E712
+        assert LOGIC_0 == "0"
+        assert LOGIC_X != LOGIC_Z
+
+    def test_hash_consistency(self):
+        assert hash(Logic("1")) == hash(LOGIC_1)
+        assert len({LOGIC_0, LOGIC_1, LOGIC_X, LOGIC_Z}) == 4
+
+    @given(st.sampled_from(["0", "1", "X", "Z"]),
+           st.sampled_from(["0", "1", "X", "Z"]))
+    def test_and_commutative(self, a, b):
+        assert Logic(a) & Logic(b) == Logic(b) & Logic(a)
+
+    @given(st.sampled_from(["0", "1", "X", "Z"]),
+           st.sampled_from(["0", "1", "X", "Z"]))
+    def test_or_commutative(self, a, b):
+        assert Logic(a) | Logic(b) == Logic(b) | Logic(a)
+
+    @given(st.sampled_from(["0", "1"]), st.sampled_from(["0", "1"]))
+    def test_known_ops_match_bool(self, a, b):
+        la, lb = Logic(a), Logic(b)
+        assert (la & lb).to_bool() == (la.to_bool() and lb.to_bool())
+        assert (la | lb).to_bool() == (la.to_bool() or lb.to_bool())
+        assert (la ^ lb).to_bool() == (la.to_bool() != lb.to_bool())
+
+
+class TestResolve:
+    def test_empty_is_z(self):
+        assert resolve([]) is LOGIC_Z
+
+    def test_single_driver_wins(self):
+        assert resolve([LOGIC_1, LOGIC_Z, LOGIC_Z]) is LOGIC_1
+        assert resolve([LOGIC_Z, LOGIC_0]) is LOGIC_0
+
+    def test_conflict_is_x(self):
+        assert resolve([LOGIC_1, LOGIC_0]) is LOGIC_X
+
+    def test_x_driver_forces_x(self):
+        assert resolve([LOGIC_X, LOGIC_1]) is LOGIC_X
+        assert resolve([LOGIC_1, LOGIC_X]) is LOGIC_X
+
+    def test_agreeing_drivers(self):
+        assert resolve([LOGIC_1, LOGIC_1]) is LOGIC_1
+
+    @given(st.lists(st.sampled_from(["0", "1", "X", "Z"]), max_size=5))
+    def test_resolve_order_independent(self, drivers):
+        logics = [Logic(d) for d in drivers]
+        assert resolve(logics) == resolve(list(reversed(logics)))
+
+
+class TestLogicVector:
+    def test_from_int_round_trip(self):
+        v = LogicVector.from_int(0xBEEF, 16)
+        assert v.to_int() == 0xBEEF
+        assert v.width == 16
+
+    def test_from_int_validation(self):
+        with pytest.raises(ValueError):
+            LogicVector.from_int(-1, 4)
+        with pytest.raises(ValueError):
+            LogicVector.from_int(16, 4)
+        with pytest.raises(ValueError):
+            LogicVector.from_int(0, 0)
+
+    def test_string_round_trip(self):
+        v = LogicVector.from_string("10XZ")
+        assert str(v) == "10XZ"
+        assert v[0].value == "Z"  # LSB first internally
+        assert v[3].value == "1"
+
+    def test_unknown_and_hiz(self):
+        assert not LogicVector.unknown(4).is_known()
+        assert str(LogicVector.high_impedance(2)) == "ZZ"
+
+    def test_to_int_unknown_raises(self):
+        with pytest.raises(ValueError):
+            LogicVector.from_string("1X").to_int()
+        assert LogicVector.from_string("1X").to_int_or(-1) == -1
+
+    def test_slicing(self):
+        v = LogicVector.from_int(0b1100, 4)
+        assert v[0:2].to_int() == 0b00
+        assert v[2:4].to_int() == 0b11
+
+    def test_byte_lanes(self):
+        v = LogicVector.from_int(0xAB12, 16)
+        assert v.byte(0).to_int() == 0x12
+        assert v.byte(1).to_int() == 0xAB
+        with pytest.raises(IndexError):
+            v.byte(2)
+
+    def test_replace(self):
+        v = LogicVector.from_int(0, 4).replace(2, 1)
+        assert v.to_int() == 4
+
+    def test_concat(self):
+        low = LogicVector.from_int(0x2, 4)
+        high = LogicVector.from_int(0x1, 4)
+        assert low.concat(high).to_int() == 0x12
+
+    def test_eq_with_int(self):
+        assert LogicVector.from_int(5, 4) == 5
+        assert LogicVector.from_string("1X") != 2
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_bitwise_ops_match_int(self, a, b):
+        va = LogicVector.from_int(a, 8)
+        vb = LogicVector.from_int(b, 8)
+        assert (va & vb).to_int() == (a & b)
+        assert (va | vb).to_int() == (a | b)
+        assert (va ^ vb).to_int() == (a ^ b)
+        assert (~va).to_int() == (~a) & 0xFF
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_parity_matches_popcount(self, value):
+        v = LogicVector.from_int(value, 16)
+        assert even_parity(v) == Logic(bin(value).count("1") & 1)
+
+    def test_parity_unknown(self):
+        assert even_parity(LogicVector.from_string("1X")) is LOGIC_X
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LogicVector.from_int(1, 4) & LogicVector.from_int(1, 5)

@@ -1,0 +1,191 @@
+"""Unit tests for signals, ports and resolved (tristate) signals."""
+
+import pytest
+
+from repro.sysc import (
+    InPort,
+    LOGIC_X,
+    LogicVector,
+    MethodProcess,
+    Module,
+    OutPort,
+    ResolvedSignal,
+    Signal,
+    Simulator,
+)
+
+
+class TestSignal:
+    def test_write_is_delayed_until_update(self):
+        sim = Simulator()
+        sim.initialize()
+        sig = Signal(sim, "s", 0)
+        sig.write(5)
+        assert sig.read() == 0  # not yet committed
+        sim.run(0)
+        assert sig.read() == 5
+
+    def test_same_value_write_does_not_notify(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", 3)
+        log = []
+        p = MethodProcess(sim, "p", lambda: log.append(sig.read()))
+        p.make_sensitive(sig.changed)
+        sim.initialize()
+        log.clear()
+        sig.write(3)
+        sim.run(0)
+        assert log == []
+
+    def test_last_write_wins(self):
+        sim = Simulator()
+        sim.initialize()
+        sig = Signal(sim, "s", 0)
+        sig.write(1)
+        sig.write(2)
+        sim.run(0)
+        assert sig.read() == 2
+
+    def test_posedge_negedge(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", False)
+        edges = []
+        p1 = MethodProcess(sim, "pe", lambda: edges.append("pos"))
+        p1.make_sensitive(sig.posedge)
+        p2 = MethodProcess(sim, "ne", lambda: edges.append("neg"))
+        p2.make_sensitive(sig.negedge)
+        sim.initialize()
+        edges.clear()
+        sig.write(True)
+        sim.run(0)
+        sig.write(False)
+        sim.run(0)
+        assert edges == ["pos", "neg"]
+
+    def test_watchers(self):
+        sim = Simulator()
+        sim.initialize()
+        sig = Signal(sim, "s", 0)
+        changes = []
+        sig.watch(lambda name, old, new: changes.append((name, old, new)))
+        sig.write(7)
+        sim.run(0)
+        assert changes == [("s", 0, 7)]
+
+    def test_write_now_bypasses_notification(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", 0)
+        sig.write_now(9)
+        assert sig.read() == 9
+
+
+class TestPorts:
+    def test_unbound_port_raises(self):
+        port = InPort("p")
+        assert not port.bound
+        with pytest.raises(RuntimeError):
+            port.read()
+
+    def test_in_port_reads_signal(self):
+        sim = Simulator()
+        sim.initialize()
+        sig = Signal(sim, "s", 4)
+        port = InPort("p")
+        port.bind(sig)
+        assert port.read() == 4
+        assert port.changed is sig.changed
+
+    def test_out_port_writes_signal(self):
+        sim = Simulator()
+        sim.initialize()
+        sig = Signal(sim, "s", 0)
+        port = OutPort("p")
+        port(sig)  # call syntax, like SystemC
+        port.write(11)
+        sim.run(0)
+        assert sig.read() == 11
+        assert port.read() == 11
+
+
+class TestModule:
+    def test_hierarchical_names(self):
+        sim = Simulator()
+        top = Module(sim, "top")
+        child = Module(sim, "child", parent=top)
+        grand = Module(sim, "grand", parent=child)
+        assert grand.name == "top.child.grand"
+        assert [m.basename for m in top.iter_modules()] == [
+            "top", "child", "grand"
+        ]
+
+    def test_module_signal_naming(self):
+        sim = Simulator()
+        top = Module(sim, "dev")
+        sig = top.signal("data", 0)
+        assert sig.name == "dev.data"
+
+    def test_method_process_sensitivity(self):
+        sim = Simulator()
+        top = Module(sim, "m")
+        sig = top.signal("s", 0)
+        log = []
+        top.method_process(lambda: log.append(sig.read()), (sig.changed,),
+                           "watcher")
+        sim.initialize()
+        log.clear()
+        sig.write(3)
+        sim.run(0)
+        assert log == [3]
+
+
+class TestResolvedSignal:
+    def test_single_driver(self):
+        sim = Simulator()
+        sim.initialize()
+        net = ResolvedSignal(sim, "bus", width=4)
+        drv = net.driver()
+        drv.write(LogicVector.from_int(9, 4))
+        sim.run(0)
+        assert net.read().to_int() == 9
+
+    def test_released_bus_is_z(self):
+        sim = Simulator()
+        sim.initialize()
+        net = ResolvedSignal(sim, "bus", width=2)
+        drv = net.driver()
+        drv.write(LogicVector.from_int(3, 2))
+        sim.run(0)
+        drv.release()
+        sim.run(0)
+        assert str(net.read()) == "ZZ"
+
+    def test_two_drivers_tristate(self):
+        sim = Simulator()
+        sim.initialize()
+        net = ResolvedSignal(sim, "bus", width=4)
+        d1 = net.driver()
+        d2 = net.driver()
+        d1.write(LogicVector.from_int(5, 4))
+        d2.write(LogicVector.high_impedance(4))
+        sim.run(0)
+        assert net.read().to_int() == 5
+        # swap ownership
+        d1.release()
+        d2.write(LogicVector.from_int(10, 4))
+        sim.run(0)
+        assert net.read().to_int() == 10
+
+    def test_conflict_is_x(self):
+        sim = Simulator()
+        sim.initialize()
+        net = ResolvedSignal(sim, "bus", width=1)
+        net.driver().write(LogicVector.from_int(1, 1))
+        net.driver().write(LogicVector.from_int(0, 1))
+        sim.run(0)
+        assert net.read()[0] is LOGIC_X
+
+    def test_width_check(self):
+        sim = Simulator()
+        net = ResolvedSignal(sim, "bus", width=4)
+        with pytest.raises(ValueError):
+            net.driver().write(LogicVector.from_int(1, 2))

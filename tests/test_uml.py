@@ -1,0 +1,223 @@
+"""Unit tests for the UML layer: diagrams, validation, extraction."""
+
+import pytest
+
+from repro.psl import Always, NextP, PslMonitor, Verdict
+from repro.uml import (
+    ClassDiagram,
+    SequenceDiagram,
+    UmlClass,
+    UmlError,
+    UmlParameter,
+    UseCaseDiagram,
+    class_diagram_dot,
+    extract_latency_properties,
+    extract_response_property,
+    render_class_diagram,
+    render_sequence_diagram,
+    render_use_case_diagram,
+)
+
+
+def _diagram():
+    d = ClassDiagram("test")
+    cls = d.new_class("Port", stereotype="module")
+    cls.attribute("stage", "Stage", "IDLE")
+    cls.operation("Request", [UmlParameter("addr", "Address")], clock="K")
+    cls.operation("Answer", clock="K#")
+    d.new_class("Mem")
+    d.associate("Port", "Mem", kind="composition")
+    return d
+
+
+class TestClassDiagram:
+    def test_duplicate_class(self):
+        d = _diagram()
+        with pytest.raises(UmlError):
+            d.new_class("Port")
+
+    def test_validate_ok(self):
+        assert _diagram().validate() == []
+
+    def test_dangling_association(self):
+        d = _diagram()
+        d.associate("Port", "Ghost")
+        assert any("Ghost" in p for p in d.validate())
+
+    def test_duplicate_operation_detected(self):
+        d = _diagram()
+        d.classes["Port"].operation("Request")
+        assert any("duplicate operation" in p for p in d.validate())
+
+    def test_bad_clock_detected(self):
+        d = _diagram()
+        d.classes["Port"].operation("Weird", clock="J")
+        assert any("unknown clock" in p for p in d.validate())
+
+    def test_find_operation(self):
+        cls = _diagram().classes["Port"]
+        assert cls.find_operation("Request") is not None
+        assert cls.find_operation("Nope") is None
+
+    def test_bad_association_kind(self):
+        d = _diagram()
+        with pytest.raises(UmlError):
+            d.associate("Port", "Mem", kind="friendship")
+
+    def test_render(self):
+        text = render_class_diagram(_diagram())
+        assert "<<module>> Port" in text
+        assert "Request(addr: Address): void @K" in text
+
+    def test_dot(self):
+        dot = class_diagram_dot(_diagram())
+        assert "digraph" in dot and '"Port" -> "Mem"' in dot
+
+
+class TestSequenceDiagram:
+    def _seq(self):
+        d = _diagram()
+        s = SequenceDiagram("scenario", d)
+        s.lifeline("p", "Port")
+        s.lifeline("m", "Mem")
+        return s
+
+    def test_message_requires_lifelines(self):
+        s = self._seq()
+        with pytest.raises(UmlError):
+            s.message("ghost", "m", "Request", 0)
+
+    def test_duplicate_lifeline(self):
+        s = self._seq()
+        with pytest.raises(UmlError):
+            s.lifeline("p", "Port")
+
+    def test_clock_validation(self):
+        s = self._seq()
+        with pytest.raises(UmlError):
+            s.message("p", "m", "Request", 0, clock="L")
+        with pytest.raises(UmlError):
+            s.message("p", "m", "Request", -1)
+
+    def test_half_cycle_arithmetic(self):
+        s = self._seq()
+        m1 = s.message("p", "p", "Request", cycle=0, clock="K")
+        m2 = s.message("p", "p", "Answer", cycle=2, clock="K#")
+        assert m1.half_cycle == 0
+        assert m2.half_cycle == 5
+        assert s.latency("Request", "Answer") == 5
+
+    def test_notation(self):
+        s = self._seq()
+        m = s.message("p", "p", "Request", cycle=2, clock="K#",
+                      arguments=["addr"])
+        assert m.notation() == "Request[2](addr)@K#"
+
+    def test_time_monotonicity_check(self):
+        s = self._seq()
+        s.message("p", "p", "Answer", cycle=2, clock="K#")
+        s.message("p", "p", "Request", cycle=0, clock="K")
+        assert any("back in time" in p for p in s.validate())
+
+    def test_unknown_operation_check(self):
+        s = self._seq()
+        s.message("p", "m", "Mystery", cycle=0)
+        assert any("no operation Mystery" in p for p in s.validate())
+
+    def test_clock_mismatch_check(self):
+        s = self._seq()
+        # Answer is declared @K# on the class
+        s.message("p", "p", "Answer", cycle=0, clock="K")
+        assert any("declared @K#" in p for p in s.validate())
+
+    def test_render(self):
+        s = self._seq()
+        s.message("p", "m", "Request", cycle=1, clock="K")
+        text = render_sequence_diagram(s)
+        assert "Request[1]()@K" in text
+
+
+class TestUseCases:
+    def test_basic(self):
+        d = UseCaseDiagram("u")
+        d.actor("NP")
+        d.use_case("Read")
+        d.participates("NP", "Read")
+        assert d.validate() == []
+        assert "NP --- (Read)" in render_use_case_diagram(d)
+
+    def test_duplicates(self):
+        d = UseCaseDiagram("u")
+        d.actor("NP")
+        with pytest.raises(UmlError):
+            d.actor("NP")
+        d.use_case("Read")
+        with pytest.raises(UmlError):
+            d.use_case("Read")
+
+    def test_dangling_references(self):
+        d = UseCaseDiagram("u")
+        d.participates("Ghost", "Nothing")
+        d.include("A", "B")
+        assert len(d.validate()) >= 3
+
+
+class TestPropertyExtraction:
+    def _scenario(self):
+        d = _diagram()
+        s = SequenceDiagram("rw", d)
+        s.lifeline("p", "Port")
+        s.message("p", "p", "Request", 0, "K")
+        s.message("p", "p", "Answer", 2, "K#")
+        return s
+
+    def test_latency_extraction(self):
+        props = extract_latency_properties(self._scenario())
+        assert len(props) == 1
+        name, prop = props[0]
+        assert "Request->Answer[+5h]" in name
+        assert isinstance(prop, Always)
+        assert isinstance(prop.p.p, NextP)
+        assert prop.p.p.n == 5
+
+    def test_extracted_property_checks_traces(self):
+        __, prop = extract_latency_properties(self._scenario())[0]
+        good = [{"request": 1, "answer": 0}] + \
+               [{"request": 0, "answer": 0}] * 4 + \
+               [{"request": 0, "answer": 1}]
+        monitor = PslMonitor(prop)
+        for v in good:
+            monitor.step(v)
+        assert monitor.finish() is Verdict.HOLDS
+        bad = [{"request": 1, "answer": 0}] + \
+              [{"request": 0, "answer": 0}] * 5
+        monitor = PslMonitor(prop)
+        for v in bad:
+            monitor.step(v)
+        assert monitor.verdict is Verdict.FAILS
+
+    def test_response_property(self):
+        name, prop = extract_response_property(
+            self._scenario(), "Request", "Answer")
+        assert "+5h" in name
+
+    def test_response_property_missing_op(self):
+        with pytest.raises(ValueError):
+            extract_response_property(self._scenario(), "Request", "Ghost")
+
+    def test_same_cycle_messages(self):
+        d = _diagram()
+        s = SequenceDiagram("same", d)
+        s.lifeline("p", "Port")
+        s.message("p", "p", "Request", 0, "K")
+        s.message("p", "p", "Answer", 0, "K")
+        __, prop = extract_latency_properties(s)[0]
+        monitor = PslMonitor(prop)
+        monitor.step({"request": 1, "answer": 1})
+        assert monitor.finish() is Verdict.HOLDS
+
+    def test_custom_naming(self):
+        props = extract_latency_properties(
+            self._scenario(), naming=lambda op: f"sig_{op}")
+        __, prop = props[0]
+        assert "sig_Request" in prop.atoms()
