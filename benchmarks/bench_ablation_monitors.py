@@ -10,9 +10,15 @@ ablation isolates the second effect by running the *same RTL model* with
 * external compiled PSL monitors sampling the RTL's status nets from
   outside (the paper's C#-monitor architecture applied at RTL).
 
-Expected shape: OVL > external > none, because the in-design checkers
-add nets and registers that the simulator evaluates on every edge,
-while external monitors cost only one table lookup per edge.
+Expected shape (interpreted backend): OVL > external > none, because the
+in-design checkers add nets and registers that the simulator evaluates on
+every edge, while external monitors cost only one table lookup per edge.
+
+The compiled backend *reverses* the tradeoff: OVL checker nets lower to
+a handful of inline bytecode statements, while external monitors remain
+interpreted Python running once per edge -- so with compiled simulation
+the in-design checkers become the cheap option.  Both backends are
+measured; the paper-shape assertion applies to the interpreted one.
 """
 
 import random
@@ -84,12 +90,14 @@ class _ExternalRtlMonitors:
                 self.failed.append(name)
 
 
-def _measure(kind):
+def _measure(kind, backend):
     if kind == "ovl":
-        sim = RtlSimulator(elaborate(build_la1_top_with_ovl(CFG)))
+        sim = RtlSimulator(elaborate(build_la1_top_with_ovl(CFG)),
+                           backend=backend)
         external = None
     else:
-        sim = RtlSimulator(elaborate(build_la1_top_rtl(CFG)))
+        sim = RtlSimulator(elaborate(build_la1_top_rtl(CFG)),
+                           backend=backend)
         external = _ExternalRtlMonitors(sim, CFG.banks) \
             if kind == "external" else None
     host = RtlHost(sim, CFG)
@@ -103,28 +111,46 @@ def _measure(kind):
     return elapsed / CYCLES
 
 
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
 @pytest.mark.parametrize("kind", ["none", "external", "ovl"])
-def test_monitor_placement(benchmark, kind):
+def test_monitor_placement(benchmark, kind, backend):
     box = {}
 
     def run():
-        box["per_cycle"] = _measure(kind)
+        box["per_cycle"] = _measure(kind, backend)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    _times[kind] = box["per_cycle"]
+    _times[backend, kind] = box["per_cycle"]
     record_row(
         "Ablation: monitor placement at RTL (2 banks)",
-        f"monitors={kind:<9} time/cycle={box['per_cycle'] * 1e6:9.1f}us",
+        f"backend={backend:<9} monitors={kind:<9} "
+        f"time/cycle={box['per_cycle'] * 1e6:9.1f}us",
     )
 
 
 def test_ovl_overhead_exceeds_external(benchmark):
+    """The paper's tradeoff holds on the interpreted (gate-cost) backend."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if len(_times) < 3:
+    times = {k: v for (b, k), v in _times.items() if b == "interp"}
+    if len(times) < 3:
         pytest.skip("placement runs missing")
-    assert _times["ovl"] > _times["external"] >= _times["none"] * 0.9
+    assert times["ovl"] > times["external"] >= times["none"] * 0.9
     record_row(
         "Ablation: monitor placement at RTL (2 banks)",
-        f"OVL overhead {(_times['ovl'] / _times['none'] - 1) * 100:.0f}% "
-        f"vs external {(_times['external'] / _times['none'] - 1) * 100:.0f}%",
+        f"interp OVL overhead {(times['ovl'] / times['none'] - 1) * 100:.0f}% "
+        f"vs external {(times['external'] / times['none'] - 1) * 100:.0f}%",
     )
+
+
+def test_compiled_backend_collapses_ovl_overhead(benchmark):
+    """Compiled simulation makes the in-design OVL checkers cheap: the
+    same OVL-loaded netlist runs several times faster than interpreted."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if ("interp", "ovl") not in _times or ("compiled", "ovl") not in _times:
+        pytest.skip("placement runs missing")
+    speedup = _times["interp", "ovl"] / _times["compiled", "ovl"]
+    record_row(
+        "Ablation: monitor placement at RTL (2 banks)",
+        f"compiled/interp OVL speedup: {speedup:.1f}x",
+    )
+    assert speedup > 2.0

@@ -6,6 +6,7 @@ benchmarks/ --benchmark-only -s`` to see them inline; rows are also
 echoed at teardown).
 """
 
+import json
 import os
 
 import pytest
@@ -17,10 +18,24 @@ FULL = os.environ.get("LA1_BENCH_FULL", "") not in ("", "0")
 _rows: dict[str, list[str]] = {}
 
 
+_bench_files: dict[str, dict] = {}
+
+
 def record_row(table: str, row: str) -> None:
     """Collect a formatted row for end-of-session printing."""
     _rows.setdefault(table, []).append(row)
     print(row)
+
+
+def record_bench(filename: str, key: str, data) -> None:
+    """Record a machine-readable datapoint.
+
+    All datapoints for ``filename`` are merged into one JSON object
+    (key -> data) written next to the benchmarks at session end, so perf
+    trends (e.g. ``BENCH_rtl_sim.json`` cycles/sec per backend per bank
+    count) stay comparable across PRs.
+    """
+    _bench_files.setdefault(filename, {})[key] = data
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -30,3 +45,9 @@ def _print_tables():
         print(f"\n=== {table} ===")
         for row in _rows[table]:
             print(row)
+    here = os.path.dirname(os.path.abspath(__file__))
+    for filename, data in sorted(_bench_files.items()):
+        path = os.path.join(here, filename)
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+        print(f"wrote {path}")

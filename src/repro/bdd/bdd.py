@@ -7,7 +7,9 @@ accounting:
 
 * a unique table guaranteeing canonicity (equal functions are the same
   node id), so equivalence checks are pointer comparisons;
-* an ``ite``-based apply with a computed-table cache;
+* an ``ite``-based apply with a computed-table cache -- bounded by
+  ``cache_limit`` (clear-on-overflow) with hit/miss/clear counters
+  surfaced through :meth:`BddManager.stats`;
 * existential/universal quantification, variable substitution (for
   next-state renaming in image computation), restriction and satisfying-
   assignment extraction;
@@ -41,7 +43,11 @@ class BddManager:
     FALSE = 0
     TRUE = 1
 
-    def __init__(self, node_budget: Optional[int] = None):
+    #: default computed-table entry cap; crossing it drops the table
+    DEFAULT_CACHE_LIMIT = 1_000_000
+
+    def __init__(self, node_budget: Optional[int] = None,
+                 cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT):
         # nodes[i] = (level, low, high); entries 0/1 are dummy terminals
         self._level: list[int] = [-1, -1]
         self._low: list[int] = [0, 0]
@@ -51,6 +57,10 @@ class BddManager:
         self._vars: list[str] = []
         self._var_index: dict[str, int] = {}
         self.node_budget = node_budget
+        self.cache_limit = cache_limit
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_clears = 0
         self.peak_nodes = 2
 
     # ------------------------------------------------------------------
@@ -104,6 +114,16 @@ class BddManager:
             self.peak_nodes = node + 1
         return node
 
+    def _cache_put(self, key: tuple, result: int) -> None:
+        """Insert into the computed table, clearing it when it outgrows
+        ``cache_limit`` (a plain clear: the table is a pure cache, so
+        dropping it costs recomputation, never correctness)."""
+        cache = self._cache
+        if self.cache_limit is not None and len(cache) >= self.cache_limit:
+            cache.clear()
+            self.cache_clears += 1
+        cache[key] = result
+
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``f ? g : h`` -- the universal BDD operation."""
         if f == self.TRUE:
@@ -117,7 +137,9 @@ class BddManager:
         key = ("ite", f, g, h)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         level = min(
             lv
             for lv in (self._level[f], self._level[g], self._level[h])
@@ -129,7 +151,7 @@ class BddManager:
         low = self.ite(f0, g0, h0)
         high = self.ite(f1, g1, h1)
         result = self._mk(level, low, high)
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def _cofactors(self, node: int, level: int) -> tuple[int, int]:
@@ -201,7 +223,9 @@ class BddManager:
         key = ("forall" if conj else "exists", f, levels)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         level = self._level[f]
         low = self._quant(self._low[f], levels, conj)
         high = self._quant(self._high[f], levels, conj)
@@ -209,7 +233,7 @@ class BddManager:
             result = self.and_(low, high) if conj else self.or_(low, high)
         else:
             result = self._mk(level, low, high)
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def rename(self, f: int, mapping: dict[str, str]) -> int:
@@ -238,13 +262,15 @@ class BddManager:
         key = ("renameg", f, cache_key)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         low = self._rename_general(self._low[f], mapping, cache_key)
         high = self._rename_general(self._high[f], mapping, cache_key)
         name = self._vars[self._level[f]]
         target = mapping.get(name, name)
         result = self.ite(self.var(target), high, low)
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def _rename_fast(self, f: int, table: dict[int, int], cache_key) -> int:
@@ -253,12 +279,14 @@ class BddManager:
         key = ("rename", f, cache_key)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         level = self._level[f]
         low = self._rename_fast(self._low[f], table, cache_key)
         high = self._rename_fast(self._high[f], table, cache_key)
         result = self._mk(table.get(level, level), low, high)
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def compose(self, f: int, name: str, g: int) -> int:
@@ -272,7 +300,9 @@ class BddManager:
         key = ("compose", f, level, g)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         if self._level[f] == level:
             result = self.ite(g, self._high[f], self._low[f])
         else:
@@ -280,7 +310,7 @@ class BddManager:
             high = self._compose(self._high[f], level, g)
             var_bdd = self._mk(self._level[f], self.FALSE, self.TRUE)
             result = self.ite(var_bdd, high, low)
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     def restrict(self, f: int, assignment: dict[str, bool]) -> int:
@@ -297,14 +327,16 @@ class BddManager:
         key = ("restrict", f, level, value)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         if self._level[f] == level:
             result = self._high[f] if value else self._low[f]
         else:
             low = self._restrict_one(self._low[f], level, value)
             high = self._restrict_one(self._high[f], level, value)
             result = self._mk(self._level[f], low, high)
-        self._cache[key] = result
+        self._cache_put(key, result)
         return result
 
     # ------------------------------------------------------------------
@@ -411,12 +443,26 @@ class BddManager:
         """Drop the computed table (useful between unrelated problems)."""
         self._cache.clear()
 
+    def stats(self) -> dict[str, int]:
+        """Size and computed-table accounting: node counts plus cache
+        hit/miss/clear counters (the RuleBase-style cost telemetry)."""
+        return {
+            "nodes": self.num_nodes,
+            "peak_nodes": self.peak_nodes,
+            "vars": len(self._vars),
+            "cache_entries": len(self._cache),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_clears": self.cache_clears,
+        }
+
     # ------------------------------------------------------------------
     # garbage collection by copying
     # ------------------------------------------------------------------
     def clone_empty(self) -> "BddManager":
         """A fresh manager with the same variable order and budget."""
-        other = BddManager(node_budget=self.node_budget)
+        other = BddManager(node_budget=self.node_budget,
+                           cache_limit=self.cache_limit)
         for name in self._vars:
             other.add_var(name)
         return other

@@ -69,6 +69,9 @@ class FlowConfig:
     #: run the RTL symbolic MC stage on the control abstraction (fast)
     #: or the full datapath ("full", minutes) or skip it (None)
     rtl_mc: Optional[str] = "control"
+    #: RTL simulator backend for the OVL stage: "compiled" (codegen) or
+    #: "interp" (the tree-walking reference semantics)
+    rtl_backend: str = "compiled"
 
     def resolved_la1(self) -> La1Config:
         return self.la1_config or La1Config(banks=self.banks, beat_bits=16,
@@ -249,12 +252,13 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     # ------------------------------------------------------ 7. OVL
     start = time.perf_counter()
     ovl_top = build_la1_top_with_ovl(la1)
-    ovl_sim = RtlSimulator(elaborate(ovl_top))
+    ovl_sim = RtlSimulator(elaborate(ovl_top), backend=config.rtl_backend)
     ovl_host = RtlHost(ovl_sim, la1)
     _traffic(ovl_host, la1, config.traffic, config.seed)
     ovl_host.run_until_idle()
     report.stages.append(StageResult(
         "rtl_ovl_simulation", ovl_sim.ok,
+        f"{config.rtl_backend} backend, "
         f"{len(ovl_sim.design.monitors)} OVL monitors, "
         f"{ovl_sim.edge_count} edges, {len(ovl_host.results)} reads"
         + ("" if ovl_sim.ok else f"; failures: {ovl_sim.failures[:3]}"),

@@ -31,6 +31,24 @@ class RtlHost:
         self.config = config
         self.top = top_name
         self.concurrent = concurrent
+        # the issue/collect logic polls a handful of nets many times per
+        # cycle; pre-render their hierarchical paths once instead of
+        # formatting f-strings on every poll
+        self._in_paths = {
+            name: f"{top_name}.{name}"
+            for name in ("r_sel", "w_sel", "addr", "wdata", "bw")
+        }
+        self._stat_paths = {
+            (bank, name): f"{top_name}.bank{bank}.{name}"
+            for bank in range(config.banks)
+            for name in (
+                "stat_read_req", "stat_read_fetch", "stat_data_valid",
+                "stat_data_valid2", "stat_write_sel", "stat_write_data",
+                "stat_write_commit",
+            )
+        }
+        self._data_bus = f"{top_name}.data_bus"
+        self._par_bus = f"{top_name}.par_bus"
         self._seq = 0
         self._reads: deque = deque()
         self._writes: deque = deque()
@@ -65,10 +83,10 @@ class RtlHost:
 
     # -- helpers -----------------------------------------------------------
     def _in(self, name: str, value: int) -> None:
-        self.sim.set_input(f"{self.top}.{name}", value)
+        self.sim.set_input(self._in_paths[name], value)
 
     def _stat(self, bank: int, name: str) -> int:
-        return self.sim.read(f"{self.top}.bank{bank}.{name}")
+        return self.sim.read(self._stat_paths[bank, name])
 
     def _beat_of(self, word: int, index: int) -> int:
         return (word >> (index * self.config.beat_bits)) & (
@@ -148,8 +166,8 @@ class RtlHost:
             if self._stat(b, "stat_data_valid") and self._read_watch \
                     and self._read_watch[0][0] == b:
                 self._collecting = [
-                    sim.read(f"{self.top}.data_bus"),
-                    sim.read(f"{self.top}.par_bus"),
+                    sim.read(self._data_bus),
+                    sim.read(self._par_bus),
                 ]
         # ---- set up the K# edge ----
         if self._pending_write is not None and self._pending_write[4] == "sel":
@@ -168,8 +186,8 @@ class RtlHost:
                 bank, addr, issued = self._read_watch.popleft()
                 beat0, par0 = self._collecting
                 self._collecting = None
-                beat1 = sim.read(f"{self.top}.data_bus")
-                par1 = sim.read(f"{self.top}.par_bus")
+                beat1 = sim.read(self._data_bus)
+                par1 = sim.read(self._par_bus)
                 word = beat0 | (beat1 << self.config.beat_bits)
                 self.results.append(
                     ReadResult(bank, addr, word, (beat0, beat1),

@@ -28,6 +28,7 @@ from .hdl import (
     Wire,
 )
 from .netlist import FlatDesign, FlatMonitor, FlatNet, elaborate
+from .compile import CompiledDesign, compile_design, mangle_edge
 from .simulator import AssertionFailure, MonitorRecord, RtlSimulator
 from .verilog_emit import emit_expr, emit_verilog
 from .trace import RtlTracer
@@ -55,6 +56,9 @@ __all__ = [
     "FlatMonitor",
     "FlatDesign",
     "elaborate",
+    "CompiledDesign",
+    "compile_design",
+    "mangle_edge",
     "RtlSimulator",
     "AssertionFailure",
     "MonitorRecord",

@@ -321,6 +321,9 @@ class Reduce(Expr):
     def evaluate(self, read):
         value = self.a.evaluate(read)
         if self.op == "xor":
+            # deliberately bitwise-serial: the interpreter stands in for a
+            # gate-level simulator's cost model (the compiled backend uses
+            # int.bit_count instead; both yield the same parity bit)
             return bin(value).count("1") & 1
         if self.op == "or":
             return 1 if value else 0

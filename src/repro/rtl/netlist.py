@@ -18,7 +18,7 @@ shared by the interpreted RTL simulator and the symbolic model checker:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from .hdl import Expr, HdlError, Instance, Net, Reg, RtlModule, TristateDriver, Wire
 
@@ -31,7 +31,10 @@ class FlatNet:
     ``kind`` is ``"input"`` (free, testbench-driven), ``"comb"``
     (combinational function of other nets) or ``"reg"`` (state).  ``scope``
     maps the :class:`Net` objects referenced by ``expr`` / ``next_expr``
-    to their flat counterparts for this occurrence.
+    to their flat counterparts for this occurrence.  ``slot`` is the net's
+    index into the simulator's flat value array (assigned at the end of
+    elaboration); both simulator backends and the codegen of
+    :mod:`repro.rtl.compile` address state through it.
     """
 
     __slots__ = (
@@ -44,6 +47,7 @@ class FlatNet:
         "clock",
         "init",
         "tristate",
+        "slot",
     )
 
     def __init__(self, path: str, width: int, kind: str):
@@ -56,6 +60,7 @@ class FlatNet:
         self.clock: Optional[str] = None
         self.init = 0
         self.tristate: Optional[list[TristateDriver]] = None
+        self.slot = -1
 
     def __repr__(self):
         return f"FlatNet({self.path!r}, {self.kind}, w={self.width})"
@@ -97,6 +102,11 @@ class FlatDesign:
     def net(self, path: str) -> FlatNet:
         """Look up a flat net by hierarchical path."""
         return self.nets[path]
+
+    @property
+    def num_slots(self) -> int:
+        """Size of the flat value array (one slot per net)."""
+        return len(self.nets)
 
     def stats(self) -> dict[str, int]:
         """Size summary used in reports: net/reg/input counts and state bits."""
@@ -207,6 +217,8 @@ def elaborate(top: RtlModule, top_path: Optional[str] = None) -> FlatDesign:
             raise HdlError(f"wire {flat.path} is never driven")
     design.clocks = sorted(clocks)
     _toposort(design)
+    for index, flat in enumerate(design.nets.values()):
+        flat.slot = index
     design.top_scope = top_scope  # type: ignore[attr-defined]
     return design
 
@@ -232,33 +244,41 @@ def _flat_deps(flat: FlatNet) -> list[FlatNet]:
 
 
 def _toposort(design: FlatDesign) -> None:
-    """Order combinational nets so every net follows its dependencies."""
+    """Order combinational nets so every net follows its dependencies.
+
+    Depth-first with an explicit stack: comb cones can be arbitrarily
+    deep (wide-bank elaborations chain thousands of nets), so a recursive
+    walk would overflow the Python stack.
+    """
     order: list[FlatNet] = []
     state: dict[str, int] = {}  # 0 unvisited / 1 in-progress / 2 done
 
-    comb = [n for n in design.nets.values() if n.kind == "comb"]
-
-    def visit(flat: FlatNet, stack: list[str]) -> None:
-        mark = state.get(flat.path, 0)
-        if mark == 2:
-            return
-        if mark == 1:
-            cycle = " -> ".join(stack + [flat.path])
-            raise HdlError(f"combinational cycle: {cycle}")
-        state[flat.path] = 1
-        for dep in _flat_deps(flat):
-            if dep.kind == "comb":
-                visit(dep, stack + [flat.path])
-        state[flat.path] = 2
-        order.append(flat)
-
-    import sys
-
-    limit = sys.getrecursionlimit()
-    try:
-        sys.setrecursionlimit(max(limit, 10000))
-        for flat in comb:
-            visit(flat, [])
-    finally:
-        sys.setrecursionlimit(limit)
+    for root in design.nets.values():
+        if root.kind != "comb" or state.get(root.path, 0) == 2:
+            continue
+        state[root.path] = 1
+        stack: list[tuple[FlatNet, Iterator[FlatNet]]] = [
+            (root, iter(_flat_deps(root)))
+        ]
+        while stack:
+            flat, deps = stack[-1]
+            descended = False
+            for dep in deps:
+                if dep.kind != "comb":
+                    continue
+                mark = state.get(dep.path, 0)
+                if mark == 2:
+                    continue
+                if mark == 1:
+                    cycle = " -> ".join([f.path for f, __ in stack]
+                                        + [dep.path])
+                    raise HdlError(f"combinational cycle: {cycle}")
+                state[dep.path] = 1
+                stack.append((dep, iter(_flat_deps(dep))))
+                descended = True
+                break
+            if not descended:
+                state[flat.path] = 2
+                order.append(flat)
+                stack.pop()
     design.comb_order = order

@@ -1,10 +1,20 @@
-"""Interpreted synchronous simulator for flattened RTL designs.
+"""Synchronous simulator for flattened RTL designs (two backends).
 
 This plays the role of the commercial Verilog simulator in the paper's
 Table 3 experiment: the design is evaluated at the bit level, gate by gate,
 once per clock edge, with OVL assertion monitors loaded *as part of the
 simulated design* (each monitor adds nets and registers to the netlist,
 which is exactly the overhead the paper attributes to the OVL approach).
+
+Two backends share one slot-array state representation (``FlatNet.slot``
+indexes a flat ``list[int]``):
+
+* ``"compiled"`` (default) -- the design is lowered once to Python
+  bytecode by :mod:`repro.rtl.compile`: one function per clock edge plus
+  a ``settle`` function, with expressions inlined over the slot array.
+* ``"interp"`` -- the original tree-walking interpreter, kept as the
+  executable reference semantics; the differential suite in
+  ``tests/test_rtl_compiled.py`` holds the two bit-identical.
 
 The simulator steps at half-cycle granularity.  With the LA-1 clock pair,
 edge ``"K"`` is the rising edge of the K master clock and edge ``"K#"``
@@ -16,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+from .compile import compile_design
 from .hdl import HdlError, RtlModule
 from .netlist import FlatDesign, FlatMonitor, FlatNet, elaborate
 
@@ -50,6 +61,28 @@ class MonitorRecord:
         )
 
 
+class _SlotValues:
+    """Dict-like view of the slot array keyed by :class:`FlatNet`.
+
+    Keeps ``sim.values[net]`` working (tracers and tests use it) now that
+    the state of record is a flat ``list[int]`` indexed by ``net.slot``.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, v: list[int]):
+        self._v = v
+
+    def __getitem__(self, net: FlatNet) -> int:
+        return self._v[net.slot]
+
+    def __setitem__(self, net: FlatNet, value: int) -> None:
+        self._v[net.slot] = value
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+
 class RtlSimulator:
     """Evaluate a flattened RTL design edge by edge.
 
@@ -64,6 +97,10 @@ class RtlSimulator:
     detect_bus_conflicts:
         When True, two simultaneously enabled tristate drivers on one net
         raise :class:`HdlError` (a real bus would go ``X``).
+    backend:
+        ``"compiled"`` (default) runs the design through the code
+        generator of :mod:`repro.rtl.compile`; ``"interp"`` walks the
+        expression trees directly.
     """
 
     def __init__(
@@ -71,11 +108,22 @@ class RtlSimulator:
         top: Union[RtlModule, FlatDesign],
         stop_on_failure: bool = False,
         detect_bus_conflicts: bool = True,
+        backend: str = "compiled",
     ):
+        if backend not in ("compiled", "interp"):
+            raise HdlError(f"unknown simulator backend {backend!r}")
         self.design = top if isinstance(top, FlatDesign) else elaborate(top)
+        self.backend = backend
         self.stop_on_failure = stop_on_failure
         self.detect_bus_conflicts = detect_bus_conflicts
-        self.values: dict[FlatNet, int] = {}
+        self._compiled = (
+            compile_design(self.design, detect_bus_conflicts)
+            if backend == "compiled"
+            else None
+        )
+        self._slots: dict[str, int] = {
+            path: flat.slot for path, flat in self.design.nets.items()
+        }
         self.edge_count = 0
         self.failures: list[MonitorRecord] = []
         self.firings: list[MonitorRecord] = []
@@ -87,11 +135,11 @@ class RtlSimulator:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Return every register to its init value and re-settle logic."""
-        self.values = {}
-        for flat in self.design.inputs:
-            self.values[flat] = 0
+        v = [0] * self.design.num_slots
         for flat in self.design.regs:
-            self.values[flat] = flat.init
+            v[flat.slot] = flat.init
+        self._v = v
+        self.values = _SlotValues(v)
         self.edge_count = 0
         self.failures = []
         self.firings = []
@@ -105,13 +153,21 @@ class RtlSimulator:
             raise HdlError(f"{path} is not a free input ({flat.kind})")
         if value < 0 or value >= (1 << flat.width):
             raise HdlError(f"value {value} does not fit {flat.width}-bit {path}")
-        if self.values[flat] != value:
-            self.values[flat] = value
+        if self._v[flat.slot] != value:
+            self._v[flat.slot] = value
             self._inputs_dirty = True
 
     def read(self, path: str) -> int:
-        """Read any flat net's current settled value by path."""
-        return self.values[self.design.net(path)]
+        """Read any flat net's current settled value by path.
+
+        Pending input changes are settled lazily here, so a read of a
+        combinational net immediately after :meth:`set_input` observes
+        the updated logic rather than the pre-update values.
+        """
+        if self._inputs_dirty:
+            self._settle()
+            self._inputs_dirty = False
+        return self._v[self._slots[path]]
 
     def add_edge_hook(self, hook: Callable[[str, "RtlSimulator"], None]) -> None:
         """Register ``hook(edge_name, sim)`` called after every edge settles."""
@@ -120,12 +176,10 @@ class RtlSimulator:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def _read_net(self, scope: dict, net) -> int:
-        return self.values[scope[net]]
-
     def _eval_flat(self, flat: FlatNet) -> int:
+        v = self._v
         scope = flat.scope
-        read = lambda net: self.values[scope[net]]  # noqa: E731
+        read = lambda net: v[scope[net].slot]  # noqa: E731
         if flat.tristate is not None:
             driven = None
             for driver in flat.tristate:
@@ -144,8 +198,12 @@ class RtlSimulator:
 
     def _settle(self) -> None:
         """Propagate combinational logic (single topological pass)."""
+        if self._compiled is not None:
+            self._compiled.settle(self._v)
+            return
+        v = self._v
         for flat in self.design.comb_order:
-            self.values[flat] = self._eval_flat(flat)
+            v[flat.slot] = self._eval_flat(flat)
 
     def step(self, edge: str) -> None:
         """Apply one rising clock edge of domain ``edge``.
@@ -157,19 +215,31 @@ class RtlSimulator:
         if self._inputs_dirty:
             self._settle()
             self._inputs_dirty = False
-        nexts: list[tuple[FlatNet, int]] = []
-        for flat in self.design.regs:
-            if flat.clock != edge:
-                continue
-            scope = flat.scope
-            read = lambda net: self.values[scope[net]]  # noqa: E731
-            assert flat.next_expr is not None
-            nexts.append((flat, flat.next_expr.evaluate(read)))
-        for flat, value in nexts:
-            self.values[flat] = value
-        self._settle()
-        self.edge_count += 1
-        self._check_monitors(edge)
+        if self._compiled is not None:
+            step_fn = self._compiled.steps.get(edge)
+            fired: list[int] = []
+            if step_fn is not None:
+                step_fn(self._v, fired)
+            else:  # edge without regs or monitors: just re-settle
+                self._compiled.settle(self._v)
+            self.edge_count += 1
+            if fired:
+                self._record_firings(fired, edge)
+        else:
+            v = self._v
+            nexts: list[tuple[FlatNet, int]] = []
+            for flat in self.design.regs:
+                if flat.clock != edge:
+                    continue
+                scope = flat.scope
+                read = lambda net: v[scope[net].slot]  # noqa: E731
+                assert flat.next_expr is not None
+                nexts.append((flat, flat.next_expr.evaluate(read)))
+            for flat, value in nexts:
+                v[flat.slot] = value
+            self._settle()
+            self.edge_count += 1
+            self._check_monitors(edge)
         for hook in self._edge_hooks:
             hook(edge, self)
 
@@ -182,23 +252,32 @@ class RtlSimulator:
     # ------------------------------------------------------------------
     # monitors
     # ------------------------------------------------------------------
+    def _record(self, monitor: FlatMonitor, edge: str) -> None:
+        record = MonitorRecord(
+            monitor.name,
+            monitor.message,
+            monitor.severity,
+            self.edge_count,
+            edge,
+        )
+        self.firings.append(record)
+        if monitor.severity == "error":
+            self.failures.append(record)
+            if self.stop_on_failure:
+                raise AssertionFailure(record)
+
+    def _record_firings(self, fired: list[int], edge: str) -> None:
+        """Turn compiled-backend monitor indices into records."""
+        monitors = self.design.monitors
+        for index in fired:
+            self._record(monitors[index], edge)
+
     def _check_monitors(self, edge: str) -> None:
         for monitor in self.design.monitors:
             if monitor.clock != edge:
                 continue
-            if self.values[monitor.fire]:
-                record = MonitorRecord(
-                    monitor.name,
-                    monitor.message,
-                    monitor.severity,
-                    self.edge_count,
-                    edge,
-                )
-                self.firings.append(record)
-                if monitor.severity == "error":
-                    self.failures.append(record)
-                    if self.stop_on_failure:
-                        raise AssertionFailure(record)
+            if self._v[monitor.fire.slot]:
+                self._record(monitor, edge)
 
     @property
     def ok(self) -> bool:

@@ -245,3 +245,41 @@ def test_quantification_matches_cofactors(expr, name):
     hi = m.restrict(f, {name: True})
     assert m.exists([name], f) == m.or_(lo, hi)
     assert m.forall([name], f) == m.and_(lo, hi)
+
+
+class TestComputedTableAccounting:
+    def test_hit_and_miss_counters(self):
+        m, v = fresh()
+        f = m.and_(v["a"], v["b"])
+        stats = m.stats()
+        assert stats["cache_misses"] > 0
+        before_hits = stats["cache_hits"]
+        assert m.and_(v["a"], v["b"]) == f  # same computed-table key
+        assert m.stats()["cache_hits"] > before_hits
+
+    def test_cache_limit_clears_on_overflow(self):
+        m = BddManager(cache_limit=4)
+        v = {n: m.add_var(n) for n in "abcdef"}
+        f = m.or_all([m.and_(v[x], v[y])
+                      for x in "abc" for y in "def"])
+        assert f not in (m.FALSE, m.TRUE)
+        stats = m.stats()
+        assert stats["cache_clears"] >= 1
+        # the table is bounded: it can never grow past the cap + 1 insert
+        assert stats["cache_entries"] <= 4
+
+    def test_unbounded_cache_never_clears(self):
+        m = BddManager(cache_limit=None)
+        v = {n: m.add_var(n) for n in "abcdef"}
+        m.or_all([m.and_(v[x], v[y]) for x in "abc" for y in "def"])
+        stats = m.stats()
+        assert stats["cache_clears"] == 0
+        assert stats["cache_entries"] > 0
+
+    def test_clone_empty_preserves_cache_limit(self):
+        m = BddManager(node_budget=500, cache_limit=7)
+        m.add_var("a")
+        clone = m.clone_empty()
+        assert clone.cache_limit == 7
+        assert clone.node_budget == 500
+        assert clone.stats()["cache_hits"] == 0

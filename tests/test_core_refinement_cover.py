@@ -41,7 +41,11 @@ class TestAsmRtlRefinement:
 
         flat = impl.sim.design.net("la1_top.bank0.read_port.st_out0")
         flat.next_expr = Const(0, 1)
-        impl.sim.reset()
+        # the compiled backend snapshots the netlist at construction, so
+        # rebuild the simulator for the sabotage to take effect
+        from repro.rtl import RtlSimulator
+
+        impl.sim = RtlSimulator(impl.sim.design)
         from repro.asm.conformance import check_conformance
         from repro.core import build_la1_asm, observables_for
 
