@@ -1,0 +1,72 @@
+"""Fault-injection campaign: detection coverage of the verification
+environments themselves.
+
+Sweeps the default fault list (protocol mutations, ASM rule
+perturbations, netlist stuck-ats/SEUs) under the Table-3 workload shape
+and reports per-layer detection coverage plus the assertion-coverage
+gaps the campaign surfaces.  Also times a pure-RTL sweep per simulator
+backend, since the campaign reuses one simulator across all RTL faults.
+"""
+
+import pytest
+
+from conftest import FULL, record_bench, record_row
+from repro.fault import CampaignConfig, FaultCampaign, default_fault_list
+
+BANKS = [1, 2] + ([3] if FULL else [])
+
+
+@pytest.mark.parametrize("banks", BANKS)
+def test_campaign_coverage(benchmark, banks):
+    box = {}
+
+    def run():
+        box["report"] = FaultCampaign(CampaignConfig(banks=banks)).run(
+            resume=False)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = box["report"]
+    counts = report.counts()
+    assert counts["error"] == 0, report.render()
+    assert report.coverage("sysc") >= 0.9, report.render()
+    record_row(
+        "Fault campaign: detection coverage",
+        f"banks={banks}  faults={len(report.verdicts):2d}  "
+        f"detected={counts['detected']:2d}  silent={counts['silent']}  "
+        f"masked={counts['masked']}  "
+        f"coverage={report.coverage():.0%} overall / "
+        f"{report.coverage('sysc'):.0%} protocol / "
+        f"{report.coverage('rtl'):.0%} rtl / "
+        f"{report.coverage('asm'):.0%} asm  "
+        f"cpu={report.cpu_time:6.2f}s",
+    )
+    for gap in report.gaps():
+        record_row(
+            "Fault campaign: detection coverage",
+            f"banks={banks}    gap: {gap.fault_id} -- {gap.detail}",
+        )
+    record_bench(
+        "BENCH_fault_campaign.json", f"banks={banks}", report.to_dict(),
+    )
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_rtl_fault_sweep_backend(benchmark, backend):
+    """The RTL-only slice of the campaign, per simulator backend: the
+    shared-simulator design makes the per-fault cost one reset + run."""
+    faults = [f for f in default_fault_list() if f.layer == "rtl"]
+    box = {}
+
+    def run():
+        box["report"] = FaultCampaign(
+            CampaignConfig(backend=backend)).run(faults=faults, resume=False)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = box["report"]
+    assert report.counts()["error"] == 0
+    stats = report.engine_stats["rtl_sim"]
+    record_row(
+        "Fault campaign: RTL sweep by backend",
+        f"backend={backend:<9} faults={len(faults)}  "
+        f"edges={stats['edges']:6d}  cpu={report.cpu_time:6.2f}s",
+    )

@@ -78,6 +78,7 @@ class ModelCheckResult:
         cpu_time: float,
         counterexample: Optional[list] = None,
         property_name: str = "property",
+        truncated_reason: str = "",
     ):
         self.holds = holds
         self.num_nodes = num_nodes
@@ -85,6 +86,8 @@ class ModelCheckResult:
         self.cpu_time = cpu_time
         self.counterexample = counterexample
         self.property_name = property_name
+        #: "" for a decided run; "bounds" / "deadline" when holds is None
+        self.truncated_reason = truncated_reason
 
     def __repr__(self):
         verdict = {True: "HOLDS", False: "FAILS", None: "UNKNOWN"}[self.holds]
@@ -218,11 +221,21 @@ class AsmModelChecker:
         visited = {initial_key}
         num_transitions = 0
         truncated = False
+        reason = ""
+        deadline = (
+            None if getattr(config, "deadline_s", None) is None
+            else start + config.deadline_s
+        )
 
         while queue:
+            if deadline is not None and time.perf_counter() > deadline:
+                truncated = True
+                reason = "deadline"
+                break
             snapshot, chk_states, key, depth = queue.popleft()
             if config.max_depth is not None and depth >= config.max_depth:
                 truncated = True
+                reason = reason or "bounds"
                 continue
             machine.restore(snapshot)
             actions = machine.enabled_actions()
@@ -234,6 +247,7 @@ class AsmModelChecker:
                     and num_transitions >= config.max_transitions
                 ):
                     truncated = True
+                    reason = reason or "bounds"
                     break
                 machine.restore(snapshot)
                 machine.fire(action)
@@ -263,6 +277,7 @@ class AsmModelChecker:
                     and len(visited) >= config.max_states
                 ):
                     truncated = True
+                    reason = reason or "bounds"
                     continue
                 visited.add(succ_key)
                 queue.append((succ_snapshot, succ_chk, succ_key, depth + 1))
@@ -271,7 +286,8 @@ class AsmModelChecker:
         elapsed = time.perf_counter() - start
         holds: Optional[bool] = True if not truncated else None
         return ModelCheckResult(
-            holds, len(visited), num_transitions, elapsed, property_name=name
+            holds, len(visited), num_transitions, elapsed, property_name=name,
+            truncated_reason=reason,
         )
 
     # ------------------------------------------------------------------
@@ -303,7 +319,14 @@ class AsmModelChecker:
         visited = {initial_key}
         num_transitions = 0
         truncated = False
+        deadline = (
+            None if getattr(config, "deadline_s", None) is None
+            else start + config.deadline_s
+        )
         while queue:
+            if deadline is not None and time.perf_counter() > deadline:
+                truncated = True
+                break
             snapshot, runs, key, depth = queue.popleft()
             if config.max_depth is not None and depth >= config.max_depth:
                 truncated = True

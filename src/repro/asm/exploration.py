@@ -41,6 +41,10 @@ class ExplorationConfig:
     action_filter:
         Optional predicate over :class:`Action`; actions rejected by the
         filter are not explored (the configuration's "methods/actions").
+    deadline_s:
+        Wall-clock budget in seconds; ``None`` means unlimited.  A run
+        that exceeds it stops cleanly with ``truncated=True`` (reason
+        ``"deadline"``) instead of hanging a campaign.
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class ExplorationConfig:
         max_depth: Optional[int] = None,
         state_projection: Optional[Sequence[str]] = None,
         action_filter: Optional[Callable[[Action], bool]] = None,
+        deadline_s: Optional[float] = None,
     ):
         self.max_states = max_states
         self.max_transitions = max_transitions
@@ -58,15 +63,23 @@ class ExplorationConfig:
             tuple(state_projection) if state_projection is not None else None
         )
         self.action_filter = action_filter
+        self.deadline_s = deadline_s
 
 
 class ExplorationResult:
-    """The FSM plus the accounting reported in Table 1."""
+    """The FSM plus the accounting reported in Table 1.
 
-    def __init__(self, fsm: Fsm, cpu_time: float, truncated: bool):
+    ``truncated_reason`` is ``""`` for a complete run, ``"bounds"`` when
+    a state/transition/depth bound was hit, and ``"deadline"`` when the
+    wall-clock budget expired.
+    """
+
+    def __init__(self, fsm: Fsm, cpu_time: float, truncated: bool,
+                 truncated_reason: str = ""):
         self.fsm = fsm
         self.cpu_time = cpu_time
         self.truncated = truncated
+        self.truncated_reason = truncated_reason
 
     @property
     def num_nodes(self) -> int:
@@ -116,11 +129,20 @@ class Explorer:
             [(initial_snapshot, 0, 0)]
         )
         truncated = False
+        reason = ""
+        deadline = (
+            None if config.deadline_s is None else start + config.deadline_s
+        )
         num_transitions = 0
         while queue:
+            if deadline is not None and time.perf_counter() > deadline:
+                truncated = True
+                reason = "deadline"
+                break
             snapshot, state_id, depth = queue.popleft()
             if config.max_depth is not None and depth >= config.max_depth:
                 truncated = True
+                reason = reason or "bounds"
                 continue
             machine.restore(snapshot)
             actions = machine.enabled_actions()
@@ -132,6 +154,7 @@ class Explorer:
                     and num_transitions >= config.max_transitions
                 ):
                     truncated = True
+                    reason = reason or "bounds"
                     break
                 machine.restore(snapshot)
                 machine.fire(action)
@@ -144,6 +167,7 @@ class Explorer:
                         and len(index) >= config.max_states
                     ):
                         truncated = True
+                        reason = reason or "bounds"
                         continue
                     succ_id = fsm.add_state(succ_snapshot)
                     index[succ_key] = succ_id
@@ -153,4 +177,4 @@ class Explorer:
         machine.reset()
         fsm.complete = not truncated
         elapsed = time.perf_counter() - start
-        return ExplorationResult(fsm, elapsed, truncated)
+        return ExplorationResult(fsm, elapsed, truncated, reason)

@@ -238,11 +238,22 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
             config.banks,
             datapath=(config.rtl_mc == "full"),
         )
+        cache = ""
+        if mc.bdd_stats:
+            hits = mc.bdd_stats.get("cache_hits", 0)
+            misses = mc.bdd_stats.get("cache_misses", 0)
+            total = hits + misses
+            cache = (
+                f", computed-table {hits}/{total} hits"
+                f" ({mc.bdd_stats.get('cache_clears', 0)} clears)"
+            )
         report.stages.append(StageResult(
             "rtl_model_checking", mc.holds is True,
             f"{'full datapath' if config.rtl_mc == 'full' else 'control'} "
             f"model, {mc.peak_nodes} BDDs, {mc.iterations} iterations"
-            + (" [STATE EXPLOSION]" if mc.exploded else ""),
+            + cache
+            + (" [STATE EXPLOSION]" if mc.exploded else "")
+            + (" [DEADLINE]" if mc.truncated else ""),
             time.perf_counter() - start,
             data=mc,
         ))
@@ -263,5 +274,6 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
         f"{ovl_sim.edge_count} edges, {len(ovl_host.results)} reads"
         + ("" if ovl_sim.ok else f"; failures: {ovl_sim.failures[:3]}"),
         time.perf_counter() - start,
+        data=ovl_sim.stats(),
     ))
     return report

@@ -44,12 +44,15 @@ def check_read_mode_rtl(
     datapath: bool = True,
     config: Optional[La1Config] = None,
     property_name: Optional[str] = None,
+    deadline_s: Optional[float] = None,
 ) -> SymbolicCheckResult:
     """Model check the Read-Mode property on the N-bank RTL.
 
     Returns a :class:`SymbolicCheckResult`; ``exploded=True`` marks the
     run that ran out of BDD capacity (transient allocation within one
-    image step, or live size after garbage collection).
+    image step, or live size after garbage collection), and
+    ``truncated=True`` a run stopped by the ``deadline_s`` wall-clock
+    budget.
     """
     config = config or MC_SCALE_CONFIG(banks)
     name = property_name or f"read_mode[{banks}banks]"
@@ -67,6 +70,7 @@ def check_read_mode_rtl(
             prop if prop is not None else read_mode_property(0),
             rtl_labels("la1_top", banks),
             name,
+            deadline_s=deadline_s,
         )
     except BddBudgetExceeded:
         elapsed = time.perf_counter() - start

@@ -1,0 +1,88 @@
+"""Guarded-rule perturbations of the LA-1 ASM model.
+
+The ASM layer's analogue of netlist fault injection: build the standard
+``build_la1_asm`` machine, then wrap the effect function of one clock-edge
+rule so a chosen bank's behaviour deviates from the interface contract.
+Because the perturbation lives in the transition relation (not in any
+particular trace), the exploration-based model checker decides
+detectability over *all* environment choices -- the property suite must
+produce a counterexample on some path, otherwise the suite has a hole.
+
+Perturbation kinds (all permanent once built, so detection does not
+depend on a lucky schedule):
+
+* ``stall_read`` -- the bank's ``fetch -> out0`` pipeline advance is
+  suppressed: reads hang in the array-access stage, violating the
+  4-half-cycle latency contract (``read_latency[b]``).
+* ``drop_commit`` -- the write commit strobe is swallowed while the
+  array update still happens (``write_commit[b]``).
+* ``spurious_data`` -- an idle read port spontaneously drives a first
+  beat (``no_spurious_data[b]``).
+"""
+
+from __future__ import annotations
+
+from ..asm.machine import AsmMachine
+from ..core.asm_model import IDLE, La1AsmConfig, build_la1_asm
+from .models import AsmPerturbation
+
+__all__ = ["build_perturbed_la1_asm", "expected_asm_detectors"]
+
+
+def expected_asm_detectors(fault: AsmPerturbation) -> tuple:
+    """The property names (from ``device_property_suite``) each ASM
+    perturbation kind is expected to trip, for report annotation."""
+    b = fault.bank
+    return {
+        "stall_read": (f"read_latency[{b}]",),
+        "drop_commit": (f"write_commit[{b}]",),
+        "spurious_data": (f"no_spurious_data[{b}]",),
+    }[fault.kind]
+
+
+def build_perturbed_la1_asm(config: La1AsmConfig,
+                            fault: AsmPerturbation) -> AsmMachine:
+    """Return a fresh LA-1 ASM machine with ``fault`` woven into the
+    appropriate clock-edge rule's update set."""
+    if not isinstance(fault, AsmPerturbation):
+        raise TypeError(f"{fault!r} is not an ASM perturbation")
+    if not (0 <= fault.bank < config.banks):
+        raise ValueError(
+            f"bank {fault.bank} out of range for {config.banks}-bank model"
+        )
+    machine = build_la1_asm(config)
+    rp = f"rp{fault.bank}"
+    wcommit = f"wcommit{fault.bank}"
+    edge_k = next(rule for rule in machine.rules if rule.name == "EdgeK")
+    original = edge_k.effect
+
+    if fault.kind == "stall_read":
+
+        def perturbed(s, **args):
+            updates = dict(original(s, **args))
+            if s[rp][0] == "fetch" and updates.get(rp, s[rp])[0] == "out0":
+                updates.pop(rp, None)  # hold the pipeline in fetch
+            return updates
+
+    elif fault.kind == "drop_commit":
+
+        def perturbed(s, **args):
+            updates = dict(original(s, **args))
+            if updates.get(wcommit):
+                updates[wcommit] = False  # array updated, strobe swallowed
+            return updates
+
+    else:  # spurious_data
+
+        default_addr = config.addr_values[0]
+        default_word = config.data_values[0]
+
+        def perturbed(s, **args):
+            updates = dict(original(s, **args))
+            if s[rp] == IDLE and rp not in updates:
+                updates[rp] = ("out0", default_addr, default_word)
+            return updates
+
+    edge_k.effect = perturbed
+    machine.name = f"{machine.name}+{fault.fault_id}"
+    return machine

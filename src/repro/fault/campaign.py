@@ -1,0 +1,574 @@
+"""The fault-injection campaign runner.
+
+A campaign sweeps a fault list across Table-3-shaped random host
+workloads and records, per fault, *which monitor caught it* -- or that
+nothing did.  The per-fault verdicts use the standard fault-injection
+taxonomy:
+
+========== ==========================================================
+detected   some assertion monitor fired; ``detected_by`` names them
+silent     the fault corrupted observable behaviour (transaction log
+           differs from the golden run / a property is violated) but
+           no monitor fired -- an assertion-coverage gap
+masked     the fault was injected but never perturbed observable
+           behaviour under this workload
+truncated  a wall-clock deadline expired before the verdict
+error      the engine itself raised; campaigns contain the exception
+           and keep sweeping (the diagnostic lands in ``detail``)
+========== ==========================================================
+
+Robustness contract: a campaign never crashes (per-fault exception
+containment), honours per-fault and whole-campaign wall-clock deadlines
+with structured ``truncated`` verdicts, and checkpoints every verdict to
+a JSON state file so a killed campaign resumes -- skipping completed
+faults -- to the same final report (:meth:`CampaignReport.signature`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+import traceback
+from typing import Callable, List, Optional
+
+from ..asm import AsmModelChecker, ExplorationConfig
+from ..core.asm_model import La1AsmConfig
+from ..core.monitors import attach_read_mode_monitors
+from ..core.ovl_bindings import build_la1_top_with_ovl
+from ..core.properties import asm_labeling, device_property_suite
+from ..core.rtl_testbench import RtlHost
+from ..core.spec import La1Config
+from ..core.sysc_model import build_la1_system
+from ..psl.monitor import Verdict
+from ..rtl import RtlSimulator, elaborate
+from .asm_perturb import build_perturbed_la1_asm
+from .models import (
+    PROTOCOL_GAP_KINDS,
+    PROTOCOL_KINDS,
+    AsmPerturbation,
+    Fault,
+    ProtocolMutation,
+    RtlBitFlip,
+    RtlStuckAt,
+)
+from .rtl_inject import RtlFaultInjector
+from .sysc_inject import ProtocolSaboteur
+
+__all__ = [
+    "CampaignConfig",
+    "FaultVerdict",
+    "CampaignReport",
+    "FaultCampaign",
+    "default_fault_list",
+]
+
+OUTCOMES = ("detected", "silent", "masked", "truncated", "error")
+
+
+class CampaignConfig:
+    """Workload shape and robustness budgets of one campaign."""
+
+    def __init__(
+        self,
+        banks: int = 2,
+        traffic: int = 24,
+        seed: int = 2004,
+        backend: str = "compiled",
+        rtl_cycles: int = 160,
+        fault_deadline_s: Optional[float] = 30.0,
+        campaign_deadline_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
+        max_faults: Optional[int] = None,
+    ):
+        self.banks = banks
+        self.traffic = traffic
+        self.seed = seed
+        self.backend = backend
+        self.rtl_cycles = rtl_cycles
+        self.fault_deadline_s = fault_deadline_s
+        self.campaign_deadline_s = campaign_deadline_s
+        self.checkpoint_path = checkpoint_path
+        self.max_faults = max_faults
+
+    def la1(self) -> La1Config:
+        """The concrete simulation-scale config (the flow's shape)."""
+        return La1Config(banks=self.banks, beat_bits=16, addr_bits=4)
+
+    def fingerprint(self) -> dict:
+        """The workload identity a checkpoint must match to be resumed
+        (budgets and paths excluded: they may differ between the killed
+        and the resuming invocation without changing any verdict)."""
+        return {
+            "banks": self.banks,
+            "traffic": self.traffic,
+            "seed": self.seed,
+            "backend": self.backend,
+            "rtl_cycles": self.rtl_cycles,
+        }
+
+
+class FaultVerdict:
+    """One fault's campaign outcome."""
+
+    def __init__(self, fault_id: str, layer: str, kind: str, outcome: str,
+                 detected_by: Optional[list] = None, detail: str = "",
+                 cpu_time: float = 0.0, expected_detectable: bool = True):
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}")
+        self.fault_id = fault_id
+        self.layer = layer
+        self.kind = kind
+        self.outcome = outcome
+        self.detected_by = list(detected_by or [])
+        self.detail = detail
+        self.cpu_time = cpu_time
+        self.expected_detectable = expected_detectable
+
+    def to_dict(self) -> dict:
+        return {
+            "fault_id": self.fault_id,
+            "layer": self.layer,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "detected_by": self.detected_by,
+            "detail": self.detail,
+            "cpu_time": round(self.cpu_time, 4),
+            "expected_detectable": self.expected_detectable,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultVerdict":
+        return cls(
+            data["fault_id"], data["layer"], data["kind"], data["outcome"],
+            data.get("detected_by", ()), data.get("detail", ""),
+            data.get("cpu_time", 0.0), data.get("expected_detectable", True),
+        )
+
+    def __repr__(self):
+        by = f" by {','.join(self.detected_by)}" if self.detected_by else ""
+        return f"FaultVerdict({self.fault_id}: {self.outcome}{by})"
+
+
+class CampaignReport:
+    """All verdicts of a campaign plus the coverage arithmetic."""
+
+    def __init__(self, verdicts: List[FaultVerdict], fingerprint: dict,
+                 cpu_time: float = 0.0,
+                 engine_stats: Optional[dict] = None):
+        self.verdicts = list(verdicts)
+        self.fingerprint = dict(fingerprint)
+        self.cpu_time = cpu_time
+        #: accounting from the engines underneath (e.g. the shared
+        #: compiled-RTL simulator's design size and edge counts)
+        self.engine_stats = dict(engine_stats or {})
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        out = {outcome: 0 for outcome in OUTCOMES}
+        for verdict in self.verdicts:
+            out[verdict.outcome] += 1
+        return out
+
+    def coverage(self, layer: Optional[str] = None) -> float:
+        """Detection coverage: detected / expected-detectable faults
+        (optionally restricted to one layer).  1.0 when the restriction
+        selects no fault."""
+        pool = [
+            v for v in self.verdicts
+            if v.expected_detectable and (layer is None or v.layer == layer)
+        ]
+        if not pool:
+            return 1.0
+        detected = sum(1 for v in pool if v.outcome == "detected")
+        return detected / len(pool)
+
+    def gaps(self) -> List[FaultVerdict]:
+        """Faults that perturbed behaviour without any monitor firing --
+        the assertion-coverage holes the campaign surfaces."""
+        return [v for v in self.verdicts if v.outcome == "silent"]
+
+    def signature(self) -> tuple:
+        """Timing-independent identity: equal signatures mean equal
+        campaign conclusions (used by the resume and reproducibility
+        tests)."""
+        return tuple(sorted(
+            (v.fault_id, v.outcome, tuple(v.detected_by))
+            for v in self.verdicts
+        ))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "cpu_time": round(self.cpu_time, 3),
+            "engine_stats": self.engine_stats,
+            "counts": self.counts(),
+            "coverage": {
+                "overall": round(self.coverage(), 4),
+                "rtl": round(self.coverage("rtl"), 4),
+                "sysc": round(self.coverage("sysc"), 4),
+                "asm": round(self.coverage("asm"), 4),
+            },
+            "faults": [v.to_dict() for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignReport":
+        return cls(
+            [FaultVerdict.from_dict(v) for v in data.get("faults", ())],
+            data.get("fingerprint", {}),
+            data.get("cpu_time", 0.0),
+            data.get("engine_stats", {}),
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"fault campaign ({self.fingerprint.get('banks', '?')} banks, "
+            f"{len(self.verdicts)} faults, {self.cpu_time:.1f}s):"
+        ]
+        for verdict in self.verdicts:
+            by = f"  <- {', '.join(verdict.detected_by)}" \
+                if verdict.detected_by else ""
+            lines.append(
+                f"  [{verdict.outcome:>9}] {verdict.fault_id}{by}"
+            )
+        counts = self.counts()
+        lines.append(
+            "  " + ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+        )
+        lines.append(
+            f"  detection coverage: {self.coverage():.0%} overall, "
+            f"{self.coverage('sysc'):.0%} protocol"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# default fault list
+# ----------------------------------------------------------------------
+def default_fault_list(banks: int = 2, include_gap_probes: bool = True,
+                       rtl_top: str = "la1_top") -> List[Fault]:
+    """The smoke campaign's fault list.
+
+    Every protocol mutation kind on every bank, one ASM perturbation of
+    each kind, RTL stuck-ats on the read pipeline stage registers plus an
+    SEU on the fetched-word register (a deliberate datapath gap probe:
+    parity is recomputed from the corrupted word, so only a scoreboard
+    could see it).  Gap probes ship with ``expect_detectable=False`` and
+    are excluded from the coverage denominator.
+    """
+    faults: List[Fault] = []
+    for bank in range(banks):
+        for kind in PROTOCOL_KINDS:
+            faults.append(ProtocolMutation(kind, bank))
+    if include_gap_probes:
+        # occurrence 3 lands the address corruption on a read issued
+        # after writes have differentiated the array contents, so the
+        # divergence is visible in the transaction log (silent, not
+        # masked) under the default seed
+        faults.append(ProtocolMutation("corrupt_address", 0, occurrence=3))
+        faults.append(ProtocolMutation("drop_command", banks - 1))
+    faults.append(AsmPerturbation("stall_read", 0))
+    faults.append(AsmPerturbation("drop_commit", 0))
+    faults.append(AsmPerturbation("spurious_data", banks - 1))
+    faults.append(
+        RtlStuckAt(f"{rtl_top}.bank0.read_port.st_out0", 0, 0))
+    faults.append(
+        RtlStuckAt(f"{rtl_top}.bank{banks - 1}.read_port.st_out1", 0, 0))
+    faults.append(
+        RtlStuckAt(f"{rtl_top}.bank0.read_port.st_fetch", 0, 0))
+    if include_gap_probes:
+        # stuck-at-1 on the fetch stage drags the whole read pipeline
+        # high; the host's flow control backs off and no checker fires --
+        # a real observability gap of the OVL suite under this testbench
+        faults.append(RtlStuckAt(
+            f"{rtl_top}.bank0.read_port.st_fetch", 0, 1,
+            expect_detectable=False,
+        ))
+        # SEU in the SRAM array (bank 0, word 2, bit 3): parity is
+        # recomputed from the corrupted word, so the read completes
+        # cleanly and only the golden-run comparison can tell
+        faults.append(RtlBitFlip(
+            f"{rtl_top}.bank0.sram.mem", 67, at_edge=4,
+            expect_detectable=False,
+        ))
+    return faults
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class FaultCampaign:
+    """Sweep a fault list, one isolated run per fault, with golden-run
+    differencing, checkpointing and exception containment."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+        self._rtl_sim: Optional[RtlSimulator] = None
+        self._rtl_golden: Optional[tuple] = None
+        self._sysc_golden: Optional[tuple] = None
+
+    # -- workload ------------------------------------------------------
+    def _queue_traffic(self, host) -> None:
+        """The flow's Table-3 workload shape: seeded random read/write
+        mix over all banks (identical at both simulation layers)."""
+        config = self.config
+        la1 = config.la1()
+        rng = random.Random(config.seed)
+        word_max = (1 << la1.word_bits) - 1
+        for __ in range(config.traffic):
+            bank = rng.randrange(la1.banks)
+            addr = rng.randrange(la1.mem_words)
+            if rng.random() < 0.5:
+                host.read(bank, addr)
+            else:
+                host.write(bank, addr, rng.randint(0, word_max))
+
+    @staticmethod
+    def _log_signature(host) -> tuple:
+        """Golden-comparable transaction log of either host flavour."""
+        return tuple(
+            (r.bank, r.addr, r.word, tuple(r.beats), tuple(r.parities))
+            for r in host.results
+        )
+
+    # -- SystemC layer -------------------------------------------------
+    def _sysc_duration(self) -> int:
+        return self.config.traffic * 20 + 200
+
+    def _sysc_golden_run(self) -> tuple:
+        if self._sysc_golden is None:
+            sim, clocks, device, host = build_la1_system(self.config.la1())
+            monitors = attach_read_mode_monitors(sim, device, clocks)
+            self._queue_traffic(host)
+            sim.run(self._sysc_duration())
+            failed = [m.name for m in monitors if m.finish() is Verdict.FAILS]
+            if failed:
+                raise RuntimeError(
+                    f"golden SystemC run fails assertions {failed}; "
+                    "campaign verdicts would be meaningless"
+                )
+            self._sysc_golden = self._log_signature(host)
+        return self._sysc_golden
+
+    def _run_sysc(self, fault: ProtocolMutation) -> FaultVerdict:
+        golden = self._sysc_golden_run()
+        sim, clocks, device, host = build_la1_system(self.config.la1())
+        saboteur = ProtocolSaboteur(sim, device, fault)
+        monitors = attach_read_mode_monitors(sim, device, clocks)
+        self._queue_traffic(host)
+        sim.run(self._sysc_duration())
+        detected_by = sorted(
+            m.name for m in monitors if m.finish() is Verdict.FAILS
+        )
+        if detected_by:
+            outcome, detail = "detected", ""
+        elif not saboteur.triggered:
+            outcome, detail = "masked", "mutation window never reached"
+        elif self._log_signature(host) != golden:
+            outcome = "silent"
+            detail = ("transaction log diverged from golden run with no "
+                      "assertion firing")
+        else:
+            outcome, detail = "masked", "no observable divergence"
+        return FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+            detail, expected_detectable=fault.expect_detectable,
+        )
+
+    # -- RTL layer -----------------------------------------------------
+    def _rtl_simulator(self) -> RtlSimulator:
+        if self._rtl_sim is None:
+            top = build_la1_top_with_ovl(self.config.la1())
+            self._rtl_sim = RtlSimulator(
+                elaborate(top), backend=self.config.backend,
+            )
+        return self._rtl_sim
+
+    def _rtl_golden_run(self) -> tuple:
+        if self._rtl_golden is None:
+            sim = self._rtl_simulator()
+            sim.reset()
+            host = RtlHost(sim, self.config.la1())
+            self._queue_traffic(host)
+            host.run_cycles(self.config.rtl_cycles)
+            if sim.failures:
+                raise RuntimeError(
+                    f"golden RTL run fails OVL checks {sim.failures[:3]}"
+                )
+            self._rtl_golden = self._log_signature(host)
+        return self._rtl_golden
+
+    def _run_rtl(self, fault: Fault) -> FaultVerdict:
+        golden = self._rtl_golden_run()
+        sim = self._rtl_simulator()
+        sim.reset()
+        injector = RtlFaultInjector(sim, [fault])
+        injector.attach()
+        try:
+            host = RtlHost(sim, self.config.la1())
+            self._queue_traffic(host)
+            host.run_cycles(self.config.rtl_cycles)
+        finally:
+            injector.detach()
+        detected_by = sorted({record.name for record in sim.failures})
+        if detected_by:
+            outcome, detail = "detected", ""
+        elif not injector.triggered:
+            outcome, detail = "masked", "fault never changed a state bit"
+        elif self._log_signature(host) != golden:
+            outcome = "silent"
+            detail = ("transaction log diverged from golden run with no "
+                      "OVL checker firing")
+        else:
+            outcome, detail = "masked", "no observable divergence"
+        return FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+            detail, expected_detectable=fault.expect_detectable,
+        )
+
+    # -- ASM layer -----------------------------------------------------
+    def _run_asm(self, fault: AsmPerturbation) -> FaultVerdict:
+        machine = build_perturbed_la1_asm(
+            La1AsmConfig(banks=self.config.banks), fault,
+        )
+        labeling = asm_labeling(self.config.banks)
+        suite = [
+            (name, prop)
+            for name, prop in device_property_suite(self.config.banks)
+            if name.endswith(f"[{fault.bank}]")
+        ]
+        deadline = self.config.fault_deadline_s
+        start = time.perf_counter()
+        detected_by: List[str] = []
+        truncated = False
+        for name, prop in suite:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (time.perf_counter() - start)
+                if remaining <= 0:
+                    truncated = True
+                    break
+            checker = AsmModelChecker(
+                machine, labeling,
+                ExplorationConfig(max_states=50_000,
+                                  max_transitions=500_000,
+                                  deadline_s=remaining),
+            )
+            result = checker.check(prop, name)
+            if result.holds is False:
+                detected_by.append(name)
+            elif result.holds is None and result.truncated_reason == "deadline":
+                truncated = True
+        if detected_by:
+            outcome, detail = "detected", ""
+        elif truncated:
+            outcome, detail = "truncated", "per-fault deadline expired"
+        else:
+            outcome = "silent"
+            detail = (f"no property of bank {fault.bank} violated by the "
+                      "perturbed transition relation")
+        return FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+            detail, expected_detectable=fault.expect_detectable,
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def _load_checkpoint(self) -> dict:
+        path = self.config.checkpoint_path
+        if not path or not os.path.exists(path):
+            return {}
+        try:
+            with open(path) as fh:
+                state = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        if state.get("fingerprint") != self.config.fingerprint():
+            return {}  # different workload: verdicts not transferable
+        return {
+            fault_id: FaultVerdict.from_dict(data)
+            for fault_id, data in state.get("verdicts", {}).items()
+        }
+
+    def _save_checkpoint(self, completed: dict) -> None:
+        path = self.config.checkpoint_path
+        if not path:
+            return
+        state = {
+            "fingerprint": self.config.fingerprint(),
+            "verdicts": {
+                fault_id: verdict.to_dict()
+                for fault_id, verdict in completed.items()
+            },
+        }
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(state, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    # -- the sweep -----------------------------------------------------
+    def _dispatch(self, fault: Fault) -> FaultVerdict:
+        if isinstance(fault, ProtocolMutation):
+            return self._run_sysc(fault)
+        if isinstance(fault, AsmPerturbation):
+            return self._run_asm(fault)
+        if isinstance(fault, (RtlStuckAt, RtlBitFlip)):
+            return self._run_rtl(fault)
+        raise TypeError(f"no runner for {fault!r}")
+
+    def run(self, faults: Optional[List[Fault]] = None,
+            resume: bool = True,
+            on_verdict: Optional[Callable[[FaultVerdict], None]] = None,
+            ) -> CampaignReport:
+        """Sweep ``faults`` (default: :func:`default_fault_list`).
+
+        With ``resume`` (default) and a configured ``checkpoint_path``,
+        verdicts recorded by an earlier -- possibly killed -- invocation
+        with the same workload fingerprint are reused instead of re-run.
+        """
+        config = self.config
+        if faults is None:
+            faults = default_fault_list(config.banks)
+        if config.max_faults is not None:
+            faults = faults[: config.max_faults]
+        completed = self._load_checkpoint() if resume else {}
+        start = time.perf_counter()
+        verdicts: List[FaultVerdict] = []
+        for fault in faults:
+            cached = completed.get(fault.fault_id)
+            if cached is not None:
+                verdicts.append(cached)
+                continue
+            elapsed = time.perf_counter() - start
+            if (config.campaign_deadline_s is not None
+                    and elapsed > config.campaign_deadline_s):
+                verdict = FaultVerdict(
+                    fault.fault_id, fault.layer, fault.kind, "truncated",
+                    detail="campaign wall-clock deadline expired",
+                    expected_detectable=fault.expect_detectable,
+                )
+            else:
+                fault_start = time.perf_counter()
+                try:
+                    verdict = self._dispatch(fault)
+                except Exception:
+                    verdict = FaultVerdict(
+                        fault.fault_id, fault.layer, fault.kind, "error",
+                        detail=traceback.format_exc(limit=3),
+                        expected_detectable=fault.expect_detectable,
+                    )
+                verdict.cpu_time = time.perf_counter() - fault_start
+            verdicts.append(verdict)
+            completed[fault.fault_id] = verdict
+            self._save_checkpoint(completed)
+            if on_verdict is not None:
+                on_verdict(verdict)
+        engine_stats = {}
+        if self._rtl_sim is not None:
+            engine_stats["rtl_sim"] = self._rtl_sim.stats()
+        return CampaignReport(
+            verdicts, config.fingerprint(), time.perf_counter() - start,
+            engine_stats,
+        )

@@ -1,0 +1,111 @@
+"""Graceful degradation: symbolic checking -> bounded exploration.
+
+Table 2's lesson is that the symbolic checker is the strongest but most
+brittle engine: past ~4 banks its BDDs explode.  A campaign (or a CI
+gate) cannot afford an engine that either proves the property or dies --
+it needs a *ladder*: try the symbolic checker under explicit node and
+wall-clock budgets, and when it reports ``exploded`` or ``truncated``,
+fall back to the bounded ASM exploration checker (Table 1's engine),
+which always terminates under its own bounds and still finds real
+counterexamples even when it cannot prove the property outright.
+
+Every rung's outcome is preserved in :class:`DegradationResult.attempts`
+so a report can show *why* the final verdict carries the confidence it
+does (proved symbolically > proved by complete exploration > no
+violation found within bounds).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..asm import AsmModelChecker, ExplorationConfig
+from ..core.asm_model import La1AsmConfig, build_la1_asm
+from ..core.properties import asm_labeling, read_mode_suite
+from ..core.rulebase import check_read_mode_rtl
+
+__all__ = ["DegradationResult", "check_read_mode_degraded"]
+
+
+class DegradationResult:
+    """Final verdict of the ladder plus the audit trail of every rung.
+
+    ``holds`` is True (proved / no violation in a complete exploration),
+    False (counterexample found at some rung), or None (every rung was
+    truncated without finding a violation).  ``rung`` names the engine
+    that produced the final verdict (``"symbolic"`` or ``"exploration"``)
+    and ``degraded`` is True when the symbolic rung had to be abandoned.
+    """
+
+    def __init__(self, holds: Optional[bool], rung: str, degraded: bool,
+                 attempts: list, cpu_time: float):
+        self.holds = holds
+        self.rung = rung
+        self.degraded = degraded
+        self.attempts = attempts
+        self.cpu_time = cpu_time
+
+    def __repr__(self):
+        verdict = {True: "HOLDS", False: "FAILS", None: "UNKNOWN"}[self.holds]
+        flag = " degraded" if self.degraded else ""
+        return (
+            f"DegradationResult({verdict} via {self.rung}{flag}, "
+            f"{len(self.attempts)} attempts, {self.cpu_time:.2f}s)"
+        )
+
+
+def check_read_mode_degraded(
+    banks: int,
+    transient_node_budget: Optional[int] = 12_000_000,
+    live_node_budget: Optional[int] = 1_500_000,
+    deadline_s: Optional[float] = None,
+    exploration_config: Optional[ExplorationConfig] = None,
+) -> DegradationResult:
+    """Check the Read-Mode contract with symbolic-first degradation.
+
+    Rung 1 runs :func:`check_read_mode_rtl` under the given BDD node
+    budgets and wall-clock deadline.  If it explodes or times out, rung 2
+    model checks the same read-mode property suite on the ASM model by
+    bounded exploration (sharing what is left of the deadline).
+    """
+    start = time.perf_counter()
+    attempts: list = []
+
+    mc = check_read_mode_rtl(
+        banks,
+        transient_node_budget=transient_node_budget,
+        live_node_budget=live_node_budget,
+        deadline_s=deadline_s,
+    )
+    attempts.append(("symbolic", mc))
+    if mc.holds is not None:
+        return DegradationResult(
+            mc.holds, "symbolic", False, attempts,
+            time.perf_counter() - start,
+        )
+
+    # symbolic rung exhausted (state explosion or deadline): degrade to
+    # the exploration engine over the abstract model
+    remaining = None
+    if deadline_s is not None:
+        remaining = max(0.5, deadline_s - (time.perf_counter() - start))
+    config = exploration_config or ExplorationConfig(
+        max_states=200_000, max_transitions=2_000_000,
+    )
+    if remaining is not None and config.deadline_s is None:
+        config.deadline_s = remaining
+    checker = AsmModelChecker(
+        build_la1_asm(La1AsmConfig(banks=banks)),
+        asm_labeling(banks),
+        config,
+    )
+    suite = read_mode_suite(banks)
+    result = checker.check_combined(
+        [prop for __, prop in suite], name=f"read_mode[{banks}banks]/explore",
+    )
+    attempts.append(("exploration", result))
+    return DegradationResult(
+        result.holds, "exploration", True, attempts,
+        time.perf_counter() - start,
+    )

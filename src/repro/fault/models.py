@@ -1,0 +1,170 @@
+"""The fault taxonomy: what a campaign can inject, at which layer.
+
+A verification environment is only trusted once it has been shown to
+*reject* bad behaviour (cf. AutoSVA's check that generated properties
+actually fail on mutated designs, and the fault-injection validation of
+BCA/RTL co-verification environments).  Three fault families cover the
+three modelling layers of the LA-1 reproduction:
+
+* **RTL faults** -- classic netlist-level models: stuck-at-0/1 on a
+  register or free input, and a single-event upset (one-shot bit flip at
+  a chosen edge).  Injected identically into both simulator backends
+  through :class:`repro.fault.rtl_inject.RtlFaultInjector`.
+* **Protocol mutations** -- LA-1 transactor-level misbehaviour of the
+  *device* side of the observation boundary (dropped/duplicated command
+  strobes, out-of-window data, corrupted parity or address), injected by
+  :class:`repro.fault.sysc_inject.ProtocolSaboteur`.
+* **ASM perturbations** -- guarded-rule mutations of the abstract model
+  (stalled pipeline, dropped commit, spurious data stage), built by
+  :func:`repro.fault.asm_perturb.build_perturbed_la1_asm`.
+
+Every fault renders a stable ``fault_id`` so campaign checkpoints can be
+resumed across processes.  ``expect_detectable`` records the *a-priori*
+expectation used in reports: faults outside the monitored contract (for
+example a corrupted address, which no protocol assertion watches) are
+shipped as *coverage-gap probes* -- their silent verdicts are the
+assertion-coverage gaps the campaign exists to surface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "Fault",
+    "RtlStuckAt",
+    "RtlBitFlip",
+    "ProtocolMutation",
+    "AsmPerturbation",
+    "PROTOCOL_KINDS",
+    "PROTOCOL_GAP_KINDS",
+    "ASM_KINDS",
+]
+
+#: protocol mutation kinds covered by the PSL monitor suite
+PROTOCOL_KINDS = (
+    "drop_beat0",        # first data beat suppressed (dropped data)
+    "drop_beat1",        # second DDR beat suppressed
+    "spurious_data",     # data strobe outside the legal window
+    "duplicate_command", # request strobe repeated while data is driven
+    "corrupt_parity",    # parity bits inconsistent with the driven beat
+)
+
+#: mutation kinds *outside* the monitored contract (coverage-gap probes)
+PROTOCOL_GAP_KINDS = (
+    "corrupt_address",   # wrong word fetched; only a scoreboard can see it
+    "drop_command",      # captured request silently discarded
+)
+
+#: ASM guarded-rule perturbation kinds
+ASM_KINDS = ("stall_read", "drop_commit", "spurious_data")
+
+
+class Fault:
+    """Base class: one injectable defect."""
+
+    layer = "?"
+
+    def __init__(self, kind: str, expect_detectable: bool = True):
+        self.kind = kind
+        self.expect_detectable = expect_detectable
+
+    @property
+    def fault_id(self) -> str:
+        """Stable identity used for checkpoint keys and report rows."""
+        return f"{self.layer}:{self.kind}:{self._target()}"
+
+    def _target(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.fault_id
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.fault_id})"
+
+
+class RtlStuckAt(Fault):
+    """Bit ``bit`` of the register/input net at ``path`` held at
+    ``value`` for the whole run (applied after reset and re-forced after
+    every clock edge)."""
+
+    layer = "rtl"
+
+    def __init__(self, path: str, bit: int, value: int,
+                 expect_detectable: bool = True):
+        super().__init__(f"stuck_at_{value}", expect_detectable)
+        if value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+        self.path = path
+        self.bit = bit
+        self.value = value
+
+    def _target(self) -> str:
+        return f"{self.path}[{self.bit}]"
+
+    def describe(self) -> str:
+        return f"stuck-at-{self.value} on {self.path}[{self.bit}]"
+
+
+class RtlBitFlip(Fault):
+    """Single-event upset: bit ``bit`` of ``path`` XOR-flipped once,
+    immediately after edge number ``at_edge`` settles."""
+
+    layer = "rtl"
+
+    def __init__(self, path: str, bit: int, at_edge: int,
+                 expect_detectable: bool = True):
+        super().__init__("bit_flip", expect_detectable)
+        self.path = path
+        self.bit = bit
+        self.at_edge = at_edge
+
+    def _target(self) -> str:
+        return f"{self.path}[{self.bit}]@{self.at_edge}"
+
+    def describe(self) -> str:
+        return f"SEU flip of {self.path}[{self.bit}] after edge {self.at_edge}"
+
+
+class ProtocolMutation(Fault):
+    """One-shot LA-1 protocol mutation at the SystemC transactor.
+
+    ``occurrence`` selects which activation window triggers the mutation
+    (the first by default): e.g. ``drop_beat0`` fires the ``occurrence``-th
+    time the bank's read port would drive its first beat.
+    """
+
+    layer = "sysc"
+
+    def __init__(self, kind: str, bank: int, occurrence: int = 1):
+        if kind not in PROTOCOL_KINDS + PROTOCOL_GAP_KINDS:
+            raise ValueError(f"unknown protocol mutation kind {kind!r}")
+        super().__init__(kind, expect_detectable=kind in PROTOCOL_KINDS)
+        self.bank = bank
+        self.occurrence = occurrence
+
+    def _target(self) -> str:
+        return f"bank{self.bank}#{self.occurrence}"
+
+    def describe(self) -> str:
+        return f"{self.kind} on bank {self.bank} (occurrence {self.occurrence})"
+
+
+class AsmPerturbation(Fault):
+    """Guarded-rule perturbation of the LA-1 ASM model."""
+
+    layer = "asm"
+
+    def __init__(self, kind: str, bank: int):
+        if kind not in ASM_KINDS:
+            raise ValueError(f"unknown ASM perturbation kind {kind!r}")
+        super().__init__(kind, expect_detectable=True)
+        self.bank = bank
+
+    def _target(self) -> str:
+        return f"bank{self.bank}"
+
+    def describe(self) -> str:
+        return f"ASM rule perturbation {self.kind} on bank {self.bank}"

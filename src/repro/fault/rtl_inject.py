@@ -1,0 +1,118 @@
+"""Backend-agnostic netlist fault injection for the RTL simulator.
+
+Faults are applied through the simulator's public edge-hook mechanism so
+that the *same* injector drives both the ``"interp"`` and ``"compiled"``
+backends: the hook mutates the shared slot array after each edge settles
+and re-runs ``settle`` so downstream combinational logic (including the
+OVL checker cones, which live in the same netlist) observes the
+corrupted value.  The differential suite in ``tests/test_fault_models.py``
+holds the two backends bit-identical under every fault model.
+
+Only ``reg`` and ``input`` nets are legal targets: a corrupted
+combinational net would simply be recomputed by the next settle pass, so
+a stuck-at there must instead be expressed on the net's register/input
+support (this mirrors how gate-level stuck-ats are collapsed onto
+fan-out stems in classic fault simulation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..rtl.hdl import HdlError
+from ..rtl.simulator import RtlSimulator
+from .models import Fault, RtlBitFlip, RtlStuckAt
+
+__all__ = ["RtlFaultInjector"]
+
+
+class RtlFaultInjector:
+    """Attach one or more RTL faults to a running :class:`RtlSimulator`.
+
+    Usage::
+
+        injector = RtlFaultInjector(sim, [RtlStuckAt("la1_top.bank0...", 0, 1)])
+        injector.attach()      # applies stuck-ats immediately
+        ... drive traffic ...
+        injector.detach()      # releases the simulator (faults stop acting)
+
+    The injector validates every target path and bit index at
+    construction time so campaigns fail fast on stale fault lists.
+    """
+
+    def __init__(self, sim: RtlSimulator, faults: List[Fault]):
+        self.sim = sim
+        self.faults = list(faults)
+        self._attached = False
+        #: True once some application actually changed a state bit (a
+        #: stuck-at matching the fault-free value never does -- such a
+        #: run is reported *masked* rather than silent)
+        self.triggered = False
+        self._plan = []  # (fault, flat_net, mask)
+        for fault in self.faults:
+            if not isinstance(fault, (RtlStuckAt, RtlBitFlip)):
+                raise HdlError(
+                    f"{fault!r} is not an RTL fault (layer={fault.layer})"
+                )
+            flat = sim.design.net(fault.path)
+            if flat.kind not in ("reg", "input"):
+                raise HdlError(
+                    f"fault target {fault.path} is a {flat.kind!r} net; only "
+                    "reg/input nets hold state across a settle pass"
+                )
+            if not (0 <= fault.bit < flat.width):
+                raise HdlError(
+                    f"bit {fault.bit} out of range for {flat.width}-bit "
+                    f"{fault.path}"
+                )
+            self._plan.append((fault, flat, 1 << fault.bit))
+        self._pending_flips = [
+            entry for entry in self._plan if isinstance(entry[0], RtlBitFlip)
+        ]
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Start injecting: force stuck-ats now and hook every edge."""
+        if self._attached:
+            return
+        self.sim.add_edge_hook(self._on_edge)
+        self._attached = True
+        if self._apply_stuck_ats():
+            self.sim._settle()
+
+    def detach(self) -> None:
+        """Stop injecting and release the (possibly shared) simulator."""
+        if self._attached:
+            self.sim.remove_edge_hook(self._on_edge)
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    def _apply_stuck_ats(self) -> bool:
+        v = self.sim._v
+        changed = False
+        for fault, flat, mask in self._plan:
+            if not isinstance(fault, RtlStuckAt):
+                continue
+            old = v[flat.slot]
+            new = (old | mask) if fault.value else (old & ~mask)
+            if new != old:
+                v[flat.slot] = new
+                changed = True
+        if changed:
+            self.triggered = True
+        return changed
+
+    def _on_edge(self, edge: str, sim: RtlSimulator) -> None:
+        changed = self._apply_stuck_ats()
+        done = []
+        for entry in self._pending_flips:
+            fault, flat, mask = entry
+            if sim.edge_count >= fault.at_edge:
+                sim._v[flat.slot] ^= mask
+                changed = True
+                self.triggered = True
+                done.append(entry)
+        for entry in done:
+            self._pending_flips.remove(entry)
+        if changed:
+            sim._settle()

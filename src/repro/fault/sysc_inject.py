@@ -1,0 +1,131 @@
+"""LA-1 protocol mutation at the SystemC transactor boundary.
+
+The :class:`ProtocolSaboteur` is a kernel module that corrupts the
+*observable* LA-1 protocol of one bank's read port -- the status strobes
+and data/parity beats the external PSL monitors watch -- without touching
+the monitors themselves.  This validates the verification environment the
+way the paper's methodology implies but never exercises: a monitor suite
+is only trustworthy if every illegal protocol behaviour it claims to
+cover actually makes some assertion fire.
+
+Mechanics: the saboteur registers its edge processes *after* the device
+has been built, so within one evaluate phase they run after the port
+processes (kernel processes sensitive to the same event run in
+registration order) and their signal writes win the last-write-wins
+commit.  Monitors sample on the delta-delayed :class:`EdgeSampler`
+event, hence observe the committed -- sabotaged -- values, exactly as
+they would observe a buggy device.
+
+Each mutation is one-shot: it fires in the ``occurrence``-th activation
+window of its kind (e.g. the n-th time the port drives a first beat) and
+records itself in :attr:`ProtocolSaboteur.triggered`.  A campaign run
+whose saboteur never triggered is reported *masked* rather than silent.
+"""
+
+from __future__ import annotations
+
+from ..sysc.kernel import Simulator
+from ..sysc.module import Module
+from .models import ProtocolMutation
+
+__all__ = ["ProtocolSaboteur"]
+
+
+class ProtocolSaboteur(Module):
+    """Inject one :class:`~repro.fault.models.ProtocolMutation` into a
+    built LA-1 system.
+
+    Must be constructed **after** the device (and host) so its processes
+    run last in each clock-edge evaluate phase; ``build_la1_system`` +
+    ``ProtocolSaboteur`` in that order is the supported recipe.
+    """
+
+    def __init__(self, sim: Simulator, device, fault: ProtocolMutation,
+                 name: str = "saboteur"):
+        super().__init__(sim, name)
+        if not isinstance(fault, ProtocolMutation):
+            raise TypeError(f"{fault!r} is not a protocol mutation")
+        if not (0 <= fault.bank < device.config.banks):
+            raise ValueError(
+                f"bank {fault.bank} out of range for "
+                f"{device.config.banks}-bank device"
+            )
+        self.device = device
+        self.fault = fault
+        self.port = device.banks[fault.bank].read_port
+        #: True once the mutation has been applied to the live protocol
+        self.triggered = False
+        self._seen = 0
+        self._clear_spurious = False
+        self._proc_k = self.method_process(
+            self._on_k, (device.clocks.posedge_k,), "sab_k")
+        self._proc_ks = self.method_process(
+            self._on_k_sharp, (device.clocks.posedge_k_bar,), "sab_ks")
+
+    # ------------------------------------------------------------------
+    def _window(self) -> bool:
+        """Count one activation window of the fault's kind; True when it
+        is the configured ``occurrence`` (arming the one-shot)."""
+        if self.triggered:
+            return False
+        self._seen += 1
+        if self._seen >= self.fault.occurrence:
+            self.triggered = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _on_k(self) -> None:
+        if self._proc_k.trigger is None:
+            return  # initialization run, no edge yet
+        port = self.port
+        kind = self.fault.kind
+        if kind == "drop_beat0":
+            # the port just entered out0 and drove its first beat; unwind
+            # the valid strobe so the beat silently vanishes
+            if port._stage == "out0" and self._window():
+                port.stat_data_valid.write(False)
+        elif kind == "spurious_data":
+            # drive a first-beat strobe out of thin air while the port is
+            # idle (data/parity kept self-consistent so only the window
+            # violation is observable)
+            if port._stage == "idle" and self._window():
+                port.stat_data_valid.write(True)
+                port.data_out.write(0)
+                port.parity_out.write(0)
+                self._clear_spurious = True
+        elif kind == "duplicate_command":
+            # re-assert the request strobe while the read is completing:
+            # the device claims a command it never captured
+            if port._stage == "out0" and self._window():
+                port.stat_read_req.write(True)
+        elif kind == "corrupt_parity":
+            # flip the lane-0 parity bit of the first beat
+            if port._stage == "out0" and self._window():
+                good = port._beat_parity(port._beat(0))
+                port.parity_out.write(good ^ 1)
+        elif kind == "corrupt_address":
+            # coverage-gap probe: fetch the wrong word; no protocol
+            # assertion watches data values, only a scoreboard could tell
+            if port._stage == "req" and self._window():
+                port._addr = (port._addr ^ 1) % port.config.mem_words
+        elif kind == "drop_command":
+            # coverage-gap probe: silently discard the captured request
+            # (strobe suppressed, pipeline reset -- nothing for the
+            # latency assertion to anchor on)
+            if port._stage == "req" and self._window():
+                port._stage = "idle"
+                port.stat_read_req.write(False)
+
+    def _on_k_sharp(self) -> None:
+        if self._proc_ks.trigger is None:
+            return
+        port = self.port
+        if self.fault.kind == "drop_beat1":
+            # the port just released the second DDR beat; suppress it
+            if port._stage == "out1" and self._window():
+                port.stat_data_valid2.write(False)
+        if self._clear_spurious:
+            # a real out0 clears data_valid at the next K#; mimic that
+            port.stat_data_valid.write(False)
+            self._clear_spurious = False

@@ -34,9 +34,13 @@ __all__ = ["SymbolicCheckResult", "SymbolicModelChecker"]
 class SymbolicCheckResult:
     """Verdict plus Table 2 metrics.
 
-    ``holds`` is True / False / None; None means the run aborted with
-    *state explosion* (BDD node budget exhausted), the 4-bank outcome of
-    Table 2.
+    ``holds`` is True / False / None; None means the run did not decide:
+    either it aborted with *state explosion* (BDD node budget exhausted,
+    the 4-bank outcome of Table 2, ``exploded=True``) or it hit its
+    wall-clock deadline (``truncated=True``).  ``bdd_stats`` carries the
+    manager's node/computed-table counters
+    (:meth:`repro.bdd.BddManager.stats`) so degradation triggers are
+    observable in campaign and flow reports.
     """
 
     def __init__(
@@ -50,6 +54,8 @@ class SymbolicCheckResult:
         exploded: bool = False,
         counterexample_depth: Optional[int] = None,
         property_name: str = "property",
+        truncated: bool = False,
+        bdd_stats: Optional[dict] = None,
     ):
         self.holds = holds
         self.cpu_time = cpu_time
@@ -60,10 +66,14 @@ class SymbolicCheckResult:
         self.exploded = exploded
         self.counterexample_depth = counterexample_depth
         self.property_name = property_name
+        self.truncated = truncated
+        self.bdd_stats = dict(bdd_stats or {})
 
     def __repr__(self):
         if self.exploded:
             verdict = "STATE EXPLOSION"
+        elif self.truncated:
+            verdict = "TRUNCATED"
         else:
             verdict = {True: "HOLDS", False: "FAILS", None: "UNKNOWN"}[self.holds]
         return (
@@ -105,12 +115,15 @@ class SymbolicModelChecker:
         labels: dict[str, Union[tuple, int]],
         name: str = "property",
         max_iterations: int = 10000,
+        deadline_s: Optional[float] = None,
     ) -> SymbolicCheckResult:
         """Check a PSL safety property against the design.
 
         ``labels`` maps every atom of the property to either a
         ``("net.path", bit_index)`` pair or a pre-built BDD over the
-        model's variables.
+        model's variables.  ``deadline_s`` is a wall-clock budget: a run
+        that exceeds it returns cleanly with ``truncated=True`` instead
+        of spinning.
         """
         if not prop.is_safety():
             raise PslError(f"{prop!r} is not a safety property")
@@ -121,7 +134,8 @@ class SymbolicModelChecker:
             checker = build_checker(prop)
             atom_bdds = self._resolve_labels(checker, labels)
             bad = self._embed_automaton(checker, atom_bdds, name)
-            return self._reachability(bad, start, name, max_iterations)
+            return self._reachability(bad, start, name, max_iterations,
+                                      deadline_s)
         except BddBudgetExceeded:
             elapsed = time.perf_counter() - start
             return SymbolicCheckResult(
@@ -133,16 +147,19 @@ class SymbolicModelChecker:
                 m.estimated_memory_bytes() / 1e6,
                 exploded=True,
                 property_name=name,
+                bdd_stats=m.stats(),
             )
 
     def check_invariant(
-        self, bad: int, name: str = "invariant", max_iterations: int = 10000
+        self, bad: int, name: str = "invariant", max_iterations: int = 10000,
+        deadline_s: Optional[float] = None,
     ) -> SymbolicCheckResult:
         """Check that the ``bad`` BDD (over current vars/inputs) is
         unreachable."""
         start = time.perf_counter()
         try:
-            return self._reachability(bad, start, name, max_iterations)
+            return self._reachability(bad, start, name, max_iterations,
+                                      deadline_s)
         except BddBudgetExceeded:
             m = self.model.manager
             elapsed = time.perf_counter() - start
@@ -155,6 +172,7 @@ class SymbolicModelChecker:
                 m.estimated_memory_bytes() / 1e6,
                 exploded=True,
                 property_name=name,
+                bdd_stats=m.stats(),
             )
 
     # ------------------------------------------------------------------
@@ -230,10 +248,12 @@ class SymbolicModelChecker:
 
     # ------------------------------------------------------------------
     def _reachability(
-        self, bad: int, start: float, name: str, max_iterations: int
+        self, bad: int, start: float, name: str, max_iterations: int,
+        deadline_s: Optional[float] = None,
     ) -> SymbolicCheckResult:
         model = self.model
         m = model.manager
+        deadline = None if deadline_s is None else start + deadline_s
         state_vars = model.state_bits
         input_vars = model.input_bits
         next_names = [v + NEXT_SUFFIX for v in state_vars]
@@ -278,7 +298,15 @@ class SymbolicModelChecker:
             nodes, mem = metrics()
             return SymbolicCheckResult(
                 None, elapsed, nodes, 0, iterations, mem,
-                exploded=True, property_name=name,
+                exploded=True, property_name=name, bdd_stats=m.stats(),
+            )
+
+        def timed_out() -> SymbolicCheckResult:
+            elapsed = time.perf_counter() - start
+            nodes, mem = metrics()
+            return SymbolicCheckResult(
+                None, elapsed, nodes, m.size(reached), iterations, mem,
+                property_name=name, truncated=True, bdd_stats=m.stats(),
             )
 
         if m.and_(reached, bad) != m.FALSE:
@@ -287,9 +315,12 @@ class SymbolicModelChecker:
             return SymbolicCheckResult(
                 False, elapsed, nodes, m.size(reached), 0, mem,
                 counterexample_depth=0, property_name=name,
+                bdd_stats=m.stats(),
             )
         try:
             while frontier != m.FALSE and iterations < max_iterations:
+                if deadline is not None and time.perf_counter() > deadline:
+                    return timed_out()
                 iterations += 1
                 # image of the frontier with early quantification:
                 # variables leave the product as soon as no later
@@ -310,7 +341,7 @@ class SymbolicModelChecker:
                     return SymbolicCheckResult(
                         False, elapsed, nodes, m.size(reached), iterations,
                         mem, counterexample_depth=iterations,
-                        property_name=name,
+                        property_name=name, bdd_stats=m.stats(),
                     )
                 reached = m.or_(reached, new)
                 frontier = new
@@ -340,5 +371,5 @@ class SymbolicModelChecker:
         nodes, mem = metrics()
         return SymbolicCheckResult(
             True, elapsed, nodes, reached_size, iterations, mem,
-            property_name=name,
+            property_name=name, bdd_stats=m.stats(),
         )

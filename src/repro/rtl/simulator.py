@@ -173,6 +173,24 @@ class RtlSimulator:
         """Register ``hook(edge_name, sim)`` called after every edge settles."""
         self._edge_hooks.append(hook)
 
+    def remove_edge_hook(self, hook: Callable[[str, "RtlSimulator"], None]) -> None:
+        """Detach a hook registered with :meth:`add_edge_hook` (no-op if
+        absent), so transient instrumentation such as fault injectors can
+        release a shared simulator."""
+        if hook in self._edge_hooks:
+            self._edge_hooks.remove(hook)
+
+    def stats(self) -> dict:
+        """Design-size and run accounting for flow/campaign reports."""
+        stats = dict(self.design.stats())
+        stats.update(
+            backend=self.backend,
+            edges=self.edge_count,
+            firings=len(self.firings),
+            failures=len(self.failures),
+        )
+        return stats
+
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------

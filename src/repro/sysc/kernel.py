@@ -242,6 +242,7 @@ class Simulator:
         self._initialized = False
         self._stop_requested = False
         self.stop_reason: Optional[str] = None
+        self.abort_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # registration hooks (used by Event / Process / Signal constructors)
@@ -279,11 +280,36 @@ class Simulator:
         self._stop_requested = True
         self.stop_reason = reason
 
+    def _abort(self, diagnostic: str) -> None:
+        """Poison the kernel after a process blew up mid-delta.
+
+        A half-executed delta cycle has no consistent resume point: some
+        processes ran, some updates are uncommitted.  Rather than letting
+        a later ``run`` silently drop those events, the kernel discards
+        all pending activity and refuses further execution with the
+        original diagnostic.
+        """
+        self.abort_reason = diagnostic
+        self._stop_requested = True
+        self.stop_reason = diagnostic
+        self._runnable.clear()
+        self._update_queue.clear()
+        self._delta_notifications.clear()
+        self._timed.clear()
+
+    def _check_not_aborted(self) -> None:
+        if self.abort_reason is not None:
+            raise SimulationError(
+                f"simulation was aborted and cannot continue: "
+                f"{self.abort_reason}"
+            )
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def initialize(self) -> None:
         """Run every process once (the SystemC initialization phase)."""
+        self._check_not_aborted()
         if self._initialized:
             return
         self._initialized = True
@@ -298,6 +324,7 @@ class Simulator:
         runs at most ``duration`` time units past the current time.
         Returns the simulated time at exit.
         """
+        self._check_not_aborted()
         self.initialize()
         end_time = None if duration is None else self.time + duration
         while not self._stop_requested:
@@ -323,7 +350,25 @@ class Simulator:
             runnable, self._runnable = self._runnable, []
             for process in runnable:
                 process._runnable = False
-                process.run()
+                try:
+                    process.run()
+                except SimulationError as exc:
+                    # kernel misuse already carries its diagnostic; the
+                    # delta cycle is still half-executed, so poison
+                    process._terminated = True
+                    self._abort(str(exc))
+                    raise
+                except Exception as exc:
+                    # a faulty process must terminate the simulation with
+                    # a diagnostic naming it, not wedge the kernel
+                    process._terminated = True
+                    diagnostic = (
+                        f"process {process.name!r} raised "
+                        f"{type(exc).__name__}: {exc} at time {self.time} "
+                        f"(delta {self.delta_count})"
+                    )
+                    self._abort(diagnostic)
+                    raise SimulationError(diagnostic) from exc
                 if self._stop_requested:
                     return
             # update
