@@ -35,7 +35,7 @@ from repro.core import (
     read_mode_suite,
 )
 from repro.core.asm_model import La1AsmAtoms as A
-from repro.psl import Verdict, build_checker
+from repro.psl import build_checker
 from repro.rtl import RtlSimulator, elaborate
 
 CFG = La1Config(banks=2, beat_bits=16, addr_bits=3)

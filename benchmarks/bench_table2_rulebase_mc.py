@@ -38,11 +38,16 @@ def test_table2_rulebase_read_mode(benchmark, banks):
     result_box = {}
 
     def run():
+        # coi=False reproduces the paper's condition: RuleBase encodes
+        # the whole netlist, so resources grow with bank count.  The
+        # cone-of-influence reduction (on by default elsewhere) is
+        # benchmarked against this baseline in bench_lint.py.
         result_box["result"] = check_read_mode_rtl(
             banks,
             transient_node_budget=TRANSIENT_BUDGET,
             live_node_budget=LIVE_BUDGET,
             gc_threshold=GC_THRESHOLD,
+            coi=False,
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
@@ -75,7 +80,8 @@ def test_table2_control_abstraction_scales(benchmark):
 
     def run():
         for banks in BANKS:
-            rows[banks] = check_read_mode_rtl(banks, datapath=False)
+            rows[banks] = check_read_mode_rtl(banks, datapath=False,
+                                              coi=False)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     for banks, result in rows.items():

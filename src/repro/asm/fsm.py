@@ -10,7 +10,7 @@ would result if the model program could be explored completely";
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 __all__ = ["Fsm", "Transition"]
 

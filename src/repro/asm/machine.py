@@ -112,6 +112,8 @@ class AsmMachine:
         self.state: dict = {}
         self.rules: list[Rule] = []
         self._frozen_vars: Optional[frozenset] = None
+        # inline lint suppressions; see lint_waive
+        self.lint_waivers: list[tuple[str, str, str]] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -142,6 +144,15 @@ class AsmMachine:
         rule = Rule(name, guard, effect, domains)
         self.rules.append(rule)
         return rule
+
+    def lint_waive(self, rule: str, pattern: str, reason: str) -> None:
+        """Suppress a :mod:`repro.lint` rule for locations matching the
+        glob ``pattern`` (``<machine>.<rule_name>``), with a required
+        justification.  Waived findings stay in reports but do not fail
+        the run."""
+        if not reason:
+            raise AsmError("a lint waiver requires a justification")
+        self.lint_waivers.append((rule, pattern, reason))
 
     # ------------------------------------------------------------------
     # execution

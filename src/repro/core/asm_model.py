@@ -34,10 +34,9 @@ presented in the data phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
-from ..asm.domains import EnumDomain, IntRange
+from ..asm.domains import EnumDomain
 from ..asm.machine import AsmMachine
 
 __all__ = ["La1AsmConfig", "build_la1_asm", "La1AsmAtoms"]

@@ -69,6 +69,9 @@ class FlowConfig:
     #: run the RTL symbolic MC stage on the control abstraction (fast)
     #: or the full datapath ("full", minutes) or skip it (None)
     rtl_mc: Optional[str] = "control"
+    #: run the static-analysis stage (repro.lint) over the refined RTL,
+    #: the PSL suite and the ASM model before model checking
+    static_lint: bool = True
     #: RTL simulator backend for the OVL stage: "compiled" (codegen) or
     #: "interp" (the tree-walking reference semantics)
     rtl_backend: str = "compiled"
@@ -230,6 +233,24 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
         time.perf_counter() - start,
         data=design.stats(),
     ))
+
+    # --------------------------------------------- 5b. static analysis
+    if config.static_lint:
+        from ..lint import lint_la1
+
+        start = time.perf_counter()
+        lint_report = lint_la1(banks=config.banks)
+        counts = lint_report.counts()
+        report.stages.append(StageResult(
+            "static_lint", lint_report.ok,
+            f"{len(lint_report.pass_order)} passes, "
+            f"{counts['error']} errors, {counts['warning']} warnings, "
+            f"{counts['waived']} waived",
+            time.perf_counter() - start,
+            data=lint_report,
+        ))
+        if not lint_report.ok:
+            return report
 
     # ------------------------------------------------ 6. RTL model check
     if config.rtl_mc is not None:

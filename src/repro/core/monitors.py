@@ -13,10 +13,9 @@ same trace the ASM exploration and the RTL labeling see).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from ..abv.monitor import AssertionMonitor, FailureAction
-from ..psl.ast import Property
 from ..sysc.kernel import Event, MethodProcess, Simulator
 from ..sysc.clock import ClockPair
 from .asm_model import La1AsmAtoms as A

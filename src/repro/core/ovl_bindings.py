@@ -41,6 +41,16 @@ def attach_read_mode_ovl(
     Returns the number of checker instances added.
     """
     count = 0
+    # the read-mode OVL set deliberately leaves the write-side commit
+    # stage unobserved (the known assertion-coverage gap the fault
+    # campaign measures dynamically): document it as a waived lint
+    # finding rather than silencing the rule
+    top.lint_waive(
+        "unobservable-reg", "bank*.write_port.committed",
+        "known write-path coverage gap: the read-mode OVL set does not "
+        "sample the commit stage; measured as a silent-fault class by "
+        "the fault-injection campaign",
+    )
     for b in range(config.banks):
         req = top.net(f"bank{b}_mon_req")
         fetch = top.net(f"bank{b}_mon_fetch")

@@ -45,6 +45,7 @@ def check_read_mode_rtl(
     config: Optional[La1Config] = None,
     property_name: Optional[str] = None,
     deadline_s: Optional[float] = None,
+    coi: bool = True,
 ) -> SymbolicCheckResult:
     """Model check the Read-Mode property on the N-bank RTL.
 
@@ -53,22 +54,42 @@ def check_read_mode_rtl(
     image step, or live size after garbage collection), and
     ``truncated=True`` a run stopped by the ``deadline_s`` wall-clock
     budget.
+
+    ``coi`` (default on) restricts the symbolic encoding to the cone of
+    influence of the label nets the property reads, via
+    :func:`repro.lint.coi.reduce_design`: registers the property cannot
+    observe get no BDD variables.  Verdicts and counterexample depths
+    are unaffected (the dropped state is unconstrained and unobserved);
+    only BDD sizes change.  Pass ``coi=False`` to encode the full
+    netlist, e.g. for the ablation benchmark.
     """
     config = config or MC_SCALE_CONFIG(banks)
     name = property_name or f"read_mode[{banks}banks]"
     start = time.perf_counter()
+    the_prop = prop if prop is not None else read_mode_property(0)
+    labels = rtl_labels("la1_top", banks)
+    coi_roots = None
+    if coi:
+        used = the_prop.atoms()
+        coi_roots = sorted(
+            path for atom, (path, __) in labels.items() if atom in used
+        )
     try:
         top = build_la1_top_rtl(config, datapath=datapath)
         design = elaborate(top)
-        model = SymbolicModel(design, node_budget=transient_node_budget)
+        model = SymbolicModel(
+            design,
+            node_budget=transient_node_budget,
+            coi_roots=coi_roots,
+        )
         checker = SymbolicModelChecker(
             model,
             live_node_budget=live_node_budget,
             gc_threshold=gc_threshold,
         )
         return checker.check_property(
-            prop if prop is not None else read_mode_property(0),
-            rtl_labels("la1_top", banks),
+            the_prop,
+            labels,
             name,
             deadline_s=deadline_s,
         )

@@ -45,7 +45,6 @@ from ..psl.monitor import Verdict
 from ..rtl import RtlSimulator, elaborate
 from .asm_perturb import build_perturbed_la1_asm
 from .models import (
-    PROTOCOL_GAP_KINDS,
     PROTOCOL_KINDS,
     AsmPerturbation,
     Fault,

@@ -28,7 +28,6 @@ assertion-coverage gaps the campaign exists to surface.
 
 from __future__ import annotations
 
-from typing import Optional
 
 __all__ = [
     "Fault",

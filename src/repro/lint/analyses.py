@@ -1,0 +1,301 @@
+"""Foundation analysis passes: dataflow graph, constant propagation, COI.
+
+These passes compute shared facts over an elaborated
+:class:`~repro.rtl.netlist.FlatDesign`; the diagnostic rules of
+:mod:`repro.lint.rtl_rules` declare them in ``requires`` and read the
+results from the context.  All three skip cleanly (returning ``None``)
+when elaboration failed and no flat design is available -- the
+module-level structural rules still run in that case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rtl.hdl import (
+    BinOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Reduce,
+    Ref,
+    Slice,
+    UnOp,
+)
+from ..rtl.netlist import FlatDesign, FlatNet
+from .coi import cone_of_influence, net_reads
+from .manager import LintContext, Pass
+
+__all__ = [
+    "DataflowGraph",
+    "DataflowPass",
+    "ConstPropPass",
+    "CoiAnalysis",
+    "CoiPass",
+    "fold_expr",
+    "pure_fold",
+]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+# ----------------------------------------------------------------------
+# constant folding over Expr trees
+# ----------------------------------------------------------------------
+def fold_expr(expr: Expr, scope: dict, values: dict) -> Optional[int]:
+    """Fold ``expr`` to a constant where possible.
+
+    ``scope`` maps the expression's :class:`Net` references to
+    :class:`FlatNet` objects; ``values`` maps flat paths to known constant
+    values (absent / ``None`` means unknown).  Returns the folded value or
+    ``None``.  Folding is partial: dominated operators collapse even with
+    one unknown operand (``x & 0 == 0``, ``x | ones == ones``,
+    ``mux(?, v, v) == v``).
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Ref):
+        flat = scope[expr.net]
+        return values.get(flat.path)
+    if isinstance(expr, UnOp):
+        a = fold_expr(expr.a, scope, values)
+        return None if a is None else (~a) & _mask(expr.width)
+    if isinstance(expr, BinOp):
+        a = fold_expr(expr.a, scope, values)
+        b = fold_expr(expr.b, scope, values)
+        ones = _mask(expr.a.width)
+        if expr.op == "and":
+            if a == 0 or b == 0:
+                return 0
+            if a == ones:
+                return b
+            if b == ones:
+                return a
+        elif expr.op == "or":
+            if a == ones or b == ones:
+                return ones
+            if a == 0:
+                return b
+            if b == 0:
+                return a
+        if a is None or b is None:
+            return None
+        if expr.op == "and":
+            return a & b
+        if expr.op == "or":
+            return a | b
+        if expr.op == "xor":
+            return a ^ b
+        if expr.op == "add":
+            return (a + b) & _mask(expr.width)
+        return 1 if a == b else 0  # eq
+    if isinstance(expr, Mux):
+        sel = fold_expr(expr.sel, scope, values)
+        if sel is not None:
+            arm = expr.if_true if sel else expr.if_false
+            return fold_expr(arm, scope, values)
+        t = fold_expr(expr.if_true, scope, values)
+        f = fold_expr(expr.if_false, scope, values)
+        return t if (t is not None and t == f) else None
+    if isinstance(expr, Slice):
+        a = fold_expr(expr.a, scope, values)
+        return None if a is None else (a >> expr.lo) & _mask(expr.width)
+    if isinstance(expr, Concat):
+        value = 0
+        shift = 0
+        for part in expr.parts:
+            v = fold_expr(part, scope, values)
+            if v is None:
+                return None
+            value |= v << shift
+            shift += part.width
+        return value
+    if isinstance(expr, Reduce):
+        a = fold_expr(expr.a, scope, values)
+        if a is None:
+            return None
+        if expr.op == "xor":
+            return bin(a).count("1") & 1
+        if expr.op == "or":
+            return 1 if a else 0
+        return 1 if a == _mask(expr.a.width) else 0
+    raise TypeError(f"cannot fold {expr!r}")
+
+
+def pure_fold(expr: Expr) -> Optional[int]:
+    """Fold an expression using constants only (every net unknown)."""
+
+    class _AnyScope(dict):
+        def __getitem__(self, key):
+            return key
+
+    return fold_expr(expr, _AnyScope(), {})
+
+
+# ----------------------------------------------------------------------
+# dataflow graph
+# ----------------------------------------------------------------------
+class DataflowGraph:
+    """Net-level fan-in / fan-out over a flat design.
+
+    ``reads[p]`` is every flat path net ``p`` reads (combinational driver,
+    tristate enables/values, register next-state); ``fanout[p]`` is the
+    inverse.  ``comb_sources(flat)`` resolves the *register/input* sources
+    reaching a register's next-state function through combinational
+    logic -- the relation the clock-domain-crossing rule walks.
+    """
+
+    def __init__(self, design: FlatDesign):
+        self.design = design
+        self.reads: dict[str, set[str]] = {}
+        self.fanout: dict[str, set[str]] = {p: set() for p in design.nets}
+        for path, flat in design.nets.items():
+            deps = {dep.path for dep in net_reads(flat)}
+            self.reads[path] = deps
+            for dep in deps:
+                self.fanout[dep].add(path)
+
+    def comb_sources(self, flat: FlatNet) -> set[str]:
+        """Sequential sources (reg / input paths) reaching ``flat``'s
+        next-state (for regs) or driver (for comb nets) through
+        combinational logic."""
+        design = self.design
+        sources: set[str] = set()
+        seen: set[str] = set()
+        stack = list(self.reads[flat.path])
+        while stack:
+            path = stack.pop()
+            if path in seen:
+                continue
+            seen.add(path)
+            dep = design.nets[path]
+            if dep.kind == "comb":
+                stack.extend(self.reads[path])
+            else:
+                sources.add(path)
+        return sources
+
+    def resolve_alias(self, flat: FlatNet) -> FlatNet:
+        """Follow pure pass-through nets (driver is exactly one ``Ref``)
+        to the net they alias -- port bindings flatten into such chains."""
+        seen = set()
+        while (
+            flat.kind == "comb"
+            and isinstance(flat.expr, Ref)
+            and not flat.tristate
+            and flat.path not in seen
+        ):
+            seen.add(flat.path)
+            flat = flat.scope[flat.expr.net]
+        return flat
+
+
+class DataflowPass(Pass):
+    """Builds the :class:`DataflowGraph` shared by the netlist rules."""
+
+    name = "dataflow"
+
+    def run(self, ctx: LintContext):
+        if ctx.design is None:
+            return None
+        return DataflowGraph(ctx.design)
+
+
+class ConstPropPass(Pass):
+    """Constant propagation over the flat design.
+
+    Result: ``{flat_path: value}`` for every net proven constant.
+    Registers participate through a fixpoint: a register stuck at its
+    init value (its next-state folds to init assuming it holds init)
+    becomes a known constant, which can collapse further logic.
+    """
+
+    name = "constprop"
+
+    def run(self, ctx: LintContext):
+        if ctx.design is None:
+            return None
+        design = ctx.design
+        values: dict[str, int] = {}
+
+        def fold_comb() -> None:
+            for flat in design.comb_order:
+                folded = self._fold_net(flat, values)
+                if folded is not None:
+                    values[flat.path] = folded
+                else:
+                    values.pop(flat.path, None)
+
+        fold_comb()
+        stuck: set[str] = set()
+        # bounded fixpoint: each round can only add stuck registers
+        for __ in range(len(design.regs) + 1):
+            changed = False
+            for reg in design.regs:
+                if reg.path in stuck:
+                    continue
+                trial = dict(values)
+                trial[reg.path] = reg.init
+                nxt = fold_expr(reg.next_expr, reg.scope, trial)
+                if nxt is not None and nxt == reg.init:
+                    stuck.add(reg.path)
+                    values[reg.path] = reg.init
+                    changed = True
+            if not changed:
+                break
+            fold_comb()
+        self.stuck_regs = stuck
+        ctx.results["constprop.stuck_regs"] = stuck
+        return values
+
+    @staticmethod
+    def _fold_net(flat: FlatNet, values: dict) -> Optional[int]:
+        if flat.tristate:
+            # priority mux over drivers, undriven reads 0
+            result = 0
+            for driver in reversed(flat.tristate):
+                enable = fold_expr(driver.enable, flat.scope, values)
+                if enable is None:
+                    return None
+                if enable:
+                    value = fold_expr(driver.value, flat.scope, values)
+                    if value is None:
+                        return None
+                    result = value
+            return result
+        if flat.expr is None:
+            return None
+        return fold_expr(flat.expr, flat.scope, values)
+
+
+class CoiAnalysis:
+    """Cone-of-influence query object produced by :class:`CoiPass`."""
+
+    def __init__(self, design: FlatDesign):
+        self.design = design
+
+    def cone(self, roots) -> set[str]:
+        """Backward closure from the given flat paths."""
+        return cone_of_influence(self.design, roots)
+
+    def monitor_cone(self) -> Optional[set[str]]:
+        """Union of every monitor's cone, or ``None`` without monitors."""
+        if not self.design.monitors:
+            return None
+        roots = [mon.fire.path for mon in self.design.monitors]
+        return self.cone(roots)
+
+
+class CoiPass(Pass):
+    """Exposes cone-of-influence queries to downstream rules."""
+
+    name = "coi"
+    requires = ("dataflow",)
+
+    def run(self, ctx: LintContext):
+        if ctx.design is None:
+            return None
+        return CoiAnalysis(ctx.design)

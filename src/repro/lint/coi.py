@@ -1,0 +1,100 @@
+"""Cone-of-influence computation and design reduction.
+
+The cone of influence of a set of nets is the backward closure over both
+combinational reads and register next-state reads: every net whose value
+can ever affect one of the roots.  Two consumers:
+
+* the observability rule of :mod:`repro.lint.rtl_rules` flags registers
+  outside the union of all monitors' cones (state no assertion can see);
+* :func:`reduce_design` prunes a :class:`~repro.rtl.netlist.FlatDesign`
+  to the cone of a property's labelled nets before symbolic encoding --
+  the reduction :mod:`repro.mc` applies by default.  Registers outside
+  the cone cannot influence the labelled nets (their next-state
+  functions read only in-cone nets, by closure), so dropping them
+  preserves every verdict while shrinking the BDD state space.
+
+A reduced design shares its :class:`~repro.rtl.netlist.FlatNet` objects
+(and their simulator slot indices) with the original, so it is meant for
+the symbolic encoder; simulate the original design instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..rtl.netlist import FlatDesign, FlatNet
+
+__all__ = ["net_reads", "cone_of_influence", "reduce_design"]
+
+
+def net_reads(flat: FlatNet) -> list[FlatNet]:
+    """Every flat net ``flat`` reads: combinational driver or tristate
+    enables/values for comb nets, the next-state expression for regs."""
+    exprs = []
+    if flat.expr is not None:
+        exprs.append(flat.expr)
+    if flat.next_expr is not None:
+        exprs.append(flat.next_expr)
+    if flat.tristate:
+        for driver in flat.tristate:
+            exprs.append(driver.enable)
+            exprs.append(driver.value)
+    reads: list[FlatNet] = []
+    for expr in exprs:
+        for net in expr.refs():
+            reads.append(flat.scope[net])
+    return reads
+
+
+def cone_of_influence(design: FlatDesign, roots: Iterable[str]) -> set[str]:
+    """Flat paths of every net that can influence any root net.
+
+    ``roots`` are flat hierarchical paths; unknown paths raise ``KeyError``
+    so a stale labeling is caught loudly rather than silently shrinking
+    the cone.
+    """
+    cone: set[str] = set()
+    stack = [design.net(path) for path in roots]
+    for flat in stack:
+        cone.add(flat.path)
+    while stack:
+        flat = stack.pop()
+        for dep in net_reads(flat):
+            if dep.path not in cone:
+                cone.add(dep.path)
+                stack.append(dep)
+    return cone
+
+
+def reduce_design(design: FlatDesign, roots: Iterable[str]) -> FlatDesign:
+    """A copy of ``design`` restricted to the cone of influence of
+    ``roots``.
+
+    Keeps the clock-domain list of the original even when one domain's
+    registers are all pruned, so the symbolic model's half-cycle phase
+    semantics (and therefore property timing) are unchanged.
+    """
+    cone = cone_of_influence(design, roots)
+    reduced = FlatDesign()
+    reduced.nets = {
+        path: flat for path, flat in design.nets.items() if path in cone
+    }
+    reduced.inputs = [f for f in design.inputs if f.path in cone]
+    reduced.comb_order = [f for f in design.comb_order if f.path in cone]
+    reduced.regs = [f for f in design.regs if f.path in cone]
+    reduced.monitors = [
+        mon for mon in design.monitors if mon.fire.path in cone
+    ]
+    reduced.clocks = list(design.clocks)
+    # carry lint metadata (waivers, declared top outputs) when present
+    for attr in ("lint_waivers", "top_outputs", "top_scope"):
+        if hasattr(design, attr):
+            setattr(reduced, attr, getattr(design, attr))
+    reduced.coi_roots = list(roots)  # type: ignore[attr-defined]
+    reduced.coi_dropped = {  # type: ignore[attr-defined]
+        "nets": len(design.nets) - len(reduced.nets),
+        "regs": len(design.regs) - len(reduced.regs),
+        "state_bits": sum(r.width for r in design.regs)
+        - sum(r.width for r in reduced.regs),
+    }
+    return reduced

@@ -1,0 +1,209 @@
+"""Diagnostics, waivers and the lint report.
+
+Every lint rule emits :class:`Diagnostic` records -- a rule id, a
+severity, a *location* (a flat net path, a property name or an ASM rule
+name), a message and an optional fix hint.  Findings can be *waived*
+(suppressed with a justification) at two levels:
+
+* **inline** -- models declare waivers at construction time
+  (:meth:`repro.rtl.hdl.RtlModule.lint_waive`,
+  :meth:`repro.asm.machine.AsmMachine.lint_waive`); elaboration carries
+  them to the flat design with their paths prefixed per occurrence;
+* **config** -- a :class:`LintConfig` can disable whole rules or add
+  extra waiver patterns for one run.
+
+Waived diagnostics stay in the report (flagged, with the justification)
+but do not count toward the exit code -- the same contract as a
+``// lint_off`` pragma in a conventional HDL linter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Optional
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "Waiver",
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 2, WARNING: 1, INFO: 0}
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One suppression: a rule id, a location glob and a justification."""
+
+    rule: str
+    pattern: str
+    reason: str
+
+    def matches(self, rule: str, location: str) -> bool:
+        """True when this waiver suppresses ``rule`` at ``location``."""
+        if self.rule != "*" and self.rule != rule:
+            return False
+        return fnmatchcase(location, self.pattern)
+
+
+@dataclass
+class Diagnostic:
+    """One finding of one rule at one location."""
+
+    rule: str
+    severity: str
+    location: str
+    message: str
+    fix_hint: str = ""
+    waived: bool = False
+    waived_reason: str = ""
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        flag = " [waived]" if self.waived else ""
+        hint = f"  (fix: {self.fix_hint})" if self.fix_hint else ""
+        return (
+            f"{self.severity:<7} {self.rule:<22} {self.location}: "
+            f"{self.message}{hint}{flag}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "waived": self.waived,
+            "waived_reason": self.waived_reason,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Per-run lint configuration.
+
+    ``disabled_rules`` turns rules off entirely; ``waivers`` adds run-level
+    suppressions on top of the models' inline ones; ``extra_sinks`` are
+    flat net paths treated as observation points by the unused-net rule
+    (e.g. the nets a model-checking labeling reads); ``asm_state_cap``
+    bounds the finite-domain state sweep of the ASM rules.
+    """
+
+    disabled_rules: frozenset = frozenset()
+    waivers: tuple = ()
+    extra_sinks: tuple = ()
+    asm_state_cap: int = 512
+
+    def is_disabled(self, rule: str) -> bool:
+        return rule in self.disabled_rules
+
+
+class LintReport:
+    """All diagnostics of a lint run plus per-pass timing."""
+
+    def __init__(self, subject: str = "design"):
+        self.subject = subject
+        self.diagnostics: list[Diagnostic] = []
+        self.pass_times: dict[str, float] = {}
+        self.pass_order: list[str] = []
+
+    # ------------------------------------------------------------------
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, other: "LintReport") -> None:
+        """Merge another report (diagnostics and timings) into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        for name in other.pass_order:
+            if name not in self.pass_times:
+                self.pass_order.append(name)
+                self.pass_times[name] = other.pass_times[name]
+            else:
+                self.pass_times[name] += other.pass_times[name]
+
+    # ------------------------------------------------------------------
+    def active(self, severity: Optional[str] = None) -> list[Diagnostic]:
+        """Unwaived diagnostics, optionally filtered by severity."""
+        found = [d for d in self.diagnostics if not d.waived]
+        if severity is not None:
+            found = [d for d in found if d.severity == severity]
+        return found
+
+    def counts(self) -> dict[str, int]:
+        """Diagnostic counts: per active severity plus waived."""
+        result = {ERROR: 0, WARNING: 0, INFO: 0, "waived": 0}
+        for diag in self.diagnostics:
+            if diag.waived:
+                result["waived"] += 1
+            else:
+                result[diag.severity] += 1
+        return result
+
+    @property
+    def ok(self) -> bool:
+        """True when no unwaived error-severity finding exists."""
+        return not self.active(ERROR)
+
+    def exit_code(self) -> int:
+        """Process exit code for CI: 1 on any unwaived error."""
+        return 0 if self.ok else 1
+
+    # ------------------------------------------------------------------
+    def render(self, show_waived: bool = True) -> str:
+        """The text report."""
+        lines = [f"lint report for {self.subject}:"]
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (d.waived, -_SEVERITY_RANK[d.severity], d.rule,
+                           d.location),
+        )
+        for diag in ordered:
+            if diag.waived and not show_waived:
+                continue
+            lines.append("  " + diag.render())
+            if diag.waived and diag.waived_reason:
+                lines.append(f"          waived: {diag.waived_reason}")
+        counts = self.counts()
+        lines.append(
+            f"  {counts[ERROR]} errors, {counts[WARNING]} warnings, "
+            f"{counts[INFO]} notes, {counts['waived']} waived"
+        )
+        if self.pass_order:
+            times = ", ".join(
+                f"{name} {self.pass_times[name] * 1e3:.1f}ms"
+                for name in self.pass_order
+            )
+            lines.append(f"  passes: {times}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": self.counts(),
+            "pass_times": {
+                name: self.pass_times[name] for name in self.pass_order
+            },
+            "ok": self.ok,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def __repr__(self):
+        counts = self.counts()
+        return (
+            f"LintReport({self.subject!r}, errors={counts[ERROR]}, "
+            f"warnings={counts[WARNING]}, waived={counts['waived']})"
+        )

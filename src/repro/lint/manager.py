@@ -1,0 +1,176 @@
+"""The pass manager: dependency-ordered analyses over the three IRs.
+
+Modeled on the pass pipelines of RTL instrumentation tools (one pass =
+one analysis or one diagnostic rule; passes declare what they ``requires``
+and read predecessors' results from a shared context).  The manager
+
+* resolves the declared dependency graph to a run order (a pass may be
+  registered in any order; cycles and unknown requirements are errors),
+* runs each pass once, storing its return value under its name for
+  downstream passes,
+* records per-pass wall time into the report, and
+* routes diagnostics through the waiver table before they land.
+
+The context carries whichever IRs a run has -- an elaborated
+:class:`~repro.rtl.netlist.FlatDesign` (plus its source module tree), a
+named PSL property suite, an :class:`~repro.asm.machine.AsmMachine` --
+so one pipeline can mix RTL, PSL and ASM rules.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from .diagnostics import Diagnostic, LintConfig, LintReport, Waiver
+
+__all__ = ["LintError", "Pass", "LintContext", "PassManager"]
+
+
+class LintError(Exception):
+    """Raised on pass-pipeline misuse (missing deps, cycles, name clash)."""
+
+
+class Pass:
+    """Base class of analyses and rules.
+
+    ``name`` identifies the pass and keys its result in the context;
+    ``requires`` names passes that must have run first.  Analysis passes
+    return a result object; rule passes emit diagnostics through
+    :meth:`LintContext.emit` (and may also return data).
+    """
+
+    name = "pass"
+    requires: tuple = ()
+
+    def run(self, ctx: "LintContext"):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LintContext:
+    """Shared state of one pipeline run."""
+
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        report: Optional[LintReport] = None,
+        top=None,
+        design=None,
+        properties: Optional[Sequence[tuple]] = None,
+        machine=None,
+    ):
+        self.config = config or LintConfig()
+        self.report = report or LintReport()
+        #: the source RtlModule tree (pre-elaboration), if any
+        self.top = top
+        #: the elaborated FlatDesign, if elaboration succeeded
+        self.design = design
+        #: [(name, Property)] pairs, if PSL rules run
+        self.properties = list(properties or [])
+        #: the AsmMachine, if ASM rules run
+        self.machine = machine
+        self.results: dict[str, object] = {}
+        self._waivers: list[Waiver] = [Waiver(*w) if not isinstance(w, Waiver)
+                                       else w for w in self.config.waivers]
+        for source in (design, machine):
+            for entry in getattr(source, "lint_waivers", ()) or ():
+                self._waivers.append(
+                    entry if isinstance(entry, Waiver) else Waiver(*entry)
+                )
+
+    # ------------------------------------------------------------------
+    def result(self, name: str):
+        """A predecessor pass's result (the pass must have run)."""
+        try:
+            return self.results[name]
+        except KeyError:
+            raise LintError(
+                f"pass result {name!r} not available; declare it in "
+                "`requires`"
+            ) from None
+
+    def add_waivers(self, waivers) -> None:
+        """Append waivers discovered mid-run (e.g. per-occurrence ones)."""
+        for entry in waivers:
+            self._waivers.append(
+                entry if isinstance(entry, Waiver) else Waiver(*entry)
+            )
+
+    def emit(
+        self,
+        rule: str,
+        severity: str,
+        location: str,
+        message: str,
+        fix_hint: str = "",
+    ) -> Optional[Diagnostic]:
+        """File a diagnostic, applying disabled-rule and waiver filters."""
+        if self.config.is_disabled(rule):
+            return None
+        diag = Diagnostic(rule, severity, location, message, fix_hint)
+        for waiver in self._waivers:
+            if waiver.matches(rule, location):
+                diag.waived = True
+                diag.waived_reason = waiver.reason
+                break
+        self.report.add(diag)
+        return diag
+
+
+class PassManager:
+    """Registers passes, resolves dependencies, runs them in order."""
+
+    def __init__(self, passes: Optional[Sequence[Pass]] = None):
+        self._passes: dict[str, Pass] = {}
+        self.order: list[str] = []
+        for p in passes or ():
+            self.register(p)
+
+    def register(self, p: Pass) -> Pass:
+        if p.name in self._passes:
+            raise LintError(f"duplicate pass name {p.name!r}")
+        self._passes[p.name] = p
+        return p
+
+    # ------------------------------------------------------------------
+    def _resolve_order(self) -> list[Pass]:
+        order: list[Pass] = []
+        state: dict[str, int] = {}  # 0 new / 1 visiting / 2 done
+
+        def visit(name: str, chain: tuple) -> None:
+            mark = state.get(name, 0)
+            if mark == 2:
+                return
+            if mark == 1:
+                cycle = " -> ".join(chain + (name,))
+                raise LintError(f"pass dependency cycle: {cycle}")
+            if name not in self._passes:
+                raise LintError(
+                    f"pass {chain[-1]!r} requires unknown pass {name!r}"
+                )
+            state[name] = 1
+            for dep in self._passes[name].requires:
+                visit(dep, chain + (name,))
+            state[name] = 2
+            order.append(self._passes[name])
+
+        for name in self._passes:
+            visit(name, ())
+        return order
+
+    def run(self, ctx: LintContext) -> LintReport:
+        """Run every registered pass in dependency order."""
+        self.order = []
+        for p in self._resolve_order():
+            start = time.perf_counter()
+            ctx.results[p.name] = p.run(ctx)
+            elapsed = time.perf_counter() - start
+            self.order.append(p.name)
+            ctx.report.pass_order.append(p.name)
+            ctx.report.pass_times[p.name] = (
+                ctx.report.pass_times.get(p.name, 0.0) + elapsed
+            )
+        return ctx.report

@@ -1,0 +1,193 @@
+"""PSL property diagnostics: vacuity and tautology.
+
+Vacuity is decided with the BDD engine: an implication guard whose BDD
+is the ``FALSE`` terminal can never activate its consequent, and a
+suffix-implication antecedent whose NFA reaches no accepting state over
+satisfiable guards can never obligate anything.  Tautology is decided on
+the determinised checker automaton: if the ``FAIL`` state is unreachable
+from the initial state the property cannot fail on any trace, so
+"proving" it exercises nothing.
+
+Rule ids
+--------
+``psl-vacuity``   antecedent/guard unsatisfiable: consequent never checked
+``psl-tautology`` checker automaton cannot reach FAIL on any trace
+"""
+
+from __future__ import annotations
+
+from ..bdd import BddManager
+from ..psl.ast import (
+    Abort,
+    Always,
+    And,
+    Atom,
+    BoolExpr,
+    ConstB,
+    Iff,
+    Implies,
+    NextP,
+    Never,
+    Not,
+    Or,
+    PropAnd,
+    PropImplication,
+    Property,
+    PslError,
+    SuffixImpl,
+    Sere,
+)
+from ..psl.automata import CheckerAutomaton, build_checker
+from ..psl.sere import compile_sere
+from .diagnostics import ERROR
+from .manager import LintContext, Pass
+
+__all__ = [
+    "bool_to_bdd",
+    "satisfiable",
+    "sere_can_match",
+    "PslVacuityPass",
+    "PslTautologyPass",
+]
+
+
+def bool_to_bdd(mgr: BddManager, expr: BoolExpr) -> int:
+    """Encode a boolean-layer expression in ``mgr`` (atoms are declared
+    on first use)."""
+    if isinstance(expr, Atom):
+        if expr.name not in mgr.var_names():
+            mgr.add_var(expr.name)
+        return mgr.var(expr.name)
+    if isinstance(expr, ConstB):
+        return mgr.TRUE if expr.value else mgr.FALSE
+    if isinstance(expr, Not):
+        return mgr.not_(bool_to_bdd(mgr, expr.a))
+    if isinstance(expr, (And, Or, Implies, Iff)):
+        a = bool_to_bdd(mgr, expr.a)
+        b = bool_to_bdd(mgr, expr.b)
+        op = {
+            And: mgr.and_, Or: mgr.or_,
+            Implies: mgr.implies, Iff: mgr.xnor,
+        }[type(expr)]
+        return op(a, b)
+    raise PslError(f"cannot encode {expr!r} as a BDD")
+
+
+def satisfiable(expr: BoolExpr) -> bool:
+    """True when some valuation of the atoms makes ``expr`` true."""
+    mgr = BddManager()
+    return bool_to_bdd(mgr, expr) != mgr.FALSE
+
+
+def sere_can_match(sere: Sere) -> bool:
+    """True when the SERE's language is non-empty: it matches the empty
+    word, or an accepting NFA state is reachable over satisfiable guards."""
+    nfa = compile_sere(sere)
+    if nfa.accepts_empty:
+        return True
+    live = {
+        (src, dst)
+        for src, guard, dst in nfa.transitions
+        if satisfiable(guard)
+    }
+    reached = set(nfa.initial)
+    frontier = list(reached)
+    while frontier:
+        src = frontier.pop()
+        for edge_src, dst in live:
+            if edge_src == src and dst not in reached:
+                reached.add(dst)
+                frontier.append(dst)
+    return bool(reached & nfa.accepting)
+
+
+class PslVacuityPass(Pass):
+    """Unsatisfiable guards and unmatchable antecedents."""
+
+    name = "psl-vacuity"
+
+    def run(self, ctx: LintContext) -> None:
+        for prop_name, prop in ctx.properties:
+            self._walk(ctx, prop_name, prop)
+
+    def _walk(self, ctx: LintContext, prop_name: str, prop: Property) -> None:
+        if isinstance(prop, (Always, NextP)):
+            self._walk(ctx, prop_name, prop.p)
+        elif isinstance(prop, Abort):
+            self._walk(ctx, prop_name, prop.p)
+        elif isinstance(prop, PropAnd):
+            for part in prop.parts:
+                self._walk(ctx, prop_name, part)
+        elif isinstance(prop, PropImplication):
+            if not satisfiable(prop.guard):
+                ctx.emit(
+                    "psl-vacuity", ERROR, prop_name,
+                    f"implication guard {prop.guard!r} is unsatisfiable; "
+                    "the consequent is never checked (vacuous pass)",
+                    fix_hint="fix the guard or delete the property",
+                )
+            self._walk(ctx, prop_name, prop.p)
+        elif isinstance(prop, SuffixImpl):
+            if not sere_can_match(prop.sere):
+                ctx.emit(
+                    "psl-vacuity", ERROR, prop_name,
+                    f"suffix-implication antecedent {prop.sere!r} can "
+                    "never match; the consequent is never obligated "
+                    "(vacuous pass)",
+                    fix_hint="fix the antecedent SERE or delete the "
+                             "property",
+                )
+            self._walk(ctx, prop_name, prop.p)
+        elif isinstance(prop, Never):
+            if not sere_can_match(prop.sere):
+                ctx.emit(
+                    "psl-vacuity", ERROR, prop_name,
+                    f"never-SERE {prop.sere!r} can never match; the "
+                    "property forbids nothing",
+                    fix_hint="fix the SERE or delete the property",
+                )
+        # leaf properties (PropBool, Until, Before, WithinBang, ...) have
+        # no sub-antecedents to inspect
+
+
+class PslTautologyPass(Pass):
+    """Safety properties whose checker automaton cannot fail."""
+
+    name = "psl-tautology"
+
+    def run(self, ctx: LintContext) -> dict:
+        checked = 0
+        for prop_name, prop in ctx.properties:
+            if not prop.is_safety():
+                continue  # liveness has no finite refutation to look for
+            try:
+                checker = build_checker(prop)
+            except PslError:
+                continue  # too many atoms/states for determinisation
+            checked += 1
+            if not self._can_fail(checker):
+                ctx.emit(
+                    "psl-tautology", ERROR, prop_name,
+                    "property cannot fail on any trace (checker automaton "
+                    "never reaches FAIL); it constrains nothing",
+                    fix_hint="the property is trivially true; strengthen "
+                             "or delete it",
+                )
+        return {"checked": checked}
+
+    @staticmethod
+    def _can_fail(checker: CheckerAutomaton) -> bool:
+        successors: dict[int, set[int]] = {}
+        for (src, __), dst in checker._table.items():
+            successors.setdefault(src, set()).add(dst)
+        reached = {0}
+        frontier = [0]
+        while frontier:
+            src = frontier.pop()
+            for dst in successors.get(src, ()):
+                if dst == CheckerAutomaton.FAIL_STATE:
+                    return True
+                if dst not in reached:
+                    reached.add(dst)
+                    frontier.append(dst)
+        return False

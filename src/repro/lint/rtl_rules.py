@@ -1,0 +1,327 @@
+"""RTL diagnostic rules: structural (pre-elaboration) and netlist-level.
+
+Structural rules walk the :class:`~repro.rtl.hdl.RtlModule` occurrence
+tree directly, so they can diagnose exactly the conditions that would
+make :func:`~repro.rtl.netlist.elaborate` raise (undriven wires,
+registers with no next-state assignment) as orderly findings instead of
+a crash.  Netlist rules run on the elaborated flat design and consume
+the foundation analyses of :mod:`repro.lint.analyses`.
+
+Rule ids
+--------
+``undriven-net``       wire with no driver, tristate or instance binding
+``read-before-write``  register with no next-state assignment
+``width-truncation``   slice discarding computed bits of an add / concat
+``tristate-conflict``  two bus drivers statically enabled together
+``unused-net``         net that no logic, monitor or declared sink reads
+``const-comb``         combinational net that folds to a constant
+``unobservable-reg``   register outside every monitor's cone of influence
+``cdc-no-sync``        cross-domain sample through combinational logic
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rtl.hdl import (
+    BinOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Reduce,
+    Reg,
+    Ref,
+    RtlModule,
+    Slice,
+    TristateDriver,
+    UnOp,
+    Wire,
+)
+from ..rtl.verilog_emit import emit_expr
+from .analyses import pure_fold
+from .diagnostics import ERROR, INFO
+from .manager import LintContext, Pass
+
+__all__ = [
+    "ModuleStructurePass",
+    "NetlistRulesPass",
+    "ObservabilityPass",
+    "CdcPass",
+]
+
+
+def _walk_exprs(node: Expr):
+    """Yield every sub-expression of an expression tree."""
+    yield node
+    if isinstance(node, UnOp):
+        yield from _walk_exprs(node.a)
+    elif isinstance(node, BinOp):
+        yield from _walk_exprs(node.a)
+        yield from _walk_exprs(node.b)
+    elif isinstance(node, Mux):
+        yield from _walk_exprs(node.sel)
+        yield from _walk_exprs(node.if_true)
+        yield from _walk_exprs(node.if_false)
+    elif isinstance(node, Slice):
+        yield from _walk_exprs(node.a)
+    elif isinstance(node, Concat):
+        for part in node.parts:
+            yield from _walk_exprs(part)
+    elif isinstance(node, Reduce):
+        yield from _walk_exprs(node.a)
+
+
+class ModuleStructurePass(Pass):
+    """Pre-elaboration structural rules over the module occurrence tree."""
+
+    name = "rtl-structure"
+
+    def run(self, ctx: LintContext) -> Optional[dict]:
+        if ctx.top is None:
+            return None
+        occurrences = 0
+
+        def walk(module: RtlModule, path: str) -> None:
+            nonlocal occurrences
+            occurrences += 1
+            if ctx.design is None:
+                # elaboration failed (or was skipped): module waivers were
+                # never collected onto a flat design, so apply them here
+                ctx.add_waivers(
+                    (rule, f"{path}.{pattern}", reason)
+                    for rule, pattern, reason in
+                    getattr(module, "lint_waivers", ())
+                )
+            input_names = {p.name for p in module.input_ports()}
+            output_bound = set()
+            reads = set()
+            exprs: list[tuple[str, Expr]] = []
+            for instance in module.instances:
+                for port in instance.module.ports:
+                    bound = instance.connections[port.name]
+                    if port.direction == "out":
+                        output_bound.add(bound)
+                    else:
+                        exprs.append((f"{instance.name}.{port.name}", bound))
+            for net in module.nets.values():
+                if isinstance(net, Wire):
+                    if net.driver is not None:
+                        exprs.append((net.name, net.driver))
+                    for driver in net.tristate_drivers:
+                        exprs.append((net.name, driver.enable))
+                        exprs.append((net.name, driver.value))
+                elif isinstance(net, Reg) and net.next is not None:
+                    exprs.append((net.name, net.next))
+            for __, expr in exprs:
+                reads.update(expr.refs())
+            for monitor in module.monitors:
+                reads.add(monitor[0])
+
+            for net in module.nets.values():
+                location = f"{path}.{net.name}"
+                if isinstance(net, Reg):
+                    if net.next is None:
+                        read = net in reads
+                        ctx.emit(
+                            "read-before-write", ERROR, location,
+                            "register has no next-state assignment"
+                            + ("; reads see only its power-up value"
+                               if read else " and is never read"),
+                            fix_hint="add a sync() next-state assignment",
+                        )
+                    continue
+                assert isinstance(net, Wire)
+                if (
+                    net.driver is None
+                    and not net.tristate_drivers
+                    and net not in output_bound
+                    and net.name not in input_names
+                ):
+                    ctx.emit(
+                        "undriven-net", ERROR, location,
+                        "wire has no driver, tristate or instance binding",
+                        fix_hint="drive the wire or delete it",
+                    )
+                if len(net.tristate_drivers) >= 2:
+                    self._check_tristate(ctx, location, net.tristate_drivers)
+
+            for net_name, expr in exprs:
+                self._check_truncation(ctx, f"{path}.{net_name}", expr)
+
+            for instance in module.instances:
+                walk(instance.module, f"{path}.{instance.name}")
+
+        walk(ctx.top, ctx.top.name)
+        return {"occurrences": occurrences}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_tristate(
+        ctx: LintContext, location: str, drivers: list[TristateDriver]
+    ) -> None:
+        always_on = [
+            i for i, d in enumerate(drivers) if pure_fold(d.enable) == 1
+        ]
+        if len(always_on) >= 2:
+            ctx.emit(
+                "tristate-conflict", ERROR, location,
+                f"tristate drivers {always_on} are unconditionally "
+                "enabled together (statically multi-driven bus)",
+                fix_hint="make the enables mutually exclusive",
+            )
+            return
+        seen: dict[str, int] = {}
+        for i, driver in enumerate(drivers):
+            if pure_fold(driver.enable) == 0:
+                continue
+            text = emit_expr(driver.enable)
+            if text in seen:
+                ctx.emit(
+                    "tristate-conflict", ERROR, location,
+                    f"tristate drivers {seen[text]} and {i} share the "
+                    f"enable condition {text}; both drive when it is high",
+                    fix_hint="make the enables mutually exclusive",
+                )
+                return
+            seen[text] = i
+
+    @staticmethod
+    def _check_truncation(ctx: LintContext, location: str, expr: Expr) -> None:
+        for node in _walk_exprs(expr):
+            if not isinstance(node, Slice):
+                continue
+            operand = node.a
+            if isinstance(operand, (Concat,)) or (
+                isinstance(operand, BinOp) and operand.op == "add"
+            ):
+                if node.hi < operand.width - 1:
+                    kind = ("concatenation" if isinstance(operand, Concat)
+                            else "addition")
+                    ctx.emit(
+                        "width-truncation", ERROR, location,
+                        f"slice [{node.hi}:{node.lo}] discards the top "
+                        f"{operand.width - 1 - node.hi} bit(s) of a "
+                        f"{kind} result",
+                        fix_hint="widen the slice or narrow the operands",
+                    )
+
+
+class NetlistRulesPass(Pass):
+    """Flat-design rules: unused nets and constant-foldable logic."""
+
+    name = "rtl-netlist"
+    requires = ("dataflow", "constprop")
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.design is None:
+            return
+        design = ctx.design
+        graph = ctx.result("dataflow")
+        values = ctx.result("constprop")
+
+        sinks = set(getattr(design, "top_outputs", ()) or ())
+        sinks.update(mon.fire.path for mon in design.monitors)
+        sinks.update(ctx.config.extra_sinks)
+
+        for path, flat in design.nets.items():
+            if graph.fanout[path] or path in sinks:
+                continue
+            what = {"input": "input", "reg": "register", "comb": "net"}
+            ctx.emit(
+                "unused-net", ERROR, path,
+                f"{what[flat.kind]} drives no logic, monitor or declared "
+                "observation point",
+                fix_hint="delete it or attach the consumer that was "
+                         "intended to read it",
+            )
+
+        for flat in design.comb_order:
+            value = values.get(flat.path)
+            if value is None:
+                continue
+            if isinstance(flat.expr, (Const, Ref)):
+                # literal tie-offs are intent; aliases of constant nets
+                # would re-report the same root cause along the chain
+                continue
+            ctx.emit(
+                "const-comb", ERROR, flat.path,
+                f"combinational logic always evaluates to {value} "
+                "(dead logic)",
+                fix_hint=f"replace the cone with the constant {value}",
+            )
+
+
+class ObservabilityPass(Pass):
+    """Registers outside every monitor's cone of influence.
+
+    This is the static complement of the fault campaign: a fault in such
+    a register is *silent* by construction -- no assertion can ever see
+    it (the gap class PR 2 measured dynamically).
+    """
+
+    name = "rtl-observability"
+    requires = ("coi",)
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.design is None:
+            return
+        coi = ctx.result("coi")
+        cone = coi.monitor_cone()
+        if cone is None:
+            ctx.emit(
+                "unobservable-reg", INFO,
+                getattr(ctx.top, "name", "design"),
+                "design has no monitors; register observability not "
+                "assessed",
+            )
+            return
+        for reg in ctx.design.regs:
+            if reg.path not in cone:
+                ctx.emit(
+                    "unobservable-reg", ERROR, reg.path,
+                    "register is outside every monitor's cone of "
+                    "influence; faults in it are silent",
+                    fix_hint="add an assertion observing this state or "
+                             "waive with a justification",
+                )
+
+
+class CdcPass(Pass):
+    """K/K# clock-domain crossings sampled through combinational logic.
+
+    A register may capture a register of the other clock domain directly
+    (a pure flop-to-flop stage -- the DDR hand-off and the first stage of
+    any synchronizer); combinational logic between the domains is
+    flagged.
+    """
+
+    name = "rtl-cdc"
+    requires = ("dataflow",)
+
+    def run(self, ctx: LintContext) -> None:
+        if ctx.design is None:
+            return
+        design = ctx.design
+        graph = ctx.result("dataflow")
+        for reg in design.regs:
+            cross = sorted(
+                path
+                for path in graph.comb_sources(reg)
+                if design.nets[path].kind == "reg"
+                and design.nets[path].clock != reg.clock
+            )
+            if not cross:
+                continue
+            if isinstance(reg.next_expr, Ref):
+                source = graph.resolve_alias(reg.scope[reg.next_expr.net])
+                if source.kind == "reg":
+                    continue  # pure capture stage: allowed
+            ctx.emit(
+                "cdc-no-sync", ERROR, reg.path,
+                f"{reg.clock}-domain register samples "
+                f"{', '.join(cross)} of the other clock domain through "
+                "combinational logic",
+                fix_hint="insert a capture register (pure flop stage) at "
+                         "the domain boundary",
+            )

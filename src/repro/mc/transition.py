@@ -21,7 +21,7 @@ the naive order.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..bdd import BddManager, interleaved_order, naive_order, NEXT_SUFFIX
 from ..rtl.hdl import (
@@ -51,12 +51,24 @@ class SymbolicModel:
         node_budget: Optional[int] = None,
         ordering: str = "interleaved",
         aux_slots: int = 16,
+        coi_roots: Optional[Sequence[str]] = None,
     ):
         """``aux_slots`` reserves variable pairs early in the order for
         property-automaton state bits: satellite automata correlate with
         the design signals they label, so placing their variables near the
         front (instead of after every bank) keeps the reached-set BDD
-        small -- the same consideration RuleBase users tuned orders for."""
+        small -- the same consideration RuleBase users tuned orders for.
+
+        ``coi_roots`` (flat net paths) restricts the encoding to the
+        cone of influence of the listed nets before any BDD variable is
+        created: registers and logic a property never observes do not get
+        state variables at all.  The reduced design shares net objects
+        with the original, so it must only be used for symbolic encoding,
+        never simulated."""
+        if coi_roots is not None:
+            from ..lint.coi import reduce_design
+
+            design = reduce_design(design, coi_roots)
         self.design = design
         self.manager = BddManager(node_budget=node_budget)
         self._net_bits: dict[FlatNet, list[int]] = {}

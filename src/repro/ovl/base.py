@@ -16,9 +16,8 @@ elaboration can surface it to the simulator.
 from __future__ import annotations
 
 import itertools
-from typing import Optional
 
-from ..rtl.hdl import Expr, RtlModule, Wire
+from ..rtl.hdl import RtlModule, Wire
 
 __all__ = ["Severity", "attach_monitor", "fresh_name"]
 

@@ -10,7 +10,7 @@ programmatically (e.g. per bank index).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from .ast import (
     Abort,

@@ -442,6 +442,8 @@ class RtlModule:
         self.instances: list[Instance] = []
         # module-level assertion monitors attach here (see repro.ovl)
         self.monitors: list = []
+        # inline lint suppressions; see RtlModule.lint_waive
+        self.lint_waivers: list[tuple[str, str, str]] = []
 
     # -- construction API -----------------------------------------------
     @property
@@ -550,6 +552,20 @@ class RtlModule:
         instance = Instance(child, name, connections)
         self.instances.append(instance)
         return instance
+
+    def lint_waive(self, rule: str, pattern: str, reason: str) -> None:
+        """Suppress a lint rule inside this module, with a justification.
+
+        ``pattern`` is a glob over net names *relative to this module*
+        (elaboration prefixes it with each occurrence's hierarchical
+        path); ``rule`` is a :mod:`repro.lint` rule id or ``"*"``.  The
+        finding still appears in lint reports, marked waived with
+        ``reason``, but does not fail the run -- the equivalent of an
+        inline ``// lint_off`` pragma.
+        """
+        if not reason:
+            raise HdlError("a lint waiver requires a justification")
+        self.lint_waivers.append((rule, pattern, reason))
 
     # -- queries ----------------------------------------------------------
     def input_ports(self) -> list[Port]:

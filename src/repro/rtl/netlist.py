@@ -18,9 +18,9 @@ shared by the interpreted RTL simulator and the symbolic model checker:
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Iterator, Optional
 
-from .hdl import Expr, HdlError, Instance, Net, Reg, RtlModule, TristateDriver, Wire
+from .hdl import Expr, HdlError, Net, Reg, RtlModule, TristateDriver, Wire
 
 __all__ = ["FlatNet", "FlatMonitor", "FlatDesign", "elaborate"]
 
@@ -98,6 +98,12 @@ class FlatDesign:
         self.regs: list[FlatNet] = []
         self.monitors: list[FlatMonitor] = []
         self.clocks: list[str] = []
+        #: flat paths of the top module's output ports (lint observation
+        #: points)
+        self.top_outputs: list[str] = []
+        #: inline lint waivers collected from every module occurrence,
+        #: patterns prefixed with the occurrence path
+        self.lint_waivers: list[tuple[str, str, str]] = []
 
     def net(self, path: str) -> FlatNet:
         """Look up a flat net by hierarchical path."""
@@ -209,9 +215,15 @@ def elaborate(top: RtlModule, top_path: Optional[str] = None) -> FlatDesign:
                 FlatMonitor(scope[net], message, severity, f"{path}.{name}",
                             clock)
             )
+        # 5. carry inline lint waivers, path-prefixed per occurrence
+        for rule, pattern, reason in module.lint_waivers:
+            design.lint_waivers.append((rule, f"{path}.{pattern}", reason))
         return scope
 
     top_scope = walk(top, top_path or top.name, {})
+    design.top_outputs = [
+        f"{top_path or top.name}.{p.name}" for p in top.output_ports()
+    ]
     for flat in design.nets.values():
         if flat.kind == "comb" and flat.expr is None and not flat.tristate:
             raise HdlError(f"wire {flat.path} is never driven")

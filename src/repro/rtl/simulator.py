@@ -24,7 +24,7 @@ full clock period (K edge then K# edge).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from typing import Callable, Union
 
 from .compile import compile_design
 from .hdl import HdlError, RtlModule

@@ -13,7 +13,6 @@ simulates and model-checks the IR directly.
 from __future__ import annotations
 
 import io
-from typing import Optional
 
 from .hdl import (
     BinOp,

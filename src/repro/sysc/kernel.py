@@ -22,7 +22,7 @@ time units by convention (K rises on even times, K# on odd times), so
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generator, Iterable, Optional, Union
+from typing import Callable, Generator, Optional
 
 __all__ = [
     "Event",

@@ -10,9 +10,9 @@ buffers connecting LA-1 banks at RTL use the same semantics).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, Optional, TypeVar
+from typing import Any, Callable, Generic, TypeVar
 
-from .datatypes import Logic, LogicVector, LOGIC_Z, resolve
+from .datatypes import Logic, LogicVector, resolve
 from .kernel import Event, Simulator
 
 __all__ = ["Signal", "ResolvedSignal"]

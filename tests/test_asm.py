@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.asm import (
-    Action,
     AsmError,
     AsmMachine,
     AsmModelChecker,
@@ -17,7 +16,6 @@ from repro.asm import (
     Implementation,
     IntRange,
     Labeling,
-    UpdateConflict,
     check_conformance,
 )
 from repro.psl import parse_property

@@ -1,6 +1,5 @@
 """Tests for FSM-derived test-suite generation and replay."""
 
-import pytest
 
 from repro.asm import (
     AsmMachine,

@@ -1,7 +1,6 @@
 """Negative-path tests: the Figure 2 feedback edges (a failing stage
 stops the flow and carries diagnostics)."""
 
-import pytest
 
 from repro.core import FlowConfig, run_flow
 from repro.psl import builder as B

@@ -1,7 +1,6 @@
 """Tests for the ASM->RTL bounded refinement check (the paper's future
 work) and PSL cover-directive checking."""
 
-import pytest
 
 from repro.asm import AsmModelChecker, ExplorationConfig
 from repro.core import (

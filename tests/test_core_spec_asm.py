@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.asm import AsmModelChecker, ExplorationConfig, Explorer
+from repro.asm import AsmModelChecker, Explorer
 from repro.core import (
     La1AsmAtoms,
     La1AsmConfig,
@@ -15,7 +15,6 @@ from repro.core import (
     merge_byte_lanes,
 )
 from repro.core.properties import (
-    read_latency_property,
     single_reader_property,
     write_commit_property,
 )

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.abv import summarize
@@ -13,7 +12,6 @@ from repro.core import (
     build_la1_system,
     even_parity_int,
 )
-from repro.psl import Verdict
 
 CFG = La1Config(banks=2, beat_bits=16, addr_bits=3)
 

@@ -3,7 +3,6 @@ whole flow -- extracted from UML diagrams, model checked on the ASM,
 monitored on the SystemC model, and model checked + monitored on the RTL.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.abv import AssertionMonitor, summarize
@@ -20,7 +19,7 @@ from repro.core import (
     la1_class_diagram,
     read_mode_sequence,
 )
-from repro.psl import PslMonitor, Verdict, parse_property
+from repro.psl import Verdict, parse_property
 from repro.uml import extract_latency_properties
 
 

@@ -1,0 +1,82 @@
+"""The shipped LA-1 models lint clean at every bank count (CI contract).
+
+Intentional findings (the DDR clock-domain hand-offs, the known
+write-commit assertion-coverage gap) must be present but *waived* with
+justifications -- not silently absent.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import lint_la1
+from repro.lint.__main__ import main
+
+
+@pytest.mark.parametrize("banks", [1, 2, 4])
+def test_shipped_models_lint_clean(banks):
+    report = lint_la1(banks=banks)
+    assert report.exit_code() == 0, report.render()
+    counts = report.counts()
+    assert counts["error"] == 0 and counts["warning"] == 0
+
+
+def test_intentional_findings_are_waived_not_absent():
+    report = lint_la1(banks=2)
+    waived = [d for d in report.diagnostics if d.waived]
+    by_rule = {}
+    for diag in waived:
+        by_rule.setdefault(diag.rule, []).append(diag)
+    # the seven DDR crossings per bank (paper Figs. 3/4) are waived CDC
+    # findings, and the commit stage is a waived observability gap
+    assert len(by_rule["cdc-no-sync"]) == 14
+    assert {d.location for d in by_rule["unobservable-reg"]} == {
+        "la1_top.bank0.write_port.committed",
+        "la1_top.bank1.write_port.committed",
+    }
+    for diag in waived:
+        assert diag.waived_reason  # every waiver carries its justification
+
+
+def test_all_passes_ran_and_were_timed():
+    report = lint_la1(banks=1)
+    assert set(report.pass_order) >= {
+        "dataflow", "constprop", "coi", "rtl-structure", "rtl-netlist",
+        "rtl-observability", "rtl-cdc", "psl-vacuity", "psl-tautology",
+        "asm-rules",
+    }
+    assert all(report.pass_times[p] >= 0 for p in report.pass_order)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_exit_zero_on_shipped_model(capsys):
+    assert main(["--banks", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "lint report" in out and "waived" in out
+
+
+def test_cli_json_output(capsys):
+    assert main(["--banks", "1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["counts"]["error"] == 0
+    assert any(d["rule"] == "cdc-no-sync" and d["waived"]
+               for d in data["diagnostics"])
+
+
+def test_cli_no_waived_hides_suppressed_findings(capsys):
+    assert main(["--banks", "1", "--no-waived"]) == 0
+    assert "cdc-no-sync" not in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_bank_count():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--banks", "0"])
+    assert excinfo.value.code == 2
+
+
+def test_cli_disable_rule(capsys):
+    assert main(["--banks", "1", "--disable", "cdc-no-sync"]) == 0
+    assert "cdc-no-sync" not in capsys.readouterr().out

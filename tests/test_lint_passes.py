@@ -1,0 +1,196 @@
+"""Pass-manager mechanics: ordering, results, timing, waivers, report."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintConfig,
+    LintContext,
+    LintError,
+    LintReport,
+    Pass,
+    PassManager,
+    Waiver,
+)
+
+
+class _Recorder(Pass):
+    def __init__(self, name, requires=(), result=None):
+        self.name = name
+        self.requires = tuple(requires)
+        self._result = result
+        self.ran = False
+
+    def run(self, ctx):
+        self.ran = True
+        ctx.results.setdefault("__trace", []).append(self.name)
+        return self._result
+
+
+# ----------------------------------------------------------------------
+# ordering and dependency resolution
+# ----------------------------------------------------------------------
+def test_dependency_order_resolved():
+    a = _Recorder("a")
+    b = _Recorder("b", requires=("a",))
+    c = _Recorder("c", requires=("b", "a"))
+    ctx = LintContext()
+    # register out of order on purpose
+    PassManager([c, a, b]).run(ctx)
+    assert ctx.results["__trace"] == ["a", "b", "c"]
+
+
+def test_dependency_cycle_is_an_error():
+    a = _Recorder("a", requires=("b",))
+    b = _Recorder("b", requires=("a",))
+    with pytest.raises(LintError, match="cycle"):
+        PassManager([a, b]).run(LintContext())
+
+
+def test_unknown_dependency_is_an_error():
+    a = _Recorder("a", requires=("nope",))
+    with pytest.raises(LintError, match="unknown pass 'nope'"):
+        PassManager([a]).run(LintContext())
+
+
+def test_duplicate_pass_name_is_an_error():
+    with pytest.raises(LintError, match="duplicate"):
+        PassManager([_Recorder("a"), _Recorder("a")])
+
+
+def test_results_shared_and_missing_result_raises():
+    a = _Recorder("a", result={"fact": 42})
+
+    class Consumer(Pass):
+        name = "consumer"
+        requires = ("a",)
+
+        def run(self, ctx):
+            assert ctx.result("a") == {"fact": 42}
+            with pytest.raises(LintError, match="not available"):
+                ctx.result("never-ran")
+
+    PassManager([a, Consumer()]).run(LintContext())
+
+
+def test_per_pass_timing_recorded():
+    ctx = LintContext()
+    report = PassManager([_Recorder("a"), _Recorder("b")]).run(ctx)
+    assert report.pass_order == ["a", "b"]
+    assert all(report.pass_times[name] >= 0 for name in ("a", "b"))
+
+
+# ----------------------------------------------------------------------
+# diagnostics, waivers, disabled rules
+# ----------------------------------------------------------------------
+def test_disabled_rule_emits_nothing():
+    ctx = LintContext(config=LintConfig(disabled_rules=frozenset({"r"})))
+    assert ctx.emit("r", ERROR, "x", "m") is None
+    assert ctx.report.diagnostics == []
+
+
+def test_config_waiver_globs_location():
+    config = LintConfig(waivers=(Waiver("r", "top.bank*", "known"),))
+    ctx = LintContext(config=config)
+    waived = ctx.emit("r", ERROR, "top.bank1.net", "m")
+    active = ctx.emit("r", ERROR, "top.other", "m")
+    assert waived.waived and waived.waived_reason == "known"
+    assert not active.waived
+    # waived errors do not fail the run
+    assert ctx.report.counts() == {
+        ERROR: 1, WARNING: 0, INFO: 0, "waived": 1,
+    }
+    assert ctx.report.exit_code() == 1
+
+
+def test_wildcard_rule_waiver_matches_any_rule():
+    ctx = LintContext(config=LintConfig(waivers=(Waiver("*", "a.b", "w"),)))
+    assert ctx.emit("anything", ERROR, "a.b", "m").waived
+
+
+def test_waiver_rule_must_match():
+    ctx = LintContext(config=LintConfig(waivers=(Waiver("r1", "*", "w"),)))
+    assert not ctx.emit("r2", ERROR, "a", "m").waived
+
+
+def test_exit_code_and_ok():
+    report = LintReport("t")
+    assert report.ok and report.exit_code() == 0
+    report.add(Diagnostic("r", WARNING, "x", "m"))
+    assert report.ok  # warnings do not fail CI
+    report.add(Diagnostic("r", ERROR, "x", "m"))
+    assert not report.ok and report.exit_code() == 1
+
+
+def test_report_merge_and_json_shape():
+    first = LintReport("a")
+    first.pass_order.append("p1")
+    first.pass_times["p1"] = 0.5
+    first.add(Diagnostic("r", ERROR, "x", "m", fix_hint="h"))
+    second = LintReport("b")
+    second.pass_order.append("p2")
+    second.pass_times["p2"] = 0.25
+    first.extend(second)
+    assert first.pass_order == ["p1", "p2"]
+    data = json.loads(first.to_json())
+    assert data["counts"]["error"] == 1
+    assert data["diagnostics"][0]["fix_hint"] == "h"
+    assert data["ok"] is False
+    assert set(data["pass_times"]) == {"p1", "p2"}
+
+
+def test_render_hides_waived_on_request():
+    config = LintConfig(waivers=(Waiver("r", "*", "because"),))
+    ctx = LintContext(config=config)
+    ctx.emit("r", ERROR, "loc", "msg")
+    assert "because" in ctx.report.render(show_waived=True)
+    assert "loc" not in ctx.report.render(show_waived=False)
+
+
+# ----------------------------------------------------------------------
+# inline waiver plumbing (module / machine -> context)
+# ----------------------------------------------------------------------
+def test_module_waivers_prefixed_by_occurrence_path():
+    from repro.rtl import elaborate
+    from repro.rtl.hdl import RtlModule
+
+    leaf = RtlModule("leaf")
+    inp = leaf.input("i")
+    out = leaf.output("o")
+    leaf.assign(out, inp.ref())
+    leaf.lint_waive("some-rule", "o", "leaf-level justification")
+
+    top = RtlModule("top")
+    x = top.input("x")
+    top.instantiate(leaf, "u0", {"i": x.ref(), "o": top.output("y")})
+    design = elaborate(top)
+    # occurrence path is prefixed at elaboration time
+    assert ("some-rule", "top.u0.o", "leaf-level justification") in (
+        design.lint_waivers
+    )
+    ctx = LintContext(design=design)
+    assert ctx.emit("some-rule", ERROR, "top.u0.o", "m").waived
+
+
+def test_waiver_requires_justification():
+    from repro.asm.machine import AsmError, AsmMachine
+    from repro.rtl.hdl import HdlError, RtlModule
+
+    with pytest.raises(HdlError):
+        RtlModule("m").lint_waive("r", "*", "")
+    with pytest.raises(AsmError):
+        AsmMachine("m").lint_waive("r", "*", "")
+
+
+def test_machine_waivers_reach_context():
+    from repro.asm.machine import AsmMachine
+
+    machine = AsmMachine("mach")
+    machine.lint_waive("asm-unsat-require", "mach.dead_rule", "spec'd dead")
+    ctx = LintContext(machine=machine)
+    assert ctx.emit("asm-unsat-require", ERROR, "mach.dead_rule", "m").waived

@@ -1,0 +1,420 @@
+"""Known-bad fixture + near-miss per lint diagnostic.
+
+Every known-bad fixture must fail the run (exit code 1, the CI
+contract); every near-miss is the smallest compliant variant and must
+not trigger the rule under test.
+"""
+
+
+from repro.asm.machine import AsmMachine
+from repro.lint import (
+    LintConfig,
+    lint_design,
+    lint_machine,
+    lint_properties,
+)
+from repro.psl.ast import (
+    Always,
+    And,
+    Atom,
+    Never,
+    Not,
+    Or,
+    PropBool,
+    PropImplication,
+    SereBool,
+    SuffixImpl,
+)
+from repro.rtl.hdl import Const, RtlModule
+
+
+def rules_of(report, active_only=True):
+    diags = report.active() if active_only else report.diagnostics
+    return {d.rule for d in diags}
+
+
+def assert_flags(report, rule):
+    assert rule in rules_of(report), report.render()
+    assert report.exit_code() == 1
+
+
+def assert_clean_of(report, rule):
+    assert rule not in rules_of(report), report.render()
+
+
+# ----------------------------------------------------------------------
+# undriven-net
+# ----------------------------------------------------------------------
+def test_undriven_net_flagged():
+    m = RtlModule("bad")
+    dangling = m.wire("dangling")
+    out = m.output("o")
+    m.assign(out, dangling.ref())
+    assert_flags(lint_design(m), "undriven-net")
+
+
+def test_undriven_net_near_miss_driven():
+    m = RtlModule("good")
+    w = m.wire("w")
+    m.assign(w, m.input("i").ref())
+    m.assign(m.output("o"), w.ref())
+    assert_clean_of(lint_design(m), "undriven-net")
+
+
+# ----------------------------------------------------------------------
+# read-before-write
+# ----------------------------------------------------------------------
+def test_read_before_write_flagged():
+    m = RtlModule("bad")
+    r = m.reg("r")
+    m.assign(m.output("o"), r.ref())
+    report = lint_design(m)
+    assert_flags(report, "read-before-write")
+    [diag] = [d for d in report.active() if d.rule == "read-before-write"]
+    assert "power-up value" in diag.message
+
+
+def test_read_before_write_near_miss_synced():
+    m = RtlModule("good")
+    r = m.reg("r")
+    m.sync(r, m.input("i").ref())
+    m.assign(m.output("o"), r.ref())
+    assert_clean_of(lint_design(m), "read-before-write")
+
+
+# ----------------------------------------------------------------------
+# tristate-conflict
+# ----------------------------------------------------------------------
+def test_tristate_conflict_both_always_on():
+    m = RtlModule("bad")
+    bus = m.output("bus")
+    m.tristate(bus, Const(1), m.input("a").ref())
+    m.tristate(bus, Const(1), m.input("b").ref())
+    assert_flags(lint_design(m), "tristate-conflict")
+
+
+def test_tristate_conflict_shared_enable():
+    m = RtlModule("bad")
+    en = m.input("en")
+    bus = m.output("bus")
+    m.tristate(bus, en.ref(), m.input("a").ref())
+    m.tristate(bus, en.ref(), m.input("b").ref())
+    assert_flags(lint_design(m), "tristate-conflict")
+
+
+def test_tristate_near_miss_exclusive_enables():
+    m = RtlModule("good")
+    en = m.input("en")
+    bus = m.output("bus")
+    m.tristate(bus, en.ref(), m.input("a").ref())
+    m.tristate(bus, ~en.ref(), m.input("b").ref())
+    assert_clean_of(lint_design(m), "tristate-conflict")
+
+
+# ----------------------------------------------------------------------
+# width-truncation
+# ----------------------------------------------------------------------
+def test_width_truncation_flagged():
+    m = RtlModule("bad")
+    a = m.input("a", 2)
+    b = m.input("b", 2)
+    narrow = m.output("narrow")
+    m.assign(narrow, (a.ref() + b.ref()).bit(0))
+    assert_flags(lint_design(m), "width-truncation")
+
+
+def test_width_truncation_near_miss_full_slice():
+    m = RtlModule("good")
+    a = m.input("a", 2)
+    b = m.input("b", 2)
+    full = m.output("full", 2)
+    m.assign(full, (a.ref() + b.ref()).slice(0, 1))
+    assert_clean_of(lint_design(m), "width-truncation")
+
+
+# ----------------------------------------------------------------------
+# unused-net
+# ----------------------------------------------------------------------
+def _design_with_spare_wire():
+    m = RtlModule("top")
+    i = m.input("i")
+    spare = m.wire("spare")
+    m.assign(spare, i.ref() ^ Const(1))
+    m.assign(m.output("o"), i.ref())
+    return m
+
+
+def test_unused_net_flagged():
+    report = lint_design(_design_with_spare_wire())
+    assert_flags(report, "unused-net")
+    [diag] = [d for d in report.active() if d.rule == "unused-net"]
+    assert diag.location == "top.spare"
+
+
+def test_unused_net_near_miss_declared_sink():
+    config = LintConfig(extra_sinks=("top.spare",))
+    report = lint_design(_design_with_spare_wire(), config=config)
+    assert_clean_of(report, "unused-net")
+
+
+# ----------------------------------------------------------------------
+# const-comb
+# ----------------------------------------------------------------------
+def test_const_comb_flagged():
+    m = RtlModule("bad")
+    i = m.input("i")
+    dead = m.wire("dead")
+    m.assign(dead, i.ref() & Const(0))
+    m.assign(m.output("o"), dead.ref())
+    report = lint_design(m)
+    assert_flags(report, "const-comb")
+    [diag] = [d for d in report.active() if d.rule == "const-comb"]
+    assert "0" in diag.message
+
+
+def test_const_comb_near_miss_live_logic():
+    m = RtlModule("good")
+    live = m.wire("live")
+    m.assign(live, m.input("a").ref() & m.input("b").ref())
+    m.assign(m.output("o"), live.ref())
+    assert_clean_of(lint_design(m), "const-comb")
+
+
+def test_const_comb_stuck_register_feeds_fold():
+    # a register whose next-state folds to its init value is a constant,
+    # and logic downstream of it collapses
+    m = RtlModule("bad")
+    stuck = m.reg("stuck")
+    m.sync(stuck, stuck.ref() & m.input("i").ref())  # 0 & i == 0 forever
+    gated = m.wire("gated")
+    m.assign(gated, stuck.ref() | Const(0))
+    m.assign(m.output("o"), gated.ref())
+    assert_flags(lint_design(m), "const-comb")
+
+
+# ----------------------------------------------------------------------
+# unobservable-reg
+# ----------------------------------------------------------------------
+def _monitored(observe_both):
+    m = RtlModule("top")
+    i = m.input("i")
+    seen = m.reg("seen")
+    m.sync(seen, i.ref())
+    hidden = m.reg("hidden")
+    m.sync(hidden, ~i.ref())
+    m.assign(m.output("o"), hidden.ref())
+    fire = m.wire("fire")
+    if observe_both:
+        m.assign(fire, seen.ref() & hidden.ref())
+    else:
+        m.assign(fire, seen.ref())
+    m.monitors.append((fire, "msg", "error", "mon", "K"))
+    return m
+
+
+def test_unobservable_reg_flagged():
+    report = lint_design(_monitored(observe_both=False))
+    assert_flags(report, "unobservable-reg")
+    [diag] = [d for d in report.active() if d.rule == "unobservable-reg"]
+    assert diag.location == "top.hidden"
+
+
+def test_unobservable_reg_near_miss_in_cone():
+    report = lint_design(_monitored(observe_both=True))
+    assert_clean_of(report, "unobservable-reg")
+
+
+def test_no_monitors_is_only_a_note():
+    m = RtlModule("top")
+    r = m.reg("r")
+    m.sync(r, m.input("i").ref())
+    m.assign(m.output("o"), r.ref())
+    report = lint_design(m)
+    notes = [d for d in report.active() if d.rule == "unobservable-reg"]
+    assert [d.severity for d in notes] == ["info"]
+    assert report.exit_code() == 0
+
+
+# ----------------------------------------------------------------------
+# cdc-no-sync
+# ----------------------------------------------------------------------
+def _cdc(pure_capture):
+    m = RtlModule("top")
+    i = m.input("i")
+    src = m.reg("src", clock="K")
+    m.sync(src, i.ref())
+    dst = m.reg("dst", clock="K#")
+    if pure_capture:
+        m.sync(dst, src.ref())  # flop-to-flop hand-off: allowed
+    else:
+        m.sync(dst, src.ref() & i.ref())  # comb logic in the crossing
+    m.assign(m.output("o"), dst.ref())
+    return m
+
+
+def test_cdc_through_comb_flagged():
+    report = lint_design(_cdc(pure_capture=False))
+    assert_flags(report, "cdc-no-sync")
+    [diag] = [d for d in report.active() if d.rule == "cdc-no-sync"]
+    assert diag.location == "top.dst"
+    assert "top.src" in diag.message
+
+
+def test_cdc_near_miss_pure_capture():
+    assert_clean_of(lint_design(_cdc(pure_capture=True)), "cdc-no-sync")
+
+
+def test_cdc_waivable_inline():
+    m = _cdc(pure_capture=False)
+    m.lint_waive("cdc-no-sync", "dst", "DDR hand-off by design")
+    report = lint_design(m)
+    assert report.exit_code() == 0
+    [diag] = [d for d in report.diagnostics if d.rule == "cdc-no-sync"]
+    assert diag.waived and "DDR" in diag.waived_reason
+
+
+# ----------------------------------------------------------------------
+# psl-vacuity
+# ----------------------------------------------------------------------
+def test_vacuous_implication_guard_flagged():
+    a, b = Atom("a"), Atom("b")
+    prop = Always(PropImplication(And(a, Not(a)), PropBool(b)))
+    assert_flags(lint_properties([("vacuous", prop)]), "psl-vacuity")
+
+
+def test_implication_near_miss_satisfiable_guard():
+    a, b = Atom("a"), Atom("b")
+    prop = Always(PropImplication(a, PropBool(b)))
+    assert_clean_of(lint_properties([("ok", prop)]), "psl-vacuity")
+
+
+def test_unmatchable_suffix_antecedent_flagged():
+    a, b = Atom("a"), Atom("b")
+    prop = Always(SuffixImpl(SereBool(And(a, Not(a))), PropBool(b)))
+    assert_flags(lint_properties([("vacuous", prop)]), "psl-vacuity")
+
+
+def test_suffix_near_miss_matchable_antecedent():
+    a, b = Atom("a"), Atom("b")
+    prop = Always(SuffixImpl(SereBool(a), PropBool(b)))
+    assert_clean_of(lint_properties([("ok", prop)]), "psl-vacuity")
+
+
+def test_unmatchable_never_sere_flagged():
+    a = Atom("a")
+    prop = Never(SereBool(And(a, Not(a))))
+    assert_flags(lint_properties([("empty", prop)]), "psl-vacuity")
+
+
+# ----------------------------------------------------------------------
+# psl-tautology
+# ----------------------------------------------------------------------
+def test_tautology_flagged():
+    a = Atom("a")
+    prop = Always(PropBool(Or(a, Not(a))))
+    assert_flags(lint_properties([("taut", prop)]), "psl-tautology")
+
+
+def test_tautology_near_miss_falsifiable():
+    a = Atom("a")
+    prop = Always(PropBool(a))
+    assert_clean_of(lint_properties([("ok", prop)]), "psl-tautology")
+
+
+# ----------------------------------------------------------------------
+# asm-unsat-require
+# ----------------------------------------------------------------------
+def _machine(dead_guard):
+    machine = AsmMachine("mach")
+    machine.var("x", 0)
+    machine.rule(
+        "step",
+        guard=lambda state: state["x"] < 2,
+        effect=lambda state: {"x": state["x"] + 1},
+    )
+    machine.rule(
+        "maybe",
+        guard=(lambda state: False) if dead_guard
+        else (lambda state: state["x"] == 2),
+        effect=lambda state: {"x": 0},
+    )
+    return machine
+
+
+def test_dead_require_guard_flagged():
+    report = lint_machine(_machine(dead_guard=True))
+    assert_flags(report, "asm-unsat-require")
+    [diag] = [d for d in report.active() if d.rule == "asm-unsat-require"]
+    assert diag.location == "mach.maybe"
+
+
+def test_require_near_miss_eventually_enabled():
+    report = lint_machine(_machine(dead_guard=False))
+    assert_clean_of(report, "asm-unsat-require")
+
+
+def test_state_cap_bounds_the_sweep():
+    machine = AsmMachine("mach")
+    machine.var("x", 0)
+    machine.rule("inc", lambda s: True, lambda s: {"x": s["x"] + 1})
+    machine.rule("dead", lambda s: s["x"] >= 100, lambda s: {"x": 0})
+    report = lint_machine(machine, config=LintConfig(asm_state_cap=8))
+    [diag] = [d for d in report.active() if d.rule == "asm-unsat-require"]
+    assert "first 8 reachable states" in diag.message
+
+
+# ----------------------------------------------------------------------
+# asm-conflicting-updates
+# ----------------------------------------------------------------------
+def _conflicting(same_value):
+    machine = AsmMachine("mach")
+    machine.var("x", 0)
+    machine.rule("left", lambda s: s["x"] == 0, lambda s: {"x": 1})
+    machine.rule(
+        "right", lambda s: s["x"] == 0,
+        (lambda s: {"x": 1}) if same_value else (lambda s: {"x": 2}),
+    )
+    return machine
+
+
+def test_conflicting_updates_flagged():
+    report = lint_machine(_conflicting(same_value=False))
+    assert_flags(report, "asm-conflicting-updates")
+    [diag] = [d for d in report.active()
+              if d.rule == "asm-conflicting-updates"]
+    assert "left" in diag.location and "right" in diag.location
+
+
+def test_conflict_near_miss_consistent_updates():
+    report = lint_machine(_conflicting(same_value=True))
+    assert_clean_of(report, "asm-conflicting-updates")
+
+
+def test_broken_effect_reported_not_raised():
+    machine = AsmMachine("mach")
+    machine.var("x", 0)
+    machine.rule("boom", lambda s: True, lambda s: {"unknown_var": 1})
+    report = lint_machine(machine)
+    assert_flags(report, "asm-conflicting-updates")
+
+
+# ----------------------------------------------------------------------
+# elaboration failures degrade to diagnostics
+# ----------------------------------------------------------------------
+def test_elaboration_error_becomes_diagnostic():
+    m = RtlModule("bad")
+    w = m.wire("w")  # undriven: elaboration rejects it
+    m.assign(m.output("o"), w.ref())
+    report = lint_design(m)
+    assert report.exit_code() == 1
+    assert "elaboration-error" in rules_of(report) or (
+        "undriven-net" in rules_of(report)
+    )
+
+
+def test_disable_rule_via_config():
+    report = lint_design(
+        _design_with_spare_wire(),
+        config=LintConfig(disabled_rules=frozenset({"unused-net"})),
+    )
+    assert_clean_of(report, "unused-net")

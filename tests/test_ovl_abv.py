@@ -16,7 +16,7 @@ from repro.ovl import (
     assert_unchanged,
 )
 from repro.psl import Verdict
-from repro.rtl import AssertionFailure, C, Mux, RtlModule, RtlSimulator
+from repro.rtl import AssertionFailure, Mux, RtlModule, RtlSimulator
 from repro.sysc import ClockPair, Signal, Simulator
 
 

@@ -13,8 +13,6 @@ from repro.psl import (
     Or,
     PslError,
     SereBool,
-    SereConcat,
-    SereFusion,
     SereRepeat,
     compile_sere,
     parse_boolean,

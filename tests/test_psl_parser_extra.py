@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.psl import (
     Abort,
     Always,
-    Before,
     EventuallyBang,
     Never,
     NextP,

@@ -6,7 +6,6 @@ The reference evaluates SERE membership directly from the AST semantics
 = all decompositions); the compiled NFA must agree on every trace.
 """
 
-from functools import lru_cache
 
 from hypothesis import given, settings, strategies as st
 

@@ -6,7 +6,6 @@ from repro.psl import Always, NextP, PslMonitor, Verdict
 from repro.uml import (
     ClassDiagram,
     SequenceDiagram,
-    UmlClass,
     UmlError,
     UmlParameter,
     UseCaseDiagram,
