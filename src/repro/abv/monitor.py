@@ -120,6 +120,13 @@ class AssertionMonitor:
         self.warning: Optional[Signal] = None
         self._sim: Optional[Simulator] = None
         self.samples = 0
+        # sample observers: ``fn(valuation)`` called with the sampled
+        # atom valuation on every cycle -- the hook assertion-coverage
+        # collectors (:mod:`repro.cover.assertion`) attach to.  On the
+        # compiled-checker path the valuation dict is only materialised
+        # when observers are present, keeping the fast path allocation
+        # free.
+        self.sample_observers: list[Callable[[dict], None]] = []
 
     # ------------------------------------------------------------------
     def attach(self, sim: Simulator, *triggers: Event,
@@ -146,6 +153,8 @@ class AssertionMonitor:
         if self._checker is not None:
             return self._sample_compiled()
         valuation = {atom: fn() for atom, fn in self._getters.items()}
+        for observer in self.sample_observers:
+            observer(valuation)
         before = self.monitor.verdict
         verdict = self.monitor.step(valuation)
         if verdict is Verdict.FAILS and before is not Verdict.FAILS:
@@ -158,6 +167,10 @@ class AssertionMonitor:
         checker = self._checker
         getters = self._getters
         key = tuple(bool(getters[a]()) for a in checker.atoms)
+        if self.sample_observers:
+            valuation = dict(zip(checker.atoms, key))
+            for observer in self.sample_observers:
+                observer(valuation)
         state = checker.transition(self._checker_state, key)
         if state == checker.FAIL_STATE:
             self._compiled_verdict = Verdict.FAILS

@@ -114,6 +114,10 @@ class AsmMachine:
         self._frozen_vars: Optional[frozenset] = None
         # inline lint suppressions; see lint_waive
         self.lint_waivers: list[tuple[str, str, str]] = []
+        # fire observers: ``fn(machine, action)`` called after every
+        # applied update set (post-state visible) -- the hook coverage
+        # collectors (:mod:`repro.cover.asm_cov`) attach to
+        self.fire_observers: list[Callable[["AsmMachine", Action], None]] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -206,6 +210,8 @@ class AsmMachine:
         """Fire an enabled action: apply its update set atomically."""
         updates = self.compute_updates(action)
         self.state.update(updates)
+        for observer in self.fire_observers:
+            observer(self, action)
 
     def fire_named(self, rule_name: str, **args) -> None:
         """Convenience: fire a rule by name with explicit arguments."""

@@ -21,16 +21,17 @@ makes.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from typing import Optional, Sequence
 
 from .conformance import Divergence, Implementation
 from .fsm import Fsm, Transition
-from .machine import AsmMachine
+from .machine import Action, AsmMachine
 
 __all__ = ["TestSuite", "ReplayReport", "generate_transition_cover",
-           "replay_suite"]
+           "generate_random_walks", "replay_suite"]
 
 
 class TestSuite:
@@ -123,6 +124,38 @@ def generate_transition_cover(fsm: Fsm) -> TestSuite:
             break  # remaining transitions unreachable from reset
         cases.append(case)
     return TestSuite(cases, fsm)
+
+
+def generate_random_walks(
+    machine: AsmMachine,
+    cases: int,
+    steps: int,
+    seed: int = 0,
+) -> list[list[Action]]:
+    """Generate ``cases`` random from-reset action sequences.
+
+    Each walk starts at the machine's reset state and repeatedly fires a
+    uniformly chosen enabled action, up to ``steps`` actions (shorter if
+    the machine deadlocks).  This is the *undirected* stimulus baseline;
+    the coverage-driven selection loop in :mod:`repro.cover.testgen`
+    ranks exactly these candidates by incremental coverage.  The machine
+    is left in its reset state.
+    """
+    rng = random.Random(seed)
+    walks: list[list[Action]] = []
+    for __ in range(cases):
+        machine.reset()
+        walk: list[Action] = []
+        for __ in range(steps):
+            enabled = machine.enabled_actions()
+            if not enabled:
+                break
+            action = rng.choice(enabled)
+            machine.fire(action)
+            walk.append(action)
+        walks.append(walk)
+    machine.reset()
+    return walks
 
 
 class ReplayReport:

@@ -75,6 +75,14 @@ class FlowConfig:
     #: RTL simulator backend for the OVL stage: "compiled" (codegen) or
     #: "interp" (the tree-walking reference semantics)
     rtl_backend: str = "compiled"
+    #: collect cross-level coverage (repro.cover) during the ASM, ABV
+    #: and OVL stages and append a merged closure stage to the report
+    coverage: bool = True
+    #: coverage fraction the merged DB must reach for the coverage
+    #: stage to pass; structural toggle points (every SRAM bit has a
+    #: rose and a fell target) dominate the denominator, so short flows
+    #: sit low even when the behavioural levels are closed
+    coverage_threshold: float = 0.10
 
     def resolved_la1(self) -> La1Config:
         return self.la1_config or La1Config(banks=self.banks, beat_bits=16,
@@ -149,6 +157,12 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     config = config or FlowConfig()
     report = FlowReport(config)
     la1 = config.resolved_la1()
+    cover_db = None
+    if config.coverage:
+        from ..cover import CoverageDB
+
+        cover_db = CoverageDB(meta={"flow": f"la1_{config.banks}banks",
+                                    "seed": config.seed})
 
     # ------------------------------------------------------ 1. UML level
     start = time.perf_counter()
@@ -171,10 +185,20 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     # ------------------------------------------------------ 2. ASM level
     start = time.perf_counter()
     machine = build_la1_asm(config.resolved_asm())
+    asm_cov = None
+    if cover_db is not None:
+        from ..cover import AsmCoverage, la1_state_predicates
+
+        # exploration fires the machine's rules, so the observer sees
+        # every transition the model checker takes
+        asm_cov = AsmCoverage(machine, la1_state_predicates(config.banks))
     suite = device_property_suite(config.banks)
     checker = AsmModelChecker(machine, asm_labeling(config.banks),
                               ExplorationConfig())
     result = checker.check_combined([p for __, p in suite], name="suite")
+    if asm_cov is not None:
+        asm_cov.detach()
+        asm_cov.harvest(cover_db)
     report.stages.append(StageResult(
         "asm_model_checking", result.holds is True,
         f"{len(suite)} properties, {result.num_nodes} nodes, "
@@ -206,9 +230,20 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     start = time.perf_counter()
     sim, clocks, device, host = build_la1_system(la1)
     monitors = attach_read_mode_monitors(sim, device, clocks)
+    functional_cov = psl_cov = None
+    if cover_db is not None:
+        from ..cover import La1FunctionalCoverage, PslAssertionCoverage
+
+        functional_cov = La1FunctionalCoverage(host)
+        psl_cov = PslAssertionCoverage(monitors)
     _traffic(host, la1, config.traffic, config.seed)
     sim.run(config.traffic * 20 + 200)
     abv = summarize(monitors).finish()
+    if functional_cov is not None:
+        functional_cov.detach()
+        psl_cov.detach()
+        functional_cov.harvest(cover_db)
+        psl_cov.harvest(cover_db)
     report.stages.append(StageResult(
         "systemc_abv", abv.passed,
         f"{len(monitors)} monitors, {monitors[0].samples} samples, "
@@ -286,8 +321,19 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     ovl_top = build_la1_top_with_ovl(la1)
     ovl_sim = RtlSimulator(elaborate(ovl_top), backend=config.rtl_backend)
     ovl_host = RtlHost(ovl_sim, la1)
+    toggle_cov = ovl_cov = None
+    if cover_db is not None:
+        from ..cover import OvlAssertionCoverage, ToggleCollector
+
+        toggle_cov = ToggleCollector(ovl_sim)
+        ovl_cov = OvlAssertionCoverage(ovl_sim)
     _traffic(ovl_host, la1, config.traffic, config.seed)
     ovl_host.run_until_idle()
+    if toggle_cov is not None:
+        toggle_cov.detach()
+        ovl_cov.detach()
+        toggle_cov.harvest(cover_db)
+        ovl_cov.harvest(cover_db)
     report.stages.append(StageResult(
         "rtl_ovl_simulation", ovl_sim.ok,
         f"{config.rtl_backend} backend, "
@@ -297,4 +343,22 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
         time.perf_counter() - start,
         data=ovl_sim.stats(),
     ))
+    if not ovl_sim.ok:
+        return report
+
+    # ------------------------------------------------ 8. coverage closure
+    if cover_db is not None:
+        start = time.perf_counter()
+        covered, total = cover_db.counts()
+        per_level = ", ".join(
+            f"{level} {cover_db.coverage(level):.0%}"
+            for level in cover_db.levels()
+        )
+        report.stages.append(StageResult(
+            "coverage", cover_db.coverage() >= config.coverage_threshold,
+            f"{cover_db.coverage():.1%} ({covered}/{total} points; "
+            f"{per_level})",
+            time.perf_counter() - start,
+            data=cover_db,
+        ))
     return report

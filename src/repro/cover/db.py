@@ -1,0 +1,315 @@
+"""The mergeable cross-level coverage database.
+
+Every collector in :mod:`repro.cover` -- RTL toggle probes, SystemC
+functional covergroups, ASM rule/state-predicate observers, OVL/PSL
+assertion counters -- writes :class:`CoverPoint` records into one
+:class:`CoverageDB`, keyed by a shared dotted namespace::
+
+    <level>.<kind>.<path...>
+
+    rtl.toggle.la1_top.bank0.read_port.st_fetch.0.rose
+    func.la1.bank_cmd.read@b1
+    asm.pred.la1_asm_2banks.rp0_out1
+    assert.psl.read_latency[0].activated
+
+The first segment names the methodology level, which is what makes the
+database the glue between abstraction levels: two runs at *different*
+levels merge into one closure picture, and the same functional model
+collected at SystemC and at RTL produces directly comparable
+``func.*`` slices (the time-to-coverage restatement of Table 3).
+
+Merge semantics are lossless and commutative: hit counts add, goals take
+the maximum, and the point set is the union -- so N parallel shards of
+one workload merge to exactly the DB a single sequential run would have
+produced (the ``--smoke`` CLI checks this invariant on every run).
+
+A point with ``goal == 0`` is a pure counter (e.g. assertion *fire*
+counts): it is reported but excluded from every coverage denominator,
+because hitting it is not a closure target (a firing assertion is a
+failure, not progress).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+__all__ = ["CoverPoint", "CoverageDB", "CoverageDiff"]
+
+
+class CoverPoint:
+    """One named coverage target: ``hits`` observations toward ``goal``."""
+
+    __slots__ = ("key", "hits", "goal")
+
+    def __init__(self, key: str, hits: int = 0, goal: int = 1):
+        if goal < 0:
+            raise ValueError(f"coverage goal must be >= 0, got {goal}")
+        self.key = key
+        self.hits = hits
+        self.goal = goal
+
+    @property
+    def covered(self) -> bool:
+        """True when the point met its goal (goal-0 counters never count)."""
+        return self.goal > 0 and self.hits >= self.goal
+
+    @property
+    def level(self) -> str:
+        """The methodology level: the first namespace segment."""
+        return self.key.split(".", 1)[0]
+
+    def to_list(self) -> list:
+        return [self.key, self.hits, self.goal]
+
+    def __repr__(self):
+        return f"CoverPoint({self.key!r}, hits={self.hits}, goal={self.goal})"
+
+
+class CoverageDB:
+    """A mergeable, serializable set of coverage points.
+
+    ``meta`` carries free-form provenance (workload seed, backend, bank
+    count); merging unions it, with later values winning on key clashes.
+    """
+
+    def __init__(self, meta: Optional[dict] = None):
+        self.points: dict[str, CoverPoint] = {}
+        self.meta: dict = dict(meta or {})
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def declare(self, key: str, goal: int = 1) -> CoverPoint:
+        """Register a point without hitting it (so unexercised points
+        appear in the denominator); re-declaring keeps the larger goal."""
+        point = self.points.get(key)
+        if point is None:
+            point = CoverPoint(key, 0, goal)
+            self.points[key] = point
+        elif goal > point.goal:
+            point.goal = goal
+        return point
+
+    def hit(self, key: str, n: int = 1, goal: int = 1) -> None:
+        """Record ``n`` observations of ``key`` (auto-declares it)."""
+        point = self.points.get(key)
+        if point is None:
+            self.points[key] = CoverPoint(key, n, goal)
+        else:
+            point.hits += n
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.points
+
+    def hits(self, key: str) -> int:
+        """Hit count of a point (0 when undeclared)."""
+        point = self.points.get(key)
+        return 0 if point is None else point.hits
+
+    def select(self, prefix: Optional[str] = None) -> list[CoverPoint]:
+        """All points, or those under ``prefix`` (a namespace, dot-aware)."""
+        if prefix is None:
+            return list(self.points.values())
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return [
+            p for key, p in self.points.items()
+            if key == prefix or key.startswith(dotted)
+        ]
+
+    def counts(self, prefix: Optional[str] = None) -> tuple[int, int]:
+        """``(covered, total)`` over goal-bearing points under ``prefix``."""
+        pool = [p for p in self.select(prefix) if p.goal > 0]
+        return sum(1 for p in pool if p.covered), len(pool)
+
+    def coverage(self, prefix: Optional[str] = None) -> float:
+        """Fraction of goal-bearing points covered (1.0 when none)."""
+        covered, total = self.counts(prefix)
+        return 1.0 if total == 0 else covered / total
+
+    def levels(self) -> list[str]:
+        """The distinct level namespaces present, sorted."""
+        return sorted({p.level for p in self.points.values()})
+
+    def covered_keys(self, prefix: Optional[str] = None) -> list[str]:
+        """Sorted keys of covered points under ``prefix``."""
+        return sorted(p.key for p in self.select(prefix) if p.covered)
+
+    def holes(self, prefix: Optional[str] = None) -> list[str]:
+        """Sorted keys of goal-bearing points not yet covered."""
+        return sorted(
+            p.key for p in self.select(prefix)
+            if p.goal > 0 and not p.covered
+        )
+
+    def total_hits(self, prefix: Optional[str] = None) -> int:
+        """Sum of all hit counts under ``prefix`` (merge-loss detector:
+        hits are additive, so merged shards must sum exactly)."""
+        return sum(p.hits for p in self.select(prefix))
+
+    # ------------------------------------------------------------------
+    # merge / clone
+    # ------------------------------------------------------------------
+    def merge(self, other: "CoverageDB") -> "CoverageDB":
+        """Fold ``other`` into this DB in place (lossless: hits add,
+        goals max, points union).  Returns self for chaining."""
+        for key, point in other.points.items():
+            mine = self.points.get(key)
+            if mine is None:
+                self.points[key] = CoverPoint(key, point.hits, point.goal)
+            else:
+                mine.hits += point.hits
+                if point.goal > mine.goal:
+                    mine.goal = point.goal
+        self.meta.update(other.meta)
+        return self
+
+    @classmethod
+    def merged(cls, dbs: Iterable["CoverageDB"]) -> "CoverageDB":
+        """A fresh DB holding the merge of ``dbs``."""
+        out = cls()
+        for db in dbs:
+            out.merge(db)
+        return out
+
+    def clone(self) -> "CoverageDB":
+        """An independent copy (used by the testgen candidate ranking)."""
+        out = CoverageDB(self.meta)
+        for key, point in self.points.items():
+            out.points[key] = CoverPoint(key, point.hits, point.goal)
+        return out
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        levels = {
+            level: {
+                "coverage": round(self.coverage(level), 4),
+                "covered": self.counts(level)[0],
+                "points": self.counts(level)[1],
+            }
+            for level in self.levels()
+        }
+        return {
+            "meta": self.meta,
+            "coverage": round(self.coverage(), 4),
+            "covered": self.counts()[0],
+            "points": self.counts()[1],
+            "levels": levels,
+            "db": sorted(p.to_list() for p in self.points.values()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoverageDB":
+        db = cls(data.get("meta"))
+        for key, hits, goal in data.get("db", ()):
+            db.points[key] = CoverPoint(key, hits, goal)
+        return db
+
+    def save(self, path: str) -> None:
+        """Write the DB as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "CoverageDB":
+        """Read a DB written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def diff(self, baseline: "CoverageDB") -> "CoverageDiff":
+        """What changed relative to ``baseline`` (see :class:`CoverageDiff`)."""
+        return CoverageDiff(baseline, self)
+
+    def render(self, holes: int = 10) -> str:
+        """Human-readable closure summary with the first uncovered keys."""
+        covered, total = self.counts()
+        lines = [
+            f"coverage {self.coverage():.1%} ({covered}/{total} points)"
+        ]
+        for level in self.levels():
+            lcov, ltot = self.counts(level)
+            if ltot == 0:
+                continue
+            lines.append(
+                f"  {level:<8} {self.coverage(level):7.1%}  "
+                f"({lcov}/{ltot})"
+            )
+        missing = self.holes()
+        if missing:
+            shown = missing[:holes]
+            lines.append(f"  holes ({len(missing)}):")
+            lines.extend(f"    {key}" for key in shown)
+            if len(missing) > holes:
+                lines.append(f"    ... and {len(missing) - holes} more")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        covered, total = self.counts()
+        return f"CoverageDB({covered}/{total} covered, {len(self)} points)"
+
+
+class CoverageDiff:
+    """Difference of two DBs: regression gate for coverage closure."""
+
+    def __init__(self, baseline: CoverageDB, current: CoverageDB):
+        self.baseline = baseline
+        self.current = current
+        base_cov = {p.key for p in baseline.select() if p.covered}
+        cur_cov = {p.key for p in current.select() if p.covered}
+        #: goal-bearing keys present now but not in the baseline
+        self.new_points = sorted(
+            k for k, p in current.points.items()
+            if p.goal > 0 and k not in baseline.points
+        )
+        #: keys declared in the baseline but gone now
+        self.lost_points = sorted(
+            k for k, p in baseline.points.items()
+            if p.goal > 0 and k not in current.points
+        )
+        #: newly covered keys
+        self.newly_covered = sorted(cur_cov - base_cov)
+        #: covered in the baseline, not covered now (the regression set)
+        self.regressed = sorted(
+            k for k in base_cov - cur_cov if k in current.points
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when no previously covered point regressed."""
+        return not self.regressed and not self.lost_points
+
+    def render(self) -> str:
+        lines = [
+            f"baseline {self.baseline.coverage():.1%} -> "
+            f"current {self.current.coverage():.1%}"
+        ]
+        for label, keys in (
+            ("newly covered", self.newly_covered),
+            ("new points", self.new_points),
+            ("regressed", self.regressed),
+            ("lost points", self.lost_points),
+        ):
+            if keys:
+                lines.append(f"  {label} ({len(keys)}):")
+                lines.extend(f"    {key}" for key in keys[:10])
+                if len(keys) > 10:
+                    lines.append(f"    ... and {len(keys) - 10} more")
+        lines.append("diff: " + ("OK" if self.ok else "REGRESSED"))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"CoverageDiff(+{len(self.newly_covered)} covered, "
+            f"-{len(self.regressed)} regressed)"
+        )

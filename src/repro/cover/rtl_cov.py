@@ -1,0 +1,191 @@
+"""Structural RTL coverage: toggle / net-activity collection.
+
+Toggle coverage asks, per tracked net bit, whether simulation drove it
+through both a rising (``rose``) and a falling (``fell``) transition --
+the classic structural metric a Verilog simulator reports.  Both
+:class:`~repro.rtl.simulator.RtlSimulator` backends are supported
+through one edge-hook probe with two implementations:
+
+* ``backend="interp"`` -- a plain Python loop over the tracked slots
+  (the reference semantics, like the interpreter itself);
+* ``backend="compiled"`` -- the probe is code-generated once per design,
+  the same way :mod:`repro.rtl.compile` lowers the netlist: one unrolled
+  ``if v[slot] != prev[slot]`` block per tracked net over the flat slot
+  array, no loops, no attribute lookups.  Only changed slots pay more
+  than a compare, which keeps the probe overhead on the compiled
+  backend a small fraction of the step cost (bounded by
+  ``benchmarks/bench_cover.py``).
+
+State only changes when an edge settles, so diffing consecutive edge
+states observes every transition exactly -- the two backends produce
+bit-identical toggle sets (``tests/test_cover_rtl_toggle.py`` holds them
+differential on the 1/2/4-bank models).
+
+Points land in the ``rtl.toggle.<path>.<bit>.rose|fell`` namespace; hit
+counts are numbers of transitions, so shard merges stay lossless.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..rtl.netlist import FlatNet
+from ..rtl.simulator import RtlSimulator
+from .db import CoverageDB
+
+__all__ = ["ToggleCollector", "compile_toggle_probe"]
+
+
+def compile_toggle_probe(tracked: Sequence[FlatNet]):
+    """Codegen an unrolled ``probe(v, prev, rose, fell)`` function.
+
+    Mirrors :func:`repro.rtl.compile.compile_design`: straight-line
+    Python over slot indices, compiled with empty builtins.  ``rose`` and
+    ``fell`` accumulate per-slot bit masks of observed 0->1 and 1->0
+    transitions; ``prev`` tracks the last sampled value per slot.
+    """
+    lines = ["def probe(v, prev, rose, fell):"]
+    for flat in tracked:
+        s = flat.slot
+        lines.append(f"    x = v[{s}]  # {flat.path}")
+        lines.append(f"    p = prev[{s}]")
+        lines.append("    if x != p:")
+        lines.append(f"        rose[{s}] |= x & ~p")
+        lines.append(f"        fell[{s}] |= p & ~x")
+        lines.append(f"        prev[{s}] = x")
+    if len(lines) == 1:
+        lines.append("    pass")
+    namespace: dict = {"__builtins__": {}}
+    exec(compile("\n".join(lines) + "\n", "<repro.cover.rtl_cov>", "exec"),
+         namespace)
+    return namespace["probe"]
+
+
+class ToggleCollector:
+    """Attachable toggle-coverage probe for an :class:`RtlSimulator`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to observe (either backend).
+    nets:
+        ``"state"`` (default) tracks registers and free inputs -- the
+        classic toggle target set; ``"all"`` additionally tracks every
+        combinational net; an explicit sequence of hierarchical paths
+        tracks exactly those nets.
+    namespace:
+        Key prefix; the default ``"rtl.toggle"`` puts points in the
+        shared cross-level namespace.
+
+    The collector registers itself with the simulator so probe-overhead
+    accounting shows up in :meth:`RtlSimulator.stats` (the
+    ``cover_probe_calls`` / ``cover_tracked_nets`` counters).
+    """
+
+    def __init__(self, sim: RtlSimulator, nets: str | Sequence[str] = "state",
+                 namespace: str = "rtl.toggle"):
+        self.sim = sim
+        self.namespace = namespace
+        design = sim.design
+        if nets == "state":
+            self.tracked = list(design.regs) + list(design.inputs)
+        elif nets == "all":
+            self.tracked = (list(design.regs) + list(design.inputs)
+                            + list(design.comb_order))
+        else:
+            self.tracked = [design.net(path) for path in nets]
+        # deterministic order: by slot (elaboration order)
+        self.tracked.sort(key=lambda flat: flat.slot)
+        self._rose = [0] * design.num_slots
+        self._fell = [0] * design.num_slots
+        self._prev = list(sim._v)
+        self.probe_calls = 0
+        self._attached = False
+        if sim.backend == "compiled":
+            self._probe = compile_toggle_probe(self.tracked)
+        else:
+            tracked_slots = [flat.slot for flat in self.tracked]
+
+            def probe(v, prev, rose, fell, _slots=tuple(tracked_slots)):
+                for s in _slots:
+                    x = v[s]
+                    p = prev[s]
+                    if x != p:
+                        rose[s] |= x & ~p
+                        fell[s] |= p & ~x
+                        prev[s] = x
+
+            self._probe = probe
+        self.attach()
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Start probing (idempotent); resamples the baseline state."""
+        if self._attached:
+            return
+        self._prev = list(self.sim._v)
+        self.sim.add_edge_hook(self._on_edge)
+        self.sim._register_cover_collector(self, len(self.tracked))
+        self._attached = True
+
+    def detach(self) -> None:
+        """Stop probing (accumulated toggles are kept for harvest)."""
+        if not self._attached:
+            return
+        self.sim.remove_edge_hook(self._on_edge)
+        self.sim._unregister_cover_collector(self, len(self.tracked))
+        self._attached = False
+
+    def _on_edge(self, edge: str, sim: RtlSimulator) -> None:
+        self.probe_calls += 1
+        sim._cover_probe_calls += 1
+        self._probe(sim._v, self._prev, self._rose, self._fell)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget accumulated toggles and rebase on the current state."""
+        self._rose = [0] * self.sim.design.num_slots
+        self._fell = [0] * self.sim.design.num_slots
+        self._prev = list(self.sim._v)
+        self.probe_calls = 0
+
+    def toggles(self) -> dict[str, tuple[int, int]]:
+        """Per-path ``(rose_mask, fell_mask)`` of every tracked net."""
+        return {
+            flat.path: (self._rose[flat.slot], self._fell[flat.slot])
+            for flat in self.tracked
+        }
+
+    def harvest(self, db: Optional[CoverageDB] = None) -> CoverageDB:
+        """Write the toggle points into ``db`` (new DB by default).
+
+        Every tracked bit contributes two declared points (``rose`` and
+        ``fell``), hit with transition *counts* of 1 when observed --
+        the masks only witness occurrence, so a hit is recorded once per
+        harvest; shard merges still sum correctly because each shard
+        observed its transitions independently.
+        """
+        db = db if db is not None else CoverageDB()
+        prefix = self.namespace
+        for flat in self.tracked:
+            rose = self._rose[flat.slot]
+            fell = self._fell[flat.slot]
+            for bit in range(flat.width):
+                base = f"{prefix}.{flat.path}.{bit}"
+                db.declare(f"{base}.rose")
+                db.declare(f"{base}.fell")
+                if (rose >> bit) & 1:
+                    db.hit(f"{base}.rose")
+                if (fell >> bit) & 1:
+                    db.hit(f"{base}.fell")
+        return db
+
+    def coverage(self) -> float:
+        """Convenience: the toggle coverage fraction of a fresh harvest."""
+        return self.harvest().coverage()
+
+    def __repr__(self):
+        return (
+            f"ToggleCollector({len(self.tracked)} nets, "
+            f"{self.sim.backend} backend, calls={self.probe_calls})"
+        )

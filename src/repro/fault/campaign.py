@@ -113,7 +113,8 @@ class FaultVerdict:
 
     def __init__(self, fault_id: str, layer: str, kind: str, outcome: str,
                  detected_by: Optional[list] = None, detail: str = "",
-                 cpu_time: float = 0.0, expected_detectable: bool = True):
+                 cpu_time: float = 0.0, expected_detectable: bool = True,
+                 coverage_points: Optional[list] = None):
         if outcome not in OUTCOMES:
             raise ValueError(f"unknown outcome {outcome!r}")
         self.fault_id = fault_id
@@ -124,6 +125,10 @@ class FaultVerdict:
         self.detail = detail
         self.cpu_time = cpu_time
         self.expected_detectable = expected_detectable
+        #: the coverage points the detecting run exercised -- which
+        #: stimulus coverage detection of this fault required (empty for
+        #: undetected faults and for checkpoints from older campaigns)
+        self.coverage_points = list(coverage_points or [])
 
     def to_dict(self) -> dict:
         return {
@@ -135,6 +140,7 @@ class FaultVerdict:
             "detail": self.detail,
             "cpu_time": round(self.cpu_time, 4),
             "expected_detectable": self.expected_detectable,
+            "coverage_points": self.coverage_points,
         }
 
     @classmethod
@@ -143,6 +149,7 @@ class FaultVerdict:
             data["fault_id"], data["layer"], data["kind"], data["outcome"],
             data.get("detected_by", ()), data.get("detail", ""),
             data.get("cpu_time", 0.0), data.get("expected_detectable", True),
+            data.get("coverage_points", ()),
         )
 
     def __repr__(self):
@@ -353,11 +360,15 @@ class FaultCampaign:
         return self._sysc_golden
 
     def _run_sysc(self, fault: ProtocolMutation) -> FaultVerdict:
+        from ..cover.functional import La1FunctionalCoverage
+
         golden = self._sysc_golden_run()
         sim, clocks, device, host = build_la1_system(self.config.la1())
         saboteur = ProtocolSaboteur(sim, device, fault)
         monitors = attach_read_mode_monitors(sim, device, clocks)
+        functional = La1FunctionalCoverage(host)
         self._queue_traffic(host)
+        functional.detach()
         sim.run(self._sysc_duration())
         detected_by = sorted(
             m.name for m in monitors if m.finish() is Verdict.FAILS
@@ -375,6 +386,8 @@ class FaultCampaign:
         return FaultVerdict(
             fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
             detail, expected_detectable=fault.expect_detectable,
+            coverage_points=(functional.harvest().covered_keys()
+                             if detected_by else None),
         )
 
     # -- RTL layer -----------------------------------------------------
@@ -401,6 +414,8 @@ class FaultCampaign:
         return self._rtl_golden
 
     def _run_rtl(self, fault: Fault) -> FaultVerdict:
+        from ..cover.functional import La1FunctionalCoverage
+
         golden = self._rtl_golden_run()
         sim = self._rtl_simulator()
         sim.reset()
@@ -408,7 +423,9 @@ class FaultCampaign:
         injector.attach()
         try:
             host = RtlHost(sim, self.config.la1())
+            functional = La1FunctionalCoverage(host)
             self._queue_traffic(host)
+            functional.detach()
             host.run_cycles(self.config.rtl_cycles)
         finally:
             injector.detach()
@@ -426,13 +443,20 @@ class FaultCampaign:
         return FaultVerdict(
             fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
             detail, expected_detectable=fault.expect_detectable,
+            coverage_points=(functional.harvest().covered_keys()
+                             if detected_by else None),
         )
 
     # -- ASM layer -----------------------------------------------------
     def _run_asm(self, fault: AsmPerturbation) -> FaultVerdict:
+        from ..cover.asm_cov import AsmCoverage, la1_state_predicates
+
         machine = build_perturbed_la1_asm(
             La1AsmConfig(banks=self.config.banks), fault,
         )
+        # exploration drives the machine through fire(), so the coverage
+        # observer sees every transition the checker takes
+        asm_cov = AsmCoverage(machine, la1_state_predicates(self.config.banks))
         labeling = asm_labeling(self.config.banks)
         suite = [
             (name, prop)
@@ -461,6 +485,7 @@ class FaultCampaign:
                 detected_by.append(name)
             elif result.holds is None and result.truncated_reason == "deadline":
                 truncated = True
+        asm_cov.detach()
         if detected_by:
             outcome, detail = "detected", ""
         elif truncated:
@@ -472,6 +497,8 @@ class FaultCampaign:
         return FaultVerdict(
             fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
             detail, expected_detectable=fault.expect_detectable,
+            coverage_points=(asm_cov.harvest().covered_keys()
+                             if detected_by else None),
         )
 
     # -- checkpointing -------------------------------------------------

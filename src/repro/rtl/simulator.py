@@ -128,6 +128,11 @@ class RtlSimulator:
         self.failures: list[MonitorRecord] = []
         self.firings: list[MonitorRecord] = []
         self._edge_hooks: list[Callable[[str, "RtlSimulator"], None]] = []
+        # coverage-probe accounting (cumulative across resets, like the
+        # wall-clock of a campaign that reuses one simulator)
+        self._cover_probe_calls = 0
+        self._cover_collectors: list[object] = []
+        self._cover_tracked_nets = 0
         self.reset()
 
     # ------------------------------------------------------------------
@@ -180,15 +185,51 @@ class RtlSimulator:
         if hook in self._edge_hooks:
             self._edge_hooks.remove(hook)
 
+    def _register_cover_collector(self, collector: object,
+                                  tracked_nets: int) -> None:
+        """Bookkeeping entry point for :mod:`repro.cover` collectors so
+        probe overhead shows up in :meth:`stats`."""
+        if collector not in self._cover_collectors:
+            self._cover_collectors.append(collector)
+            self._cover_tracked_nets += tracked_nets
+
+    def _unregister_cover_collector(self, collector: object,
+                                    tracked_nets: int) -> None:
+        if collector in self._cover_collectors:
+            self._cover_collectors.remove(collector)
+            self._cover_tracked_nets -= tracked_nets
+
+    #: the stats() schema shared by both backends -- every key is present
+    #: for backend="interp" and backend="compiled" alike, so campaign and
+    #: flow reports can be compared across backends without key checks
+    STATS_KEYS = (
+        "nets", "inputs", "comb", "regs", "state_bits", "monitors",
+        "backend", "edges", "firings", "failures",
+        "cover_probe_calls", "cover_tracked_nets", "cover_collectors",
+    )
+
     def stats(self) -> dict:
-        """Design-size and run accounting for flow/campaign reports."""
+        """Design-size and run accounting for flow/campaign reports.
+
+        The returned dict has exactly the keys of :data:`STATS_KEYS`,
+        independent of the backend: design size from
+        :meth:`FlatDesign.stats`, run accounting (``edges``,
+        ``firings``, ``failures``), and the coverage-probe overhead
+        counters (``cover_probe_calls`` -- cumulative probe invocations
+        across resets; ``cover_tracked_nets`` / ``cover_collectors`` --
+        currently attached instrumentation).
+        """
         stats = dict(self.design.stats())
         stats.update(
             backend=self.backend,
             edges=self.edge_count,
             firings=len(self.firings),
             failures=len(self.failures),
+            cover_probe_calls=self._cover_probe_calls,
+            cover_tracked_nets=self._cover_tracked_nets,
+            cover_collectors=len(self._cover_collectors),
         )
+        assert set(stats) == set(self.STATS_KEYS)
         return stats
 
     # ------------------------------------------------------------------

@@ -1,0 +1,65 @@
+"""One observer registration path for kernel-level instrumentation.
+
+Tracers (:mod:`repro.sysc.trace`), functional-coverage collectors
+(:mod:`repro.cover.functional`) and signal-activity coverage all need the
+same primitive: *call me on every committed value change of these
+signals, and let me detach cleanly when I'm done*.  Before this module
+each instrument registered ad-hoc callbacks via ``Signal.watch`` with no
+way to release them; :class:`SignalObservatory` centralises the
+subscription bookkeeping so an instrument holds one object that can
+observe any number of signals and release every subscription at once
+(e.g. between the golden and faulty runs of a campaign).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .signal import Signal
+
+__all__ = ["SignalObservatory"]
+
+#: observer signature: ``fn(name, old, new)`` on every committed change
+Observer = Callable[[str, Any, Any], None]
+
+
+class SignalObservatory:
+    """A releasable set of signal-change subscriptions."""
+
+    def __init__(self) -> None:
+        self._subscriptions: list[tuple[Signal, Observer]] = []
+
+    def observe(self, signal: Signal, fn: Observer) -> None:
+        """Subscribe ``fn(name, old, new)`` to ``signal``'s committed
+        changes (duplicate subscriptions are registered once)."""
+        if (signal, fn) in self._subscriptions:
+            return
+        signal.watch(fn)
+        self._subscriptions.append((signal, fn))
+
+    def observe_all(self, signals: Iterable[Signal], fn: Observer) -> None:
+        """Subscribe one observer to every signal in ``signals``."""
+        for signal in signals:
+            self.observe(signal, fn)
+
+    @property
+    def num_subscriptions(self) -> int:
+        """Currently live subscriptions."""
+        return len(self._subscriptions)
+
+    def observed_signals(self) -> list[Signal]:
+        """The distinct signals under observation."""
+        seen: list[Signal] = []
+        for signal, __ in self._subscriptions:
+            if signal not in seen:
+                seen.append(signal)
+        return seen
+
+    def release(self) -> None:
+        """Detach every subscription (the observatory is reusable)."""
+        for signal, fn in self._subscriptions:
+            signal.unwatch(fn)
+        self._subscriptions.clear()
+
+    def __repr__(self):
+        return f"SignalObservatory({len(self._subscriptions)} subscriptions)"

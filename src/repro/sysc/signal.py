@@ -66,9 +66,23 @@ class Signal(Generic[T]):
         self._current = value
         self._next = value
 
-    def watch(self, fn: Callable[[str, T, T], None]) -> None:
-        """Register ``fn(name, old, new)`` called on every committed change."""
+    def watch(self, fn: Callable[[str, T, T], None]) -> Callable[[str, T, T], None]:
+        """Register ``fn(name, old, new)`` called on every committed change.
+
+        Returns ``fn`` as the subscription handle for :meth:`unwatch`.
+        Prefer registering through
+        :class:`repro.sysc.observe.SignalObservatory`, the shared
+        observer path used by tracers and coverage collectors -- it can
+        release all of an instrument's subscriptions at once.
+        """
         self._watchers.append(fn)
+        return fn
+
+    def unwatch(self, fn: Callable[[str, T, T], None]) -> None:
+        """Detach a watcher registered with :meth:`watch` (no-op when
+        absent), so transient instrumentation can release a signal."""
+        if fn in self._watchers:
+            self._watchers.remove(fn)
 
     # ------------------------------------------------------------------
     def _update(self) -> None:

@@ -14,18 +14,25 @@ from typing import Any
 
 from .datatypes import Logic, LogicVector
 from .kernel import Simulator
+from .observe import SignalObservatory
 from .signal import Signal
 
 __all__ = ["Tracer"]
 
 
 class Tracer:
-    """Records committed value changes of registered signals."""
+    """Records committed value changes of registered signals.
+
+    Subscriptions go through a :class:`SignalObservatory` -- the same
+    observer path the coverage collectors use -- so a tracer can
+    :meth:`detach` from a live simulation without leaking callbacks.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._signals: list[Signal] = []
         self._history: dict[str, list[tuple[int, Any]]] = {}
+        self._observatory = SignalObservatory()
 
     def trace(self, signal: Signal) -> None:
         """Start tracing ``signal`` (initial value is recorded at time 0)."""
@@ -33,7 +40,11 @@ class Tracer:
             return
         self._signals.append(signal)
         self._history[signal.name] = [(self.sim.time, signal.read())]
-        signal.watch(self._on_change)
+        self._observatory.observe(signal, self._on_change)
+
+    def detach(self) -> None:
+        """Stop tracing every signal (recorded history is kept)."""
+        self._observatory.release()
 
     def _on_change(self, name: str, old: Any, new: Any) -> None:
         self._history[name].append((self.sim.time, new))

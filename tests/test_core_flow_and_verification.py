@@ -147,9 +147,13 @@ class TestFlow:
         assert names == [
             "uml", "asm_model_checking", "asm_to_systemc_conformance",
             "systemc_abv", "rtl_refinement", "static_lint",
-            "rtl_model_checking", "rtl_ovl_simulation",
+            "rtl_model_checking", "rtl_ovl_simulation", "coverage",
         ]
         assert "module la1_top" in report.verilog
+        cover_stage = report.stage("coverage")
+        db = cover_stage.data
+        # all four methodology levels landed in the merged DB
+        assert db.levels() == ["asm", "assert", "func", "rtl"]
 
     def test_flow_single_bank(self):
         report = run_flow(FlowConfig(banks=1, traffic=10,

@@ -1,0 +1,210 @@
+"""CoverageDB unit tests: declare/hit semantics, lossless merge,
+goal-0 counters, namespace queries, serialization and diffs."""
+
+import pytest
+
+from repro.cover import CoverageDB, CoverPoint
+
+
+class TestCoverPoint:
+    def test_covered_requires_goal(self):
+        assert not CoverPoint("a.b", hits=0, goal=1).covered
+        assert CoverPoint("a.b", hits=1, goal=1).covered
+        assert CoverPoint("a.b", hits=3, goal=4).covered is False
+        assert CoverPoint("a.b", hits=4, goal=4).covered
+
+    def test_goal_zero_never_covered(self):
+        assert not CoverPoint("a.fired", hits=100, goal=0).covered
+
+    def test_negative_goal_rejected(self):
+        with pytest.raises(ValueError):
+            CoverPoint("a", goal=-1)
+
+    def test_level_is_first_segment(self):
+        assert CoverPoint("rtl.toggle.top.x.0.rose").level == "rtl"
+        assert CoverPoint("func.la1.cmd.read").level == "func"
+
+
+class TestDeclareAndHit:
+    def test_declare_registers_without_hitting(self):
+        db = CoverageDB()
+        db.declare("rtl.toggle.a")
+        assert "rtl.toggle.a" in db
+        assert db.hits("rtl.toggle.a") == 0
+        assert db.counts() == (0, 1)
+
+    def test_redeclare_keeps_larger_goal(self):
+        db = CoverageDB()
+        db.declare("x", goal=2)
+        db.declare("x", goal=1)
+        assert db.points["x"].goal == 2
+        db.declare("x", goal=5)
+        assert db.points["x"].goal == 5
+
+    def test_hit_auto_declares(self):
+        db = CoverageDB()
+        db.hit("func.la1.cmd.read", 3)
+        assert db.hits("func.la1.cmd.read") == 3
+        assert db.counts() == (1, 1)
+
+    def test_hit_on_existing_point_accumulates(self):
+        db = CoverageDB()
+        db.declare("x", goal=3)
+        db.hit("x")
+        db.hit("x", 2)
+        assert db.hits("x") == 3
+        assert db.points["x"].covered
+
+
+class TestQueries:
+    def _db(self):
+        db = CoverageDB()
+        db.hit("rtl.toggle.a.0.rose")
+        db.declare("rtl.toggle.a.0.fell")
+        db.hit("func.la1.cmd.read", 5)
+        db.hit("assert.psl.p.fired", goal=0)
+        return db
+
+    def test_select_by_prefix_is_dot_aware(self):
+        db = CoverageDB()
+        db.hit("rtl.toggle.ab")
+        db.hit("rtl.toggle.a")
+        assert {p.key for p in db.select("rtl.toggle.a")} == {"rtl.toggle.a"}
+
+    def test_counts_exclude_goal_zero(self):
+        db = self._db()
+        assert db.counts() == (2, 3)
+        assert db.coverage() == pytest.approx(2 / 3)
+
+    def test_counts_by_prefix(self):
+        db = self._db()
+        assert db.counts("rtl") == (1, 2)
+        assert db.coverage("func") == 1.0
+
+    def test_coverage_of_empty_pool_is_one(self):
+        assert CoverageDB().coverage() == 1.0
+        db = self._db()
+        assert db.coverage("nonexistent") == 1.0
+
+    def test_levels_sorted(self):
+        assert self._db().levels() == ["assert", "func", "rtl"]
+
+    def test_holes_and_covered_keys(self):
+        db = self._db()
+        assert db.holes() == ["rtl.toggle.a.0.fell"]
+        assert db.covered_keys() == ["func.la1.cmd.read",
+                                     "rtl.toggle.a.0.rose"]
+
+    def test_total_hits(self):
+        assert self._db().total_hits() == 7
+        assert self._db().total_hits("func") == 5
+
+
+class TestMerge:
+    def _shards(self):
+        a = CoverageDB(meta={"seed": 1})
+        a.hit("rtl.x", 2)
+        a.declare("rtl.y")
+        a.hit("assert.p.fired", goal=0)
+        b = CoverageDB(meta={"seed": 2})
+        b.hit("rtl.x", 3)
+        b.hit("rtl.y")
+        b.hit("func.cmd.read", goal=4)
+        return a, b
+
+    def test_merge_is_lossless(self):
+        a, b = self._shards()
+        expected = a.total_hits() + b.total_hits()
+        merged = CoverageDB.merged([a, b])
+        assert merged.total_hits() == expected
+        assert merged.hits("rtl.x") == 5
+        assert merged.hits("rtl.y") == 1
+
+    def test_merge_is_commutative(self):
+        a, b = self._shards()
+        ab = CoverageDB.merged([a, b])
+        ba = CoverageDB.merged([b, a])
+        assert {k: (p.hits, p.goal) for k, p in ab.points.items()} == \
+            {k: (p.hits, p.goal) for k, p in ba.points.items()}
+
+    def test_merge_unions_points_and_maxes_goals(self):
+        a, b = self._shards()
+        a.declare("rtl.z", goal=3)
+        b.declare("rtl.z", goal=7)
+        merged = a.merge(b)
+        assert merged is a
+        assert set(merged.points) >= {"rtl.x", "rtl.y", "rtl.z",
+                                      "func.cmd.read", "assert.p.fired"}
+        assert merged.points["rtl.z"].goal == 7
+        assert merged.points["assert.p.fired"].goal == 0
+
+    def test_clone_is_independent(self):
+        a, __ = self._shards()
+        c = a.clone()
+        c.hit("rtl.x")
+        assert a.hits("rtl.x") == 2
+        assert c.hits("rtl.x") == 3
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        a, b = CoverageDB(meta={"k": "v"}), CoverageDB()
+        a.hit("rtl.x", 2)
+        a.declare("rtl.y", goal=3)
+        a.hit("assert.p.fired", 4, goal=0)
+        path = tmp_path / "cov.json"
+        a.save(str(path))
+        loaded = CoverageDB.load(str(path))
+        assert loaded.meta == {"k": "v"}
+        assert {k: (p.hits, p.goal) for k, p in loaded.points.items()} == \
+            {k: (p.hits, p.goal) for k, p in a.points.items()}
+        assert loaded.total_hits() == a.total_hits()
+        assert b.total_hits() == 0
+
+    def test_to_dict_summary_fields(self):
+        db = CoverageDB()
+        db.hit("rtl.x")
+        db.declare("rtl.y")
+        data = db.to_dict()
+        assert data["coverage"] == 0.5
+        assert data["covered"] == 1 and data["points"] == 2
+        assert data["levels"]["rtl"]["points"] == 2
+
+
+class TestDiff:
+    def test_progress_is_ok(self):
+        base, cur = CoverageDB(), CoverageDB()
+        base.declare("rtl.x")
+        cur.hit("rtl.x")
+        cur.hit("rtl.new")
+        diff = cur.diff(base)
+        assert diff.ok
+        assert diff.newly_covered == ["rtl.new", "rtl.x"]
+        assert diff.new_points == ["rtl.new"]
+
+    def test_regression_detected(self):
+        base, cur = CoverageDB(), CoverageDB()
+        base.hit("rtl.x")
+        cur.declare("rtl.x")
+        diff = cur.diff(base)
+        assert not diff.ok
+        assert diff.regressed == ["rtl.x"]
+        assert "REGRESSED" in diff.render()
+
+    def test_lost_points_not_ok(self):
+        base, cur = CoverageDB(), CoverageDB()
+        base.declare("rtl.gone")
+        diff = cur.diff(base)
+        assert not diff.ok
+        assert diff.lost_points == ["rtl.gone"]
+
+
+class TestRender:
+    def test_render_lists_levels_and_holes(self):
+        db = CoverageDB()
+        db.hit("rtl.x")
+        db.declare("func.hole")
+        text = db.render()
+        assert "coverage 50.0%" in text
+        assert "rtl" in text and "func" in text
+        assert "func.hole" in text
