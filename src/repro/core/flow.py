@@ -83,6 +83,11 @@ class FlowConfig:
     #: rose and a fell target) dominate the denominator, so short flows
     #: sit low even when the behavioural levels are closed
     coverage_threshold: float = 0.10
+    #: process-pool width for the parallelizable stages (repro.par);
+    #: jobs > 1 sweeps the RTL model-checking stage's read-mode
+    #: conjuncts one process per property -- verdicts are identical to
+    #: jobs=1, which checks their conjunction in a single run
+    jobs: int = 1
 
     def resolved_la1(self) -> La1Config:
         return self.la1_config or La1Config(banks=self.banks, beat_bits=16,
@@ -290,10 +295,25 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     # ------------------------------------------------ 6. RTL model check
     if config.rtl_mc is not None:
         start = time.perf_counter()
-        mc = check_read_mode_rtl(
-            config.banks,
-            datapath=(config.rtl_mc == "full"),
-        )
+        if config.jobs > 1:
+            # sweep the read-mode conjuncts one process per property;
+            # the conjunction of the per-property verdicts equals the
+            # single-run verdict of read_mode_property(0)
+            from ..mc import sweep_rtl_properties
+            from .properties import read_mode_suite
+
+            sweep = sweep_rtl_properties(
+                config.banks,
+                read_mode_suite(1),
+                datapath=(config.rtl_mc == "full"),
+                jobs=config.jobs,
+            )
+            mc = sweep.combined()
+        else:
+            mc = check_read_mode_rtl(
+                config.banks,
+                datapath=(config.rtl_mc == "full"),
+            )
         cache = ""
         if mc.bdd_stats:
             hits = mc.bdd_stats.get("cache_hits", 0)

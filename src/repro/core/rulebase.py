@@ -46,6 +46,7 @@ def check_read_mode_rtl(
     property_name: Optional[str] = None,
     deadline_s: Optional[float] = None,
     coi: bool = True,
+    design=None,
 ) -> SymbolicCheckResult:
     """Model check the Read-Mode property on the N-bank RTL.
 
@@ -62,6 +63,12 @@ def check_read_mode_rtl(
     are unaffected (the dropped state is unconstrained and unobserved);
     only BDD sizes change.  Pass ``coi=False`` to encode the full
     netlist, e.g. for the ablation benchmark.
+
+    ``design`` accepts a pre-elaborated netlist at the matching scale --
+    the warm-start used by parallel property sweeps, where each worker
+    elaborates once and checks many properties against it (the symbolic
+    encoding itself is still rebuilt per property: checker automata are
+    satellite state and must not accumulate across checks).
     """
     config = config or MC_SCALE_CONFIG(banks)
     name = property_name or f"read_mode[{banks}banks]"
@@ -75,8 +82,9 @@ def check_read_mode_rtl(
             path for atom, (path, __) in labels.items() if atom in used
         )
     try:
-        top = build_la1_top_rtl(config, datapath=datapath)
-        design = elaborate(top)
+        if design is None:
+            top = build_la1_top_rtl(config, datapath=datapath)
+            design = elaborate(top)
         model = SymbolicModel(
             design,
             node_budget=transient_node_budget,

@@ -52,6 +52,10 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="compiled",
                         choices=("compiled", "interp"))
     parser.add_argument("--asm-steps", type=int, default=64)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="collect the per-seed shards on a process "
+                             "pool (repro.par); the merged DB is "
+                             "identical to --jobs 1")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="exit 1 when merged coverage is below this "
                              f"(default {DEFAULT_THRESHOLD})")
@@ -100,13 +104,28 @@ def main(argv=None) -> int:
     # ---------------------------------------------- collection modes
     banks = 2 if args.smoke else args.banks
     seeds = [args.seed, args.seed + 1] if args.smoke else [args.seed]
-    shards = []
-    for seed in seeds:
+    shard_kwargs = [
+        dict(banks=banks, traffic=args.traffic, seed=seed,
+             backend=args.backend, asm_steps=args.asm_steps)
+        for seed in seeds
+    ]
+    for kwargs in shard_kwargs:
         print(f"collecting: {banks} banks, traffic={args.traffic}, "
-              f"seed={seed}, backend={args.backend}")
-        shards.append(collect_la1_coverage(
-            banks=banks, traffic=args.traffic, seed=seed,
-            backend=args.backend, asm_steps=args.asm_steps))
+              f"seed={kwargs['seed']}, backend={args.backend}")
+    if args.jobs > 1 and len(shard_kwargs) > 1:
+        from ..par import run_sharded
+        from ..par.workers import cover_collect_shard
+
+        results, stats = run_sharded(
+            cover_collect_shard,
+            [(kwargs,) for kwargs in shard_kwargs],
+            jobs=args.jobs,
+        )
+        shards = [CoverageDB.from_dict(result) for result in results]
+        print(f"par: jobs={stats.jobs} mode={stats.mode} "
+              f"wall={stats.wall_s:.2f}s")
+    else:
+        shards = [collect_la1_coverage(**kwargs) for kwargs in shard_kwargs]
     merged = CoverageDB.merged(shards)
 
     if len(shards) > 1:

@@ -22,11 +22,23 @@ from typing import Mapping, Optional
 
 from ..asm.machine import Action, AsmMachine
 from ..asm.testgen import generate_random_walks
+from ..par.seeds import derive_seed
 from .asm_cov import AsmCoverage, Predicate
 from .db import CoverageDB
 
 __all__ = ["CoverageDrivenResult", "coverage_driven_suite",
            "undirected_suite", "replay_coverage"]
+
+
+def _walk_seed(seed: int, stream: str, round_index: int,
+               walk_index: int) -> int:
+    """The per-walk seed stream: hash-split from the suite seed so every
+    candidate walk is reproducible in isolation -- the property that
+    lets ``jobs=N`` workers regenerate exactly the walk a ``jobs=1`` run
+    would have drawn, independent of batch sizes or shard boundaries.
+    (The old ``seed + 7919 * round`` arithmetic collided across nearby
+    seeds and tied a walk's stream to its batch position.)"""
+    return derive_seed(seed, "testgen", stream, round_index, walk_index)
 
 
 def replay_coverage(
@@ -82,6 +94,54 @@ class CoverageDrivenResult:
         )
 
 
+def _score_round(
+    machine: AsmMachine,
+    predicates: Mapping[str, Predicate],
+    db: CoverageDB,
+    walk_seeds: list[int],
+    walk_steps: int,
+    jobs: int,
+    model_spec,
+) -> list[int]:
+    """Score one round's candidate walks: newly covered points on top of
+    the accumulated ``db``, in candidate order.
+
+    With ``jobs > 1`` and a ``model_spec`` the candidates fan out over
+    the process pool (:func:`repro.par.workers.testgen_score_shard`);
+    each worker regenerates its walks from the per-walk seeds and
+    replays them against a snapshot of the DB, so only ``(index, gain)``
+    pairs cross the pipe.  The inline path replays against clones with
+    identical arithmetic, which is what the determinism tests check.
+    """
+    if jobs > 1 and model_spec is not None and len(walk_seeds) > 1:
+        from ..par import plan_shards, run_sharded
+        from ..par.workers import testgen_init, testgen_score_shard
+
+        candidates = list(enumerate(walk_seeds))
+        shards = plan_shards(candidates, jobs)
+        db_dict = db.to_dict()
+        results, __ = run_sharded(
+            testgen_score_shard,
+            [(model_spec, db_dict, shard, walk_steps) for shard in shards],
+            jobs=jobs,
+            initializer=testgen_init,
+            initargs=(model_spec,),
+        )
+        gains = [0] * len(walk_seeds)
+        for pairs in results:
+            for index, gain in pairs:
+                gains[index] = gain
+        return gains
+    base_covered = db.counts()[0]
+    gains = []
+    for walk_seed in walk_seeds:
+        case = generate_random_walks(machine, 1, walk_steps,
+                                     seed=walk_seed)[0]
+        trial = replay_coverage(machine, case, predicates, db.clone())
+        gains.append(trial.counts()[0] - base_covered)
+    return gains
+
+
 def coverage_driven_suite(
     machine: AsmMachine,
     predicates: Mapping[str, Predicate],
@@ -91,15 +151,26 @@ def coverage_driven_suite(
     walk_steps: int = 16,
     seed: int = 0,
     plateau_rounds: int = 3,
+    jobs: int = 1,
+    model_spec=None,
 ) -> CoverageDrivenResult:
     """Greedy coverage-feedback selection of random-walk tests.
 
-    Each round draws ``candidates_per_round`` fresh random walks, scores
-    every candidate by how many *new* points it would cover on top of
-    the accumulated DB (replayed against a clone), admits the best
-    gainer, and re-harvests it into the real DB.  Stops when coverage
+    Each round draws ``candidates_per_round`` fresh random walks (each
+    from its own hash-derived seed), scores every candidate by how many
+    *new* points it would cover on top of the accumulated DB (replayed
+    against a clone), admits the best gainer (lowest candidate index on
+    ties), and re-harvests it into the real DB.  Stops when coverage
     reaches ``target``, after ``plateau_rounds`` consecutive rounds with
     zero gain, or at ``max_tests``.
+
+    ``jobs > 1`` parallelizes the candidate scoring of each round across
+    a process pool; the greedy selection itself stays serial (each round
+    depends on the previous round's DB).  Because candidates are seeded
+    individually, the selected suite, DB and history are identical to a
+    ``jobs=1`` run.  Parallel scoring needs a picklable ``model_spec``
+    (e.g. :func:`repro.par.workers.la1_model_spec`) so workers can
+    rebuild the machine; without one, scoring stays inline.
     """
     db = CoverageDB(meta={"generator": "coverage_driven", "seed": seed})
     selected: list[list[Action]] = []
@@ -111,22 +182,18 @@ def coverage_driven_suite(
         if db.coverage() >= target and len(db):
             return CoverageDrivenResult(
                 selected, db, history, True, False, scored)
-        candidates = generate_random_walks(
-            machine, candidates_per_round, walk_steps,
-            seed=seed + 7919 * round_index + 1)
+        walk_seeds = [
+            _walk_seed(seed, "round", round_index, i)
+            for i in range(candidates_per_round)
+        ]
         round_index += 1
-        best_case: Optional[list[Action]] = None
-        best_gain = -1
-        base_covered = db.counts()[0]
-        for case in candidates:
-            scored += 1
-            trial = replay_coverage(machine, case, predicates, db.clone())
-            gain = trial.counts()[0] - base_covered
-            if gain > best_gain:
-                best_gain = gain
-                best_case = case
-        if best_case is None:
+        gains = _score_round(machine, predicates, db, walk_seeds,
+                             walk_steps, jobs, model_spec)
+        scored += len(gains)
+        if not gains:
             break
+        best_gain = max(gains)
+        best_index = gains.index(best_gain)
         if best_gain <= 0 and len(db):
             gainless += 1
             if gainless >= plateau_rounds:
@@ -134,6 +201,8 @@ def coverage_driven_suite(
                     selected, db, history, False, True, scored)
             continue  # gainless round: do not spend test budget on it
         gainless = 0
+        best_case = generate_random_walks(
+            machine, 1, walk_steps, seed=walk_seeds[best_index])[0]
         replay_coverage(machine, best_case, predicates, db)
         selected.append(best_case)
         history.append(db.coverage())
@@ -147,13 +216,47 @@ def undirected_suite(
     num_tests: int,
     walk_steps: int = 16,
     seed: int = 0,
+    jobs: int = 1,
+    model_spec=None,
 ) -> CoverageDrivenResult:
-    """The unranked baseline: the *first* ``num_tests`` random walks,
-    replayed in generation order with no coverage feedback."""
+    """The unranked baseline: ``num_tests`` random walks replayed in
+    generation order with no coverage feedback.
+
+    With ``jobs > 1`` and a ``model_spec`` the replays fan out over the
+    process pool; each worker returns a per-walk DB and the coordinator
+    merges them in walk order, which -- DB merge being lossless --
+    reproduces the sequential accumulation exactly.
+    """
     db = CoverageDB(meta={"generator": "undirected", "seed": seed})
-    walks = generate_random_walks(machine, num_tests, walk_steps,
-                                  seed=seed + 1)
+    walk_seeds = [
+        _walk_seed(seed, "undirected", 0, i) for i in range(num_tests)
+    ]
+    walks = [
+        generate_random_walks(machine, 1, walk_steps, seed=walk_seed)[0]
+        for walk_seed in walk_seeds
+    ]
     history: list[float] = []
+    if jobs > 1 and model_spec is not None and num_tests > 1:
+        from ..par import plan_shards, run_sharded
+        from ..par.workers import testgen_init, testgen_replay_shard
+
+        candidates = list(enumerate(walk_seeds))
+        shards = plan_shards(candidates, jobs)
+        results, __ = run_sharded(
+            testgen_replay_shard,
+            [(model_spec, shard, walk_steps) for shard in shards],
+            jobs=jobs,
+            initializer=testgen_init,
+            initargs=(model_spec,),
+        )
+        per_walk = {}
+        for pairs in results:
+            for index, db_dict in pairs:
+                per_walk[index] = CoverageDB.from_dict(db_dict)
+        for index in range(num_tests):
+            db.merge(per_walk[index])
+            history.append(db.coverage())
+        return CoverageDrivenResult(walks, db, history, False, False, 0)
     for case in walks:
         replay_coverage(machine, case, predicates, db)
         history.append(db.coverage())

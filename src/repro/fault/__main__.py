@@ -37,6 +37,9 @@ def main(argv=None) -> int:
     parser.add_argument("--checkpoint", default=None,
                         help="JSON state file for kill/resume")
     parser.add_argument("--max-faults", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool width (repro.par); the merged "
+                             "report is identical to --jobs 1")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the report JSON here "
                              "(default: benchmarks/BENCH_fault_campaign.json)")
@@ -54,9 +57,15 @@ def main(argv=None) -> int:
     report = FaultCampaign(config).run(
         on_verdict=lambda v: print(f"  [{v.outcome:>9}] {v.fault_id}"
                                    + (f"  <- {', '.join(v.detected_by)}"
-                                      if v.detected_by else ""))
+                                      if v.detected_by else "")),
+        jobs=args.jobs,
     )
     print(report.render())
+    par = report.engine_stats.get("par")
+    if par:
+        print(f"par: jobs={par['jobs']} shards={par['shards']} "
+              f"mode={par['mode']} wall={par['wall_s']}s "
+              f"critical-path speedup x{par['speedup_estimate']}")
 
     json_path = args.json_path
     if json_path is None:

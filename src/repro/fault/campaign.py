@@ -157,6 +157,23 @@ class FaultVerdict:
         return f"FaultVerdict({self.fault_id}: {self.outcome}{by})"
 
 
+def _merge_numeric_stats(a: dict, b: dict) -> dict:
+    """Engine-stat merge: numeric leaves add, dicts recurse, anything
+    else takes the incoming value (backends/names agree across shards)."""
+    out = dict(a)
+    for key, value in b.items():
+        mine = out.get(key)
+        if isinstance(mine, dict) and isinstance(value, dict):
+            out[key] = _merge_numeric_stats(mine, value)
+        elif (isinstance(mine, (int, float)) and not isinstance(mine, bool)
+              and isinstance(value, (int, float))
+              and not isinstance(value, bool)):
+            out[key] = mine + value
+        else:
+            out[key] = value
+    return out
+
+
 class CampaignReport:
     """All verdicts of a campaign plus the coverage arithmetic."""
 
@@ -169,6 +186,60 @@ class CampaignReport:
         #: accounting from the engines underneath (e.g. the shared
         #: compiled-RTL simulator's design size and edge counts)
         self.engine_stats = dict(engine_stats or {})
+
+    # ------------------------------------------------------------------
+    # the mergeable-result protocol (repro.par): associative/commutative
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _verdict_rank(verdict: FaultVerdict) -> str:
+        """Timing-independent serialization: the deterministic tie-break
+        when two shards somehow report the same fault (min wins, which
+        makes the duplicate-resolution order-independent)."""
+        data = verdict.to_dict()
+        data.pop("cpu_time", None)
+        return json.dumps(data, sort_keys=True)
+
+    def merge(self, other: "CampaignReport") -> "CampaignReport":
+        """Fold ``other`` into this report in place and return self.
+
+        Mirrors :meth:`repro.cover.CoverageDB.merge`'s lossless-merge
+        contract: the verdict list is the union keyed by ``fault_id``
+        (duplicates resolved by the timing-independent minimum, so merge
+        order cannot matter), taxonomy counters -- being derived from
+        the verdict list -- add, per-verdict coverage points union, CPU
+        times add, and numeric engine stats add.  The merged verdict
+        list is kept sorted by ``fault_id`` so any association or
+        permutation of shards produces the identical report.  Merging
+        reports of different workload fingerprints raises ``ValueError``
+        (their verdicts are not comparable).
+        """
+        if (self.fingerprint and other.fingerprint
+                and self.fingerprint != other.fingerprint):
+            raise ValueError(
+                "cannot merge campaign reports with different workload "
+                f"fingerprints: {self.fingerprint} != {other.fingerprint}"
+            )
+        if not self.fingerprint:
+            self.fingerprint = dict(other.fingerprint)
+        union = {v.fault_id: v for v in self.verdicts}
+        for verdict in other.verdicts:
+            mine = union.get(verdict.fault_id)
+            if mine is None or (self._verdict_rank(verdict)
+                                < self._verdict_rank(mine)):
+                union[verdict.fault_id] = verdict
+        self.verdicts = [union[fault_id] for fault_id in sorted(union)]
+        self.cpu_time += other.cpu_time
+        self.engine_stats = _merge_numeric_stats(
+            self.engine_stats, other.engine_stats)
+        return self
+
+    @classmethod
+    def merged(cls, reports: List["CampaignReport"]) -> "CampaignReport":
+        """A fresh report holding the merge of ``reports``."""
+        out = cls([], {})
+        for report in reports:
+            out.merge(report)
+        return out
 
     # ------------------------------------------------------------------
     def counts(self) -> dict:
@@ -544,15 +615,112 @@ class FaultCampaign:
             return self._run_rtl(fault)
         raise TypeError(f"no runner for {fault!r}")
 
+    def execute_fault(self, fault: Fault) -> FaultVerdict:
+        """Run one fault with exception containment and timing -- the
+        unit of work both the inline sweep and the parallel shard
+        workers (:func:`repro.par.workers.campaign_shard`) execute."""
+        fault_start = time.perf_counter()
+        try:
+            verdict = self._dispatch(fault)
+        except Exception:
+            verdict = FaultVerdict(
+                fault.fault_id, fault.layer, fault.kind, "error",
+                detail=traceback.format_exc(limit=3),
+                expected_detectable=fault.expect_detectable,
+            )
+        verdict.cpu_time = time.perf_counter() - fault_start
+        return verdict
+
+    #: relative per-fault cost by layer, used by the deterministic shard
+    #: planner: the ASM perturbations each re-model-check a property
+    #: suite and dominate a campaign (about 90% of the 4-bank wall
+    #: clock), so spreading them across shards is what makes jobs=N scale
+    LAYER_WEIGHTS = {"asm": 60.0, "sysc": 2.0, "rtl": 1.0}
+
+    def _run_parallel(self, pending: List[Fault], completed: dict,
+                      on_verdict, jobs: int, start: float) -> dict:
+        """Fan the pending faults out over a process pool (one shard per
+        weight-balanced fault group).  Fills ``completed`` (checkpointing
+        after every collected shard) and returns the merged engine
+        stats.  Pool failure degrades to inline execution inside
+        :func:`repro.par.run_sharded`; a campaign deadline turns
+        uncollected shards into structured ``truncated`` verdicts."""
+        from ..par import plan_shards, run_sharded
+        from ..par.workers import campaign_init, campaign_shard
+
+        config = self.config
+        shards = plan_shards(
+            pending, jobs,
+            weight=lambda f: self.LAYER_WEIGHTS.get(f.layer, 1.0),
+        )
+        timeout = None
+        if config.campaign_deadline_s is not None:
+            timeout = max(
+                0.0,
+                config.campaign_deadline_s - (time.perf_counter() - start),
+            )
+
+        def collect(index: int, report_dict: dict) -> None:
+            shard_report = CampaignReport.from_dict(report_dict)
+            for verdict in shard_report.verdicts:
+                completed[verdict.fault_id] = verdict
+            self._save_checkpoint(completed)
+            if on_verdict is not None:
+                for verdict in shard_report.verdicts:
+                    on_verdict(verdict)
+
+        results, stats = run_sharded(
+            campaign_shard,
+            [(config, shard) for shard in shards],
+            jobs=jobs,
+            initializer=campaign_init,
+            initargs=(config,),
+            timeout_s=timeout,
+            on_result=collect,
+        )
+        shard_reports = []
+        for shard, result in zip(shards, results):
+            if result is None:  # deadline expired before collection
+                truncated = [
+                    FaultVerdict(
+                        f.fault_id, f.layer, f.kind, "truncated",
+                        detail="campaign wall-clock deadline expired",
+                        expected_detectable=f.expect_detectable,
+                    )
+                    for f in shard
+                ]
+                shard_reports.append(
+                    CampaignReport(truncated, config.fingerprint()))
+                for verdict in truncated:
+                    completed[verdict.fault_id] = verdict
+                    if on_verdict is not None:
+                        on_verdict(verdict)
+                self._save_checkpoint(completed)
+            else:
+                shard_reports.append(CampaignReport.from_dict(result))
+        merged = CampaignReport.merged(shard_reports)
+        engine_stats = dict(merged.engine_stats)
+        engine_stats["par"] = stats.to_dict()
+        return engine_stats
+
     def run(self, faults: Optional[List[Fault]] = None,
             resume: bool = True,
             on_verdict: Optional[Callable[[FaultVerdict], None]] = None,
+            jobs: int = 1,
             ) -> CampaignReport:
         """Sweep ``faults`` (default: :func:`default_fault_list`).
 
         With ``resume`` (default) and a configured ``checkpoint_path``,
         verdicts recorded by an earlier -- possibly killed -- invocation
         with the same workload fingerprint are reused instead of re-run.
+
+        ``jobs > 1`` shards the pending faults across a process pool
+        (:mod:`repro.par`): one deterministic weight-balanced shard per
+        worker, each worker building its models and golden runs once.
+        The determinism contract holds: the merged report's verdicts are
+        identical to a ``jobs=1`` sweep (only timing fields differ), the
+        checkpoint file stays resume-compatible in both directions, and
+        pool failure degrades to inline execution.
         """
         config = self.config
         if faults is None:
@@ -561,7 +729,18 @@ class FaultCampaign:
             faults = faults[: config.max_faults]
         completed = self._load_checkpoint() if resume else {}
         start = time.perf_counter()
-        verdicts: List[FaultVerdict] = []
+        pending = [f for f in faults if f.fault_id not in completed]
+
+        if jobs > 1 and len(pending) > 1:
+            engine_stats = self._run_parallel(
+                pending, completed, on_verdict, jobs, start)
+            verdicts = [completed[f.fault_id] for f in faults]
+            return CampaignReport(
+                verdicts, config.fingerprint(),
+                time.perf_counter() - start, engine_stats,
+            )
+
+        verdicts = []
         for fault in faults:
             cached = completed.get(fault.fault_id)
             if cached is not None:
@@ -576,16 +755,7 @@ class FaultCampaign:
                     expected_detectable=fault.expect_detectable,
                 )
             else:
-                fault_start = time.perf_counter()
-                try:
-                    verdict = self._dispatch(fault)
-                except Exception:
-                    verdict = FaultVerdict(
-                        fault.fault_id, fault.layer, fault.kind, "error",
-                        detail=traceback.format_exc(limit=3),
-                        expected_detectable=fault.expect_detectable,
-                    )
-                verdict.cpu_time = time.perf_counter() - fault_start
+                verdict = self.execute_fault(fault)
             verdicts.append(verdict)
             completed[fault.fault_id] = verdict
             self._save_checkpoint(completed)

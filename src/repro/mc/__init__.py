@@ -9,10 +9,13 @@ BDD node budget.
 
 from .transition import PHASE_VAR, SymbolicModel
 from .checker import SymbolicCheckResult, SymbolicModelChecker
+from .sweep import PropertySweepReport, sweep_rtl_properties
 
 __all__ = [
     "SymbolicModel",
     "SymbolicModelChecker",
     "SymbolicCheckResult",
     "PHASE_VAR",
+    "PropertySweepReport",
+    "sweep_rtl_properties",
 ]

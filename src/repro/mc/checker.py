@@ -69,6 +69,38 @@ class SymbolicCheckResult:
         self.truncated = truncated
         self.bdd_stats = dict(bdd_stats or {})
 
+    def to_dict(self) -> dict:
+        """Pipe-friendly form (used by the parallel property sweep)."""
+        return {
+            "holds": self.holds,
+            "cpu_time": self.cpu_time,
+            "peak_nodes": self.peak_nodes,
+            "reached_size": self.reached_size,
+            "iterations": self.iterations,
+            "memory_mb": self.memory_mb,
+            "exploded": self.exploded,
+            "counterexample_depth": self.counterexample_depth,
+            "property_name": self.property_name,
+            "truncated": self.truncated,
+            "bdd_stats": self.bdd_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SymbolicCheckResult":
+        return cls(
+            data.get("holds"),
+            data.get("cpu_time", 0.0),
+            data.get("peak_nodes", 0),
+            data.get("reached_size", 0),
+            data.get("iterations", 0),
+            data.get("memory_mb", 0.0),
+            exploded=data.get("exploded", False),
+            counterexample_depth=data.get("counterexample_depth"),
+            property_name=data.get("property_name", "property"),
+            truncated=data.get("truncated", False),
+            bdd_stats=data.get("bdd_stats"),
+        )
+
     def __repr__(self):
         if self.exploded:
             verdict = "STATE EXPLOSION"

@@ -1,0 +1,139 @@
+"""Parallel PSL property sweeps over one RTL design.
+
+A RuleBase session checks a *suite* of properties against the same
+netlist; the properties are independent, so the sweep is the natural
+third fan-out axis of :mod:`repro.par`: one process-pool task per
+property, every worker elaborating the design once
+(:func:`repro.par.workers.mc_sweep_init`) and re-encoding the symbolic
+model per property (checker automata are satellite state variables and
+must not accumulate across checks).
+
+:func:`sweep_rtl_properties` returns a :class:`PropertySweepReport`
+whose :meth:`~PropertySweepReport.combined` collapses the per-property
+results into one :class:`~repro.mc.checker.SymbolicCheckResult` with
+conjunction semantics -- sweeping the three read-mode conjuncts reaches
+the same verdict as checking their conjunction in one run, which is how
+``run_flow(jobs=N)`` parallelizes its RTL model-checking stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..psl.ast import Property
+from .checker import SymbolicCheckResult
+
+__all__ = ["PropertySweepReport", "sweep_rtl_properties"]
+
+
+class PropertySweepReport:
+    """Per-property results of one sweep plus pool accounting."""
+
+    def __init__(self, results: list, par_stats: Optional[dict] = None):
+        #: list of (name, SymbolicCheckResult), in suite order
+        self.results = list(results)
+        #: ParStats.to_dict() of the underlying run_sharded call
+        self.par_stats = dict(par_stats or {})
+
+    @property
+    def holds(self) -> Optional[bool]:
+        """Conjunction verdict: ``False`` if any property fails,
+        ``None`` if any is inconclusive (exploded/truncated) and none
+        fails, else ``True``."""
+        verdicts = [r.holds for __, r in self.results]
+        if any(v is False for v in verdicts):
+            return False
+        if any(v is not True for v in verdicts):
+            return None
+        return True
+
+    def failures(self) -> list:
+        return [(name, r) for name, r in self.results if r.holds is False]
+
+    def combined(self) -> SymbolicCheckResult:
+        """One aggregate result with conjunction semantics: CPU times
+        add (the sequential-equivalent cost), size metrics take the
+        per-property maximum (the worst single encoding), explosion or
+        truncation anywhere taints the whole sweep, and the shallowest
+        counterexample is reported."""
+        results = [r for __, r in self.results]
+        cex_depths = [
+            r.counterexample_depth for r in results
+            if r.counterexample_depth is not None
+        ]
+        bdd_stats: dict = {}
+        for r in results:
+            for key, value in (r.bdd_stats or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    bdd_stats[key] = bdd_stats.get(key, 0) + value
+        names = ",".join(name for name, __ in self.results)
+        return SymbolicCheckResult(
+            self.holds,
+            sum(r.cpu_time for r in results),
+            max((r.peak_nodes for r in results), default=0),
+            max((r.reached_size for r in results), default=0),
+            max((r.iterations for r in results), default=0),
+            max((r.memory_mb for r in results), default=0.0),
+            exploded=any(r.exploded for r in results),
+            counterexample_depth=min(cex_depths, default=None),
+            property_name=f"sweep({names})",
+            truncated=any(r.truncated for r in results),
+            bdd_stats=bdd_stats,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "holds": self.holds,
+            "properties": [
+                {"name": name, **r.to_dict()} for name, r in self.results
+            ],
+            "par": self.par_stats,
+        }
+
+    def __repr__(self):
+        return (
+            f"PropertySweepReport({len(self.results)} properties, "
+            f"holds={self.holds})"
+        )
+
+
+def sweep_rtl_properties(
+    banks: int,
+    properties: Sequence[Tuple[str, Property]],
+    datapath: bool = True,
+    jobs: int = 1,
+    **options,
+) -> PropertySweepReport:
+    """Check every named property against the N-bank LA-1 RTL.
+
+    ``properties`` is a ``[(name, Property), ...]`` suite (e.g.
+    :func:`repro.core.properties.read_mode_suite`).  With ``jobs > 1``
+    each property is one process-pool task; workers share a per-process
+    elaborated design via the warm-start initializer.  ``jobs=1`` runs
+    the same tasks inline against a locally cached design -- verdicts
+    are identical either way (BDD reachability is deterministic), only
+    wall-clock differs.  Extra ``options`` pass through to
+    :func:`repro.core.rulebase.check_read_mode_rtl` (budgets, deadline,
+    ``coi``).
+    """
+    from ..par import run_sharded
+    from ..par.workers import mc_check_shard, mc_sweep_init
+
+    shard_args = [
+        (banks, datapath, name, prop, dict(options))
+        for name, prop in properties
+    ]
+    results, stats = run_sharded(
+        mc_check_shard,
+        shard_args,
+        jobs=jobs,
+        initializer=mc_sweep_init,
+        initargs=(banks, datapath),
+    )
+    paired = [
+        (name, SymbolicCheckResult.from_dict(result))
+        for (name, __), result in zip(properties, results)
+        if result is not None
+    ]
+    return PropertySweepReport(paired, stats.to_dict())

@@ -1,0 +1,40 @@
+"""Deterministic process-pool fan-out for the verification engines.
+
+The paper's evaluation is a throughput story -- cycles simulated and
+states explored per second -- and every result-producing engine in this
+reproduction was built around *mergeable* results: coverage databases
+merge losslessly (:meth:`repro.cover.CoverageDB.merge`), campaign
+reports merge by verdict union (:meth:`repro.fault.CampaignReport.merge`)
+and property sweeps are independent per property.  This package supplies
+the execution layer that exploits that:
+
+* :func:`derive_seed` -- hash-based seed-stream splitting, so the RNG
+  stream of every shard is a pure function of ``(root seed, labels)``
+  and never depends on shard order or job count;
+* :func:`plan_shards` -- stable, weight-balanced chunking of a work list
+  into at most ``jobs`` shards (equal inputs always produce equal plans);
+* :func:`run_sharded` -- a :class:`concurrent.futures.ProcessPoolExecutor`
+  wrapper with worker warm-start (per-process initializer), per-shard
+  wall-clock accounting, an overall timeout, and a degradation ladder:
+  any pool-layer failure (fork trouble, unpicklable work, a killed
+  worker) falls back to inline execution of the remaining shards, so a
+  parallel caller can never do worse than finish sequentially.
+
+The determinism contract: for a fixed work list and configuration,
+``jobs=1`` and ``jobs=N`` produce identical *merged* results -- only
+timing fields differ.  Every caller in :mod:`repro.fault`,
+:mod:`repro.cover` and :mod:`repro.mc` is tested against that contract.
+"""
+
+from .pool import ParStats, plan_shards, run_sharded
+from .seeds import derive_seed
+from .workers import ModelSpec, la1_model_spec
+
+__all__ = [
+    "ParStats",
+    "plan_shards",
+    "run_sharded",
+    "derive_seed",
+    "ModelSpec",
+    "la1_model_spec",
+]

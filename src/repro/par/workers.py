@@ -1,0 +1,249 @@
+"""Module-level worker entry points for :func:`repro.par.run_sharded`.
+
+Everything a :class:`~concurrent.futures.ProcessPoolExecutor` touches
+must be picklable by reference, so the task functions live here at
+module level, and every expensive structure (a fault campaign's
+simulators, an ASM machine, an elaborated netlist) is built *once per
+worker process* through the matching ``*_init`` initializer and cached
+in module globals -- the warm-start that keeps per-shard cost at the
+actual work, not at model construction.
+
+Unpicklable objects (machines with closure rules, predicate functions)
+never cross the pipe: callers ship a :class:`ModelSpec` -- a dotted
+``"package.module:factory"`` path plus keyword arguments -- and each
+worker rebuilds the model locally.  Deterministic factories plus
+:func:`repro.par.derive_seed` streams are what make ``jobs=N`` replay
+``jobs=1`` exactly.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from typing import Optional
+
+__all__ = [
+    "ModelSpec",
+    "la1_model_spec",
+    "build_la1_testgen_model",
+    "campaign_init",
+    "campaign_shard",
+    "testgen_init",
+    "testgen_score_shard",
+    "testgen_replay_shard",
+    "cover_collect_shard",
+    "mc_sweep_init",
+    "mc_check_shard",
+]
+
+
+# ----------------------------------------------------------------------
+# model specs: picklable recipes for unpicklable models
+# ----------------------------------------------------------------------
+class ModelSpec:
+    """A picklable recipe: ``factory`` is a dotted ``"module:attr"``
+    path to a callable returning ``(machine, predicates)``; ``kwargs``
+    are its keyword arguments (JSON-serializable values only, so the
+    cache key below is stable)."""
+
+    __slots__ = ("factory", "kwargs")
+
+    def __init__(self, factory: str, kwargs: Optional[dict] = None):
+        self.factory = factory
+        self.kwargs = dict(kwargs or {})
+
+    def key(self) -> str:
+        return f"{self.factory}?{json.dumps(self.kwargs, sort_keys=True)}"
+
+    def build(self):
+        module_name, __, attr = self.factory.partition(":")
+        if not attr:
+            raise ValueError(
+                f"ModelSpec factory {self.factory!r} must be 'module:attr'"
+            )
+        factory = getattr(importlib.import_module(module_name), attr)
+        return factory(**self.kwargs)
+
+    def __repr__(self):
+        return f"ModelSpec({self.factory!r}, {self.kwargs!r})"
+
+
+def build_la1_testgen_model(banks: int = 2):
+    """The standard LA-1 testgen target: the N-bank ASM machine plus its
+    state predicates (the factory behind :func:`la1_model_spec`)."""
+    from ..core.asm_model import La1AsmConfig, build_la1_asm
+    from ..cover.asm_cov import la1_state_predicates
+
+    machine = build_la1_asm(La1AsmConfig(banks=banks))
+    return machine, la1_state_predicates(banks)
+
+
+def la1_model_spec(banks: int = 2) -> ModelSpec:
+    """Spec for :func:`build_la1_testgen_model` -- what
+    ``coverage_driven_suite(..., jobs=N)`` callers pass for the shipped
+    LA-1 models."""
+    return ModelSpec("repro.par.workers:build_la1_testgen_model",
+                     {"banks": banks})
+
+
+_MODEL_CACHE: dict = {}
+
+
+def _model(spec: ModelSpec):
+    key = spec.key()
+    if key not in _MODEL_CACHE:
+        _MODEL_CACHE[key] = spec.build()
+    return _MODEL_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# fault campaign
+# ----------------------------------------------------------------------
+_CAMPAIGN_CACHE: dict = {}
+
+
+def _campaign(config):
+    from ..fault.campaign import CampaignConfig, FaultCampaign
+
+    key = json.dumps(config.fingerprint(), sort_keys=True)
+    if key not in _CAMPAIGN_CACHE:
+        # workers never checkpoint (the coordinator owns the state file)
+        # and never enforce the whole-campaign deadline (the coordinator
+        # owns the clock); per-fault deadlines still apply locally
+        local = CampaignConfig(
+            banks=config.banks,
+            traffic=config.traffic,
+            seed=config.seed,
+            backend=config.backend,
+            rtl_cycles=config.rtl_cycles,
+            fault_deadline_s=config.fault_deadline_s,
+        )
+        _CAMPAIGN_CACHE[key] = FaultCampaign(local)
+    return _CAMPAIGN_CACHE[key]
+
+
+def campaign_init(config) -> None:
+    """Warm-start one worker: build the campaign (its simulators and
+    golden runs materialize lazily on the first fault of each layer)."""
+    _campaign(config)
+
+
+def campaign_shard(config, faults) -> dict:
+    """Sweep one shard of faults; returns a mergeable mini
+    :class:`~repro.fault.campaign.CampaignReport` as a dict."""
+    from ..fault.campaign import CampaignReport
+
+    campaign = _campaign(config)
+    verdicts = [campaign.execute_fault(fault) for fault in faults]
+    engine_stats = {}
+    if campaign._rtl_sim is not None:
+        engine_stats["rtl_sim"] = campaign._rtl_sim.stats()
+    return CampaignReport(
+        verdicts, config.fingerprint(),
+        sum(v.cpu_time for v in verdicts), engine_stats,
+    ).to_dict()
+
+
+# ----------------------------------------------------------------------
+# coverage-driven test generation
+# ----------------------------------------------------------------------
+def testgen_init(spec: ModelSpec) -> None:
+    """Warm-start one worker: rebuild (machine, predicates) once."""
+    _model(spec)
+
+
+def testgen_score_shard(spec: ModelSpec, db_dict: dict, candidates,
+                        walk_steps: int) -> list:
+    """Score candidate walks against a snapshot of the accumulated DB.
+
+    ``candidates`` is ``[(walk_index, walk_seed), ...]``; each walk is
+    regenerated locally from its derived seed, replayed against a clone
+    of the snapshot, and scored by newly covered points.  Only ``(index,
+    gain)`` pairs return -- the coordinator regenerates the winning walk
+    from the same seed, so no action object ever crosses the pipe.
+    """
+    from ..asm.testgen import generate_random_walks
+    from ..cover.db import CoverageDB
+    from ..cover.testgen import replay_coverage
+
+    machine, predicates = _model(spec)
+    base = CoverageDB.from_dict(db_dict)
+    base_covered = base.counts()[0]
+    scores = []
+    for index, walk_seed in candidates:
+        case = generate_random_walks(machine, 1, walk_steps,
+                                     seed=walk_seed)[0]
+        trial = replay_coverage(machine, case, predicates, base.clone())
+        scores.append((index, trial.counts()[0] - base_covered))
+    return scores
+
+
+def testgen_replay_shard(spec: ModelSpec, candidates,
+                         walk_steps: int) -> list:
+    """Replay undirected walks into fresh per-walk DBs.
+
+    Returns ``[(walk_index, db_dict), ...]``; because DB merge is
+    lossless, merging the per-walk DBs in walk order reproduces the
+    sequential accumulation bit for bit.
+    """
+    from ..asm.testgen import generate_random_walks
+    from ..cover.testgen import replay_coverage
+
+    machine, predicates = _model(spec)
+    out = []
+    for index, walk_seed in candidates:
+        case = generate_random_walks(machine, 1, walk_steps,
+                                     seed=walk_seed)[0]
+        db = replay_coverage(machine, case, predicates)
+        out.append((index, db.to_dict()))
+    return out
+
+
+# ----------------------------------------------------------------------
+# cross-level coverage collection
+# ----------------------------------------------------------------------
+def cover_collect_shard(kwargs: dict) -> dict:
+    """Collect one four-level LA-1 coverage shard (one seed)."""
+    from ..cover.la1 import collect_la1_coverage
+
+    return collect_la1_coverage(**kwargs).to_dict()
+
+
+# ----------------------------------------------------------------------
+# symbolic model checking sweeps
+# ----------------------------------------------------------------------
+_DESIGN_CACHE: dict = {}
+
+
+def _mc_design(banks: int, datapath: bool):
+    from ..core.rtl_model import build_la1_top_rtl
+    from ..core.rulebase import MC_SCALE_CONFIG
+    from ..rtl import elaborate
+
+    key = (banks, datapath)
+    if key not in _DESIGN_CACHE:
+        top = build_la1_top_rtl(MC_SCALE_CONFIG(banks), datapath=datapath)
+        _DESIGN_CACHE[key] = elaborate(top)
+    return _DESIGN_CACHE[key]
+
+
+def mc_sweep_init(banks: int, datapath: bool) -> None:
+    """Warm-start one worker: build and elaborate the netlist once; the
+    per-property symbolic encodings reuse it."""
+    _mc_design(banks, datapath)
+
+
+def mc_check_shard(banks: int, datapath: bool, name: str, prop,
+                   options: dict) -> dict:
+    """Check one PSL property against the cached design."""
+    from ..core.rulebase import check_read_mode_rtl
+
+    result = check_read_mode_rtl(
+        banks,
+        prop=prop,
+        datapath=datapath,
+        property_name=name,
+        design=_mc_design(banks, datapath),
+        **options,
+    )
+    return result.to_dict()
