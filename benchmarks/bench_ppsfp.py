@@ -1,0 +1,172 @@
+"""Throughput curve of PPSFP fault batching (repro.fault.ppsfp).
+
+A plain script (not a pytest benchmark): sweeps the same datapath
+stuck-at campaign at ``--lanes 1, 8, 32, 64`` and records, per point,
+faults/sec and the speedup over the lanes=1 per-fault compiled
+baseline.  The fault list is generated, not the shipped smoke list: one
+stuck-at per sampled bit of the per-bank datapath state (SRAM array
+words, fetched-word / beat / address / byte-enable registers), which is
+the PPSFP-friendly population -- datapath corruption rides the lanes
+without perturbing the control handshake, so batches stay full.  (A
+control-stage fault that changes the polled status bits invalidates its
+lane and falls back to the per-fault path; that ladder is exercised by
+the shipped smoke list and pinned in ``tests/test_fault_ppsfp.py``.)
+
+The determinism contract is asserted on every run: every lanes setting
+must produce the identical campaign signature.  The full (4-bank)
+profile additionally gates on the ISSUE acceptance criterion --
+lanes=64 must reach >= 8x the baseline faults/sec.
+
+``--smoke`` (CI) uses the 2-bank model with a small fault list and
+lanes 1 and 64 only; it checks determinism, not the speedup floor
+(CI runners are too noisy to gate on wall-clock ratios).
+
+Usage::
+
+    python benchmarks/bench_ppsfp.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fault.campaign import CampaignConfig, FaultCampaign  # noqa: E402
+from repro.fault.models import RtlStuckAt  # noqa: E402
+
+#: ISSUE acceptance: lanes=64 faults/sec over the per-fault baseline
+SPEEDUP_GATE = 8.0
+
+#: per-bank datapath state sampled by the generated fault list:
+#: (register tail, bits per bank).  SRAM bits are spread across the
+#: array so different words (and both stuck values) are represented.
+_DATAPATH = [
+    ("sram.mem", 16),
+    ("read_port.word_reg", 8),
+    ("write_port.beat0_reg", 4),
+    ("read_port.addr_reg", 2),
+    ("write_port.addr_reg", 1),
+    ("write_port.bw0_reg", 1),
+]
+
+
+def datapath_fault_list(banks: int, scale: int = 1):
+    """Deterministic stuck-at list over the per-bank datapath state.
+
+    ``scale`` multiplies the per-register sample counts (the full
+    profile runs a big population so the one-time bitpar compile is
+    amortised the way a real campaign would amortise it); counts are
+    capped at the register width so every ``(path, bit, value)`` target
+    stays distinct -- the stride 7 is coprime to every sampled width,
+    so ``count <= width`` samples never revisit a bit.
+    """
+    faults = []
+    for bank in range(banks):
+        for tail, count in _DATAPATH:
+            count = min(count * scale, _width(tail))
+            path = f"la1_top.bank{bank}.{tail}"
+            for k in range(count):
+                bit = (bank + k * 7) % _width(tail)
+                faults.append(RtlStuckAt(path, bit, (bank + k) % 2))
+    return faults
+
+
+def _width(tail: str) -> int:
+    return {
+        "sram.mem": 512,
+        "read_port.word_reg": 32,
+        "write_port.beat0_reg": 16,
+        "read_port.addr_reg": 4,
+        "write_port.addr_reg": 4,
+        "write_port.bw0_reg": 2,
+    }[tail]
+
+
+def run_point(banks: int, traffic: int, faults, lanes: int) -> dict:
+    config = CampaignConfig(banks=banks, traffic=traffic)
+    start = time.perf_counter()
+    report = FaultCampaign(config).run(faults=list(faults), lanes=lanes)
+    wall = time.perf_counter() - start
+    point = {
+        "lanes": lanes,
+        "wall_s": round(wall, 3),
+        "faults": len(report.verdicts),
+        "faults_per_s": round(len(report.verdicts) / wall, 2),
+        "signature": hash(report.signature()) & 0xFFFFFFFF,
+        "counts": report.counts(),
+    }
+    ppsfp = report.engine_stats.get("ppsfp", {}).get(str(lanes))
+    if ppsfp:
+        point["lane_passes"] = ppsfp["lane_passes"]
+        point["words_evaluated"] = ppsfp["words_evaluated"]
+    return point
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI shape: 2 banks, quarter fault list, "
+                             "lanes 1 and 64, no speedup gate")
+    parser.add_argument("--json", dest="json_path",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "BENCH_ppsfp.json"))
+    args = parser.parse_args(argv)
+
+    banks = 2 if args.smoke else 4
+    traffic = 24
+    lanes_axis = [1, 64] if args.smoke else [1, 8, 32, 64]
+    faults = datapath_fault_list(banks, scale=1 if args.smoke else 16)
+
+    points = []
+    for lanes in lanes_axis:
+        print(f"campaign: banks={banks} faults={len(faults)} "
+              f"lanes={lanes} ...", flush=True)
+        point = run_point(banks, traffic, faults, lanes)
+        print(f"  wall={point['wall_s']}s  "
+              f"faults/s={point['faults_per_s']}")
+        points.append(point)
+
+    signatures = {p["signature"] for p in points}
+    deterministic = len(signatures) == 1
+    baseline = points[0]["faults_per_s"]
+    for p in points[1:]:
+        p["speedup"] = round(p["faults_per_s"] / baseline, 3)
+
+    result = {
+        "banks": banks,
+        "traffic": traffic,
+        "fault_list": "datapath stuck-ats (generated)",
+        "faults": len(faults),
+        "deterministic": deterministic,
+        "speedup_gate": None if args.smoke else SPEEDUP_GATE,
+        "points": points,
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.json_path)),
+                exist_ok=True)
+    with open(args.json_path, "w") as fh:
+        json.dump({f"ppsfp banks={banks}": result}, fh, indent=2,
+                  sort_keys=True)
+    print(f"wrote {args.json_path} (deterministic={deterministic})")
+
+    if not deterministic:
+        print("FAIL: lanes settings disagree on the campaign signature",
+              file=sys.stderr)
+        return 1
+    if not args.smoke:
+        top = points[-1]
+        if top["speedup"] < SPEEDUP_GATE:
+            print(f"FAIL: lanes={top['lanes']} speedup x{top['speedup']} "
+                  f"below the x{SPEEDUP_GATE} gate", file=sys.stderr)
+            return 1
+        print(f"PASS: lanes={top['lanes']} speedup x{top['speedup']} >= "
+              f"x{SPEEDUP_GATE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,12 @@ class FlowConfig:
     #: conjuncts one process per property -- verdicts are identical to
     #: jobs=1, which checks their conjunction in a single run
     jobs: int = 1
+    #: bit-parallel lane width for the OVL simulation stage; lanes > 1
+    #: runs it on the "bitpar" backend (rtl_backend then applies to the
+    #: other RTL consumers only) with broadcast traffic and lane-0
+    #: observation -- stage results and harvested coverage are
+    #: identical to lanes=1
+    lanes: int = 1
 
     def resolved_la1(self) -> La1Config:
         return self.la1_config or La1Config(banks=self.banks, beat_bits=16,
@@ -339,7 +345,12 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     # ------------------------------------------------------ 7. OVL
     start = time.perf_counter()
     ovl_top = build_la1_top_with_ovl(la1)
-    ovl_sim = RtlSimulator(elaborate(ovl_top), backend=config.rtl_backend)
+    if config.lanes > 1:
+        ovl_sim = RtlSimulator(elaborate(ovl_top), backend="bitpar",
+                               lanes=config.lanes)
+    else:
+        ovl_sim = RtlSimulator(elaborate(ovl_top),
+                               backend=config.rtl_backend)
     ovl_host = RtlHost(ovl_sim, la1)
     toggle_cov = ovl_cov = None
     if cover_db is not None:
@@ -356,7 +367,7 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
         ovl_cov.harvest(cover_db)
     report.stages.append(StageResult(
         "rtl_ovl_simulation", ovl_sim.ok,
-        f"{config.rtl_backend} backend, "
+        f"{ovl_sim.backend} backend, "
         f"{len(ovl_sim.design.monitors)} OVL monitors, "
         f"{ovl_sim.edge_count} edges, {len(ovl_host.results)} reads"
         + ("" if ovl_sim.ok else f"; failures: {ovl_sim.failures[:3]}"),

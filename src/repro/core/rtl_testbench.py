@@ -93,6 +93,26 @@ class RtlHost:
             (1 << self.config.beat_bits) - 1
         )
 
+    def _sample_bus(self) -> list:
+        """Sample the shared data/parity buses at a collection point.
+
+        Split out so subclasses (e.g. the lane-probing PPSFP host in
+        :mod:`repro.fault.ppsfp`) can capture per-lane words instead of
+        the scalar (lane-0) values."""
+        return [self.sim.read(self._data_bus), self.sim.read(self._par_bus)]
+
+    def _finish_read(self, bank: int, addr: int, issued: int,
+                     sample0: list, sample1: list) -> None:
+        """Combine the two beat samples of a completed read into a
+        :class:`ReadResult` (subclass hook, like :meth:`_sample_bus`)."""
+        beat0, par0 = sample0
+        beat1, par1 = sample1
+        word = beat0 | (beat1 << self.config.beat_bits)
+        self.results.append(
+            ReadResult(bank, addr, word, (beat0, beat1),
+                       (par0, par1), issued, self.half_cycles)
+        )
+
     def _read_is_head(self) -> bool:
         if not self._reads:
             return False
@@ -165,10 +185,7 @@ class RtlHost:
         for b in range(self.config.banks):
             if self._stat(b, "stat_data_valid") and self._read_watch \
                     and self._read_watch[0][0] == b:
-                self._collecting = [
-                    sim.read(self._data_bus),
-                    sim.read(self._par_bus),
-                ]
+                self._collecting = self._sample_bus()
         # ---- set up the K# edge ----
         if self._pending_write is not None and self._pending_write[4] == "sel":
             bank, addr, word, bw, __ = self._pending_write
@@ -184,15 +201,10 @@ class RtlHost:
                     and self._read_watch[0][0] == b \
                     and self._collecting is not None:
                 bank, addr, issued = self._read_watch.popleft()
-                beat0, par0 = self._collecting
+                sample0 = self._collecting
                 self._collecting = None
-                beat1 = sim.read(self._data_bus)
-                par1 = sim.read(self._par_bus)
-                word = beat0 | (beat1 << self.config.beat_bits)
-                self.results.append(
-                    ReadResult(bank, addr, word, (beat0, beat1),
-                               (par0, par1), issued, self.half_cycles)
-                )
+                self._finish_read(bank, addr, issued, sample0,
+                                  self._sample_bus())
 
     def run_cycles(self, n: int) -> None:
         """Run ``n`` full clock periods."""

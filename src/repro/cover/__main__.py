@@ -52,6 +52,10 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="compiled",
                         choices=("compiled", "interp"))
     parser.add_argument("--asm-steps", type=int, default=64)
+    parser.add_argument("--lanes", type=int, default=1,
+                        help="bit-parallel lane width for the RTL stage "
+                             "(backend='bitpar', lane 0 harvested); the "
+                             "collected DB is identical to --lanes 1")
     parser.add_argument("--jobs", type=int, default=1,
                         help="collect the per-seed shards on a process "
                              "pool (repro.par); the merged DB is "
@@ -106,7 +110,8 @@ def main(argv=None) -> int:
     seeds = [args.seed, args.seed + 1] if args.smoke else [args.seed]
     shard_kwargs = [
         dict(banks=banks, traffic=args.traffic, seed=seed,
-             backend=args.backend, asm_steps=args.asm_steps)
+             backend=args.backend, asm_steps=args.asm_steps,
+             lanes=args.lanes)
         for seed in seeds
     ]
     for kwargs in shard_kwargs:

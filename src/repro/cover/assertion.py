@@ -200,6 +200,11 @@ class OvlAssertionCoverage:
         self.sim = sim
         self.namespace = namespace
         nets = sim.design.nets
+        bitpar = sim.backend == "bitpar"
+        # activation strobes are read on the golden lane (bit 0 of the
+        # bit-sliced word) when the backend is lane-parallel; -1 is the
+        # identity mask for the scalar backends' whole-value slots
+        self._act_mask = 1 if bitpar else -1
         # (monitor, activation slot or None for always-active)
         self._probes = []
         for monitor in sim.design.monitors:
@@ -207,7 +212,8 @@ class OvlAssertionCoverage:
             for port in OVL_ACTIVATION_PORTS:
                 flat = nets.get(f"{monitor.name}.{port}")
                 if flat is not None:
-                    slot = flat.slot
+                    slot = (sim._bitpar.bit_slots[flat.path][0] if bitpar
+                            else flat.slot)
                     break
             self._probes.append((monitor, slot))
         self.activations = {m.name: 0 for m, __ in self._probes}
@@ -236,11 +242,12 @@ class OvlAssertionCoverage:
         self.edges_sampled += 1
         sim._cover_probe_calls += 1
         v = sim._v
+        mask = self._act_mask
         activations = self.activations
         for monitor, slot in self._probes:
             if monitor.clock != edge:
                 continue
-            if slot is None or v[slot]:
+            if slot is None or v[slot] & mask:
                 activations[monitor.name] += 1
 
     # ------------------------------------------------------------------

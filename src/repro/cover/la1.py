@@ -106,13 +106,24 @@ def collect_sysc_coverage(banks: int = 2, traffic: int = 24,
 
 def collect_rtl_coverage(banks: int = 2, traffic: int = 24,
                          seed: int = 2004, backend: str = "compiled",
-                         db: Optional[CoverageDB] = None) -> CoverageDB:
+                         db: Optional[CoverageDB] = None,
+                         lanes: int = 1) -> CoverageDB:
     """RTL run with OVL checkers loaded: toggle (``rtl.toggle.*``) +
-    OVL assertion (``assert.ovl.*``) coverage."""
+    OVL assertion (``assert.ovl.*``) coverage.
+
+    ``lanes > 1`` switches to the bit-parallel backend (``backend`` is
+    then ignored) with the traffic broadcast into every lane and lane 0
+    harvested -- the collected DB is bit-identical to a scalar run, which
+    is exactly what lets campaigns and walk scoring swap the backends
+    freely underneath the coverage arithmetic."""
     db = db if db is not None else CoverageDB()
     config = _la1_config(banks)
-    sim = RtlSimulator(elaborate(build_la1_top_with_ovl(config)),
-                       backend=backend)
+    if lanes > 1:
+        sim = RtlSimulator(elaborate(build_la1_top_with_ovl(config)),
+                           backend="bitpar", lanes=lanes)
+    else:
+        sim = RtlSimulator(elaborate(build_la1_top_with_ovl(config)),
+                           backend=backend)
     host = RtlHost(sim, config)
     toggles = ToggleCollector(sim)
     ovl = OvlAssertionCoverage(sim)
@@ -139,8 +150,11 @@ def collect_asm_coverage(banks: int = 2, steps: int = 64, seed: int = 2004,
 
 def collect_la1_coverage(banks: int = 2, traffic: int = 24,
                          seed: int = 2004, backend: str = "compiled",
-                         asm_steps: int = 64) -> CoverageDB:
-    """Collect from all four levels into one merged DB."""
+                         asm_steps: int = 64,
+                         lanes: int = 1) -> CoverageDB:
+    """Collect from all four levels into one merged DB.  ``lanes``
+    applies to the RTL stage only (the SystemC and ASM vehicles have no
+    lane-parallel encoding -- the documented degradation rule)."""
     db = CoverageDB(meta={
         "design": f"la1_{banks}banks",
         "banks": banks,
@@ -149,6 +163,6 @@ def collect_la1_coverage(banks: int = 2, traffic: int = 24,
         "backend": backend,
     })
     collect_sysc_coverage(banks, traffic, seed, db=db)
-    collect_rtl_coverage(banks, traffic, seed, backend, db=db)
+    collect_rtl_coverage(banks, traffic, seed, backend, db=db, lanes=lanes)
     collect_asm_coverage(banks, asm_steps, seed, db=db)
     return db

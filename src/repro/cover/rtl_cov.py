@@ -15,6 +15,11 @@ through one edge-hook probe with two implementations:
   than a compare, which keeps the probe overhead on the compiled
   backend a small fraction of the step cost (bounded by
   ``benchmarks/bench_cover.py``).
+* ``backend="bitpar"`` -- the same code-generated probe runs over the
+  bit-sliced slot array (one slot per net *bit*, one mask bit per
+  simulation lane): the identical ``rose |= x & ~p`` diff then records
+  every lane's toggles in a single pass, and :meth:`harvest` /
+  :meth:`lane_harvest` fold the lane of interest back out.
 
 State only changes when an edge settles, so diffing consecutive edge
 states observes every transition exactly -- the two backends produce
@@ -36,18 +41,26 @@ from .db import CoverageDB
 __all__ = ["ToggleCollector", "compile_toggle_probe"]
 
 
-def compile_toggle_probe(tracked: Sequence[FlatNet]):
+def compile_toggle_probe(tracked):
     """Codegen an unrolled ``probe(v, prev, rose, fell)`` function.
 
     Mirrors :func:`repro.rtl.compile.compile_design`: straight-line
     Python over slot indices, compiled with empty builtins.  ``rose`` and
     ``fell`` accumulate per-slot bit masks of observed 0->1 and 1->0
     transitions; ``prev`` tracks the last sampled value per slot.
+
+    ``tracked`` holds :class:`FlatNet` entries (scalar backends: one
+    slot per net, mask bits are net bits) or ``(slot, label)`` pairs
+    (bitpar backend: one slot per net *bit*, mask bits are simulation
+    lanes) -- the diff formula is the same either way.
     """
     lines = ["def probe(v, prev, rose, fell):"]
-    for flat in tracked:
-        s = flat.slot
-        lines.append(f"    x = v[{s}]  # {flat.path}")
+    for entry in tracked:
+        if isinstance(entry, FlatNet):
+            s, label = entry.slot, entry.path
+        else:
+            s, label = entry
+        lines.append(f"    x = v[{s}]  # {label}")
         lines.append(f"    p = prev[{s}]")
         lines.append("    if x != p:")
         lines.append(f"        rose[{s}] |= x & ~p")
@@ -96,13 +109,27 @@ class ToggleCollector:
             self.tracked = [design.net(path) for path in nets]
         # deterministic order: by slot (elaboration order)
         self.tracked.sort(key=lambda flat: flat.slot)
-        self._rose = [0] * design.num_slots
-        self._fell = [0] * design.num_slots
+        self._bitpar = sim.backend == "bitpar"
+        if self._bitpar:
+            # one slot per net bit; rose/fell mask bits are lanes.
+            # Alias bits share slots, so probe each slot only once
+            bit_slots = sim._bitpar.bit_slots
+            seen = set()
+            slots = []
+            for flat in self.tracked:
+                for bit, slot in enumerate(bit_slots[flat.path]):
+                    if slot not in seen:
+                        seen.add(slot)
+                        slots.append((slot, f"{flat.path}[{bit}]"))
+        else:
+            slots = list(self.tracked)
+        self._rose = [0] * len(sim._v)
+        self._fell = [0] * len(sim._v)
         self._prev = list(sim._v)
         self.probe_calls = 0
         self._attached = False
-        if sim.backend == "compiled":
-            self._probe = compile_toggle_probe(self.tracked)
+        if sim.backend in ("compiled", "bitpar"):
+            self._probe = compile_toggle_probe(slots)
         else:
             tracked_slots = [flat.slot for flat in self.tracked]
 
@@ -144,32 +171,52 @@ class ToggleCollector:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Forget accumulated toggles and rebase on the current state."""
-        self._rose = [0] * self.sim.design.num_slots
-        self._fell = [0] * self.sim.design.num_slots
+        self._rose = [0] * len(self.sim._v)
+        self._fell = [0] * len(self.sim._v)
         self._prev = list(self.sim._v)
         self.probe_calls = 0
 
-    def toggles(self) -> dict[str, tuple[int, int]]:
-        """Per-path ``(rose_mask, fell_mask)`` of every tracked net."""
+    def _masks(self, flat: FlatNet, lane: int) -> tuple[int, int]:
+        """``(rose_mask, fell_mask)`` over net bits for one net.  On the
+        bitpar backend the per-bit lane words are folded down to the
+        requested simulation lane; scalar backends ignore ``lane``."""
+        if not self._bitpar:
+            return self._rose[flat.slot], self._fell[flat.slot]
+        slots = self.sim._bitpar.bit_slots[flat.path]
+        sel = 1 << lane
+        rose = fell = 0
+        for bit, slot in enumerate(slots):
+            if self._rose[slot] & sel:
+                rose |= 1 << bit
+            if self._fell[slot] & sel:
+                fell |= 1 << bit
+        return rose, fell
+
+    def toggles(self, lane: int = 0) -> dict[str, tuple[int, int]]:
+        """Per-path ``(rose_mask, fell_mask)`` of every tracked net (on
+        the bitpar backend: of simulation lane ``lane``)."""
         return {
-            flat.path: (self._rose[flat.slot], self._fell[flat.slot])
-            for flat in self.tracked
+            flat.path: self._masks(flat, lane) for flat in self.tracked
         }
 
-    def harvest(self, db: Optional[CoverageDB] = None) -> CoverageDB:
+    def harvest(self, db: Optional[CoverageDB] = None,
+                lane: int = 0) -> CoverageDB:
         """Write the toggle points into ``db`` (new DB by default).
 
         Every tracked bit contributes two declared points (``rose`` and
         ``fell``), hit with transition *counts* of 1 when observed --
         the masks only witness occurrence, so a hit is recorded once per
         harvest; shard merges still sum correctly because each shard
-        observed its transitions independently.
+        observed its transitions independently.  On the bitpar backend
+        ``lane`` picks which simulation lane to harvest (default: lane
+        0, whose toggles are bit-identical to a scalar run under the
+        same stimulus); harvesting each lane into its own DB turns one
+        lane-parallel pass into per-stimulus coverage shards.
         """
         db = db if db is not None else CoverageDB()
         prefix = self.namespace
         for flat in self.tracked:
-            rose = self._rose[flat.slot]
-            fell = self._fell[flat.slot]
+            rose, fell = self._masks(flat, lane)
             for bit in range(flat.width):
                 base = f"{prefix}.{flat.path}.{bit}"
                 db.declare(f"{base}.rose")
@@ -179,6 +226,12 @@ class ToggleCollector:
                 if (fell >> bit) & 1:
                     db.hit(f"{base}.fell")
         return db
+
+    def lane_harvest(self, lane: int,
+                     db: Optional[CoverageDB] = None) -> CoverageDB:
+        """Explicit-name alias of ``harvest(db, lane=lane)`` for
+        per-lane collection loops."""
+        return self.harvest(db, lane=lane)
 
     def coverage(self) -> float:
         """Convenience: the toggle coverage fraction of a fresh harvest."""

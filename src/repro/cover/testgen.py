@@ -14,6 +14,17 @@ gainless rounds (plateau) -- whichever comes first.
 selection, which is the baseline the tests compare against: directed
 selection must reach strictly higher coverage for the same test budget
 on the 2-bank model.
+
+Both suites also drive *lane-parallel* stimulus vehicles: a machine may
+expose the duck-typed hooks ``walk_case(walk_seed, walk_steps)``,
+``score_walks(walk_seeds, walk_steps, db, lanes=)``,
+``walk_dbs(walk_seeds, walk_steps, lanes=)`` and ``admit_walk(case,
+db)`` -- :class:`repro.cover.rtl_walk.RtlWalkModel` does -- and the
+loop then scores up to ``lanes`` candidates per bit-parallel simulation
+pass instead of replaying them one at a time.  Machines without the
+hooks (the ASM model has no lane encoding) silently ignore ``lanes``
+and keep the original replay path; either way the selected suite is
+lane-count independent.
 """
 
 from __future__ import annotations
@@ -94,6 +105,24 @@ class CoverageDrivenResult:
         )
 
 
+def _walk_case(machine, walk_seed: int, walk_steps: int):
+    """One candidate's concrete test case: the machine's ``walk_case``
+    hook (lane-parallel vehicles) or an ASM random walk."""
+    hook = getattr(machine, "walk_case", None)
+    if hook is not None:
+        return hook(walk_seed, walk_steps)
+    return generate_random_walks(machine, 1, walk_steps, seed=walk_seed)[0]
+
+
+def _admit_case(machine, predicates, case, db: CoverageDB) -> CoverageDB:
+    """Fold one selected case's coverage into ``db`` via the machine's
+    ``admit_walk`` hook or the ASM replay path."""
+    hook = getattr(machine, "admit_walk", None)
+    if hook is not None:
+        return hook(case, db)
+    return replay_coverage(machine, case, predicates, db)
+
+
 def _score_round(
     machine: AsmMachine,
     predicates: Mapping[str, Predicate],
@@ -102,17 +131,24 @@ def _score_round(
     walk_steps: int,
     jobs: int,
     model_spec,
+    lanes: int = 1,
 ) -> list[int]:
     """Score one round's candidate walks: newly covered points on top of
     the accumulated ``db``, in candidate order.
 
-    With ``jobs > 1`` and a ``model_spec`` the candidates fan out over
-    the process pool (:func:`repro.par.workers.testgen_score_shard`);
-    each worker regenerates its walks from the per-walk seeds and
-    replays them against a snapshot of the DB, so only ``(index, gain)``
-    pairs cross the pipe.  The inline path replays against clones with
-    identical arithmetic, which is what the determinism tests check.
+    A machine with a ``score_walks`` hook scores all candidates itself
+    (lane-parallel vehicles pack ``lanes`` of them per simulation
+    pass).  Otherwise, with ``jobs > 1`` and a ``model_spec`` the
+    candidates fan out over the process pool
+    (:func:`repro.par.workers.testgen_score_shard`); each worker
+    regenerates its walks from the per-walk seeds and replays them
+    against a snapshot of the DB, so only ``(index, gain)`` pairs cross
+    the pipe.  The inline path replays against clones with identical
+    arithmetic, which is what the determinism tests check.
     """
+    score_walks = getattr(machine, "score_walks", None)
+    if score_walks is not None:
+        return score_walks(walk_seeds, walk_steps, db, lanes=lanes)
     if jobs > 1 and model_spec is not None and len(walk_seeds) > 1:
         from ..par import plan_shards, run_sharded
         from ..par.workers import testgen_init, testgen_score_shard
@@ -153,6 +189,7 @@ def coverage_driven_suite(
     plateau_rounds: int = 3,
     jobs: int = 1,
     model_spec=None,
+    lanes: int = 1,
 ) -> CoverageDrivenResult:
     """Greedy coverage-feedback selection of random-walk tests.
 
@@ -171,6 +208,10 @@ def coverage_driven_suite(
     ``jobs=1`` run.  Parallel scoring needs a picklable ``model_spec``
     (e.g. :func:`repro.par.workers.la1_model_spec`) so workers can
     rebuild the machine; without one, scoring stays inline.
+
+    ``lanes > 1`` asks a lane-parallel vehicle (a machine with the
+    ``score_walks`` hook) to pack that many candidates into one
+    bit-parallel pass; machines without the hook ignore it.
     """
     db = CoverageDB(meta={"generator": "coverage_driven", "seed": seed})
     selected: list[list[Action]] = []
@@ -188,7 +229,7 @@ def coverage_driven_suite(
         ]
         round_index += 1
         gains = _score_round(machine, predicates, db, walk_seeds,
-                             walk_steps, jobs, model_spec)
+                             walk_steps, jobs, model_spec, lanes)
         scored += len(gains)
         if not gains:
             break
@@ -201,9 +242,8 @@ def coverage_driven_suite(
                     selected, db, history, False, True, scored)
             continue  # gainless round: do not spend test budget on it
         gainless = 0
-        best_case = generate_random_walks(
-            machine, 1, walk_steps, seed=walk_seeds[best_index])[0]
-        replay_coverage(machine, best_case, predicates, db)
+        best_case = _walk_case(machine, walk_seeds[best_index], walk_steps)
+        _admit_case(machine, predicates, best_case, db)
         selected.append(best_case)
         history.append(db.coverage())
     reached = db.coverage() >= target and bool(len(db))
@@ -218,6 +258,7 @@ def undirected_suite(
     seed: int = 0,
     jobs: int = 1,
     model_spec=None,
+    lanes: int = 1,
 ) -> CoverageDrivenResult:
     """The unranked baseline: ``num_tests`` random walks replayed in
     generation order with no coverage feedback.
@@ -225,17 +266,25 @@ def undirected_suite(
     With ``jobs > 1`` and a ``model_spec`` the replays fan out over the
     process pool; each worker returns a per-walk DB and the coordinator
     merges them in walk order, which -- DB merge being lossless --
-    reproduces the sequential accumulation exactly.
+    reproduces the sequential accumulation exactly.  A lane-parallel
+    vehicle (``walk_dbs`` hook) instead collects up to ``lanes``
+    per-walk DBs from each bit-parallel pass, merged in the same order.
     """
     db = CoverageDB(meta={"generator": "undirected", "seed": seed})
     walk_seeds = [
         _walk_seed(seed, "undirected", 0, i) for i in range(num_tests)
     ]
     walks = [
-        generate_random_walks(machine, 1, walk_steps, seed=walk_seed)[0]
+        _walk_case(machine, walk_seed, walk_steps)
         for walk_seed in walk_seeds
     ]
     history: list[float] = []
+    walk_dbs = getattr(machine, "walk_dbs", None)
+    if walk_dbs is not None:
+        for walk_db in walk_dbs(walk_seeds, walk_steps, lanes=lanes):
+            db.merge(walk_db)
+            history.append(db.coverage())
+        return CoverageDrivenResult(walks, db, history, False, False, 0)
     if jobs > 1 and model_spec is not None and num_tests > 1:
         from ..par import plan_shards, run_sharded
         from ..par.workers import testgen_init, testgen_replay_shard

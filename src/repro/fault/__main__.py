@@ -40,6 +40,11 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="process-pool width (repro.par); the merged "
                              "report is identical to --jobs 1")
+    parser.add_argument("--lanes", type=int, default=1,
+                        help="PPSFP lane width: batch compatible RTL "
+                             "faults into bit-parallel passes (repro."
+                             "fault.ppsfp); verdicts are identical to "
+                             "--lanes 1 and multiply with --jobs")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the report JSON here "
                              "(default: benchmarks/BENCH_fault_campaign.json)")
@@ -59,6 +64,7 @@ def main(argv=None) -> int:
                                    + (f"  <- {', '.join(v.detected_by)}"
                                       if v.detected_by else "")),
         jobs=args.jobs,
+        lanes=args.lanes,
     )
     print(report.render())
     par = report.engine_stats.get("par")

@@ -52,7 +52,7 @@ from .models import (
     RtlBitFlip,
     RtlStuckAt,
 )
-from .rtl_inject import RtlFaultInjector
+from .rtl_inject import RtlFaultInjector, collapse_faults
 from .sysc_inject import ProtocolSaboteur
 
 __all__ = [
@@ -114,7 +114,8 @@ class FaultVerdict:
     def __init__(self, fault_id: str, layer: str, kind: str, outcome: str,
                  detected_by: Optional[list] = None, detail: str = "",
                  cpu_time: float = 0.0, expected_detectable: bool = True,
-                 coverage_points: Optional[list] = None):
+                 coverage_points: Optional[list] = None,
+                 collapsed_from: Optional[list] = None):
         if outcome not in OUTCOMES:
             raise ValueError(f"unknown outcome {outcome!r}")
         self.fault_id = fault_id
@@ -129,6 +130,10 @@ class FaultVerdict:
         #: stimulus coverage detection of this fault required (empty for
         #: undetected faults and for checkpoints from older campaigns)
         self.coverage_points = list(coverage_points or [])
+        #: fault collapsing bookkeeping: on a representative, the
+        #: ``fault_id`` of every equivalent fault this verdict also
+        #: answers for; on a member, the representative's ``fault_id``
+        self.collapsed_from = list(collapsed_from or [])
 
     def to_dict(self) -> dict:
         return {
@@ -141,6 +146,7 @@ class FaultVerdict:
             "cpu_time": round(self.cpu_time, 4),
             "expected_detectable": self.expected_detectable,
             "coverage_points": self.coverage_points,
+            "collapsed_from": self.collapsed_from,
         }
 
     @classmethod
@@ -149,7 +155,7 @@ class FaultVerdict:
             data["fault_id"], data["layer"], data["kind"], data["outcome"],
             data.get("detected_by", ()), data.get("detail", ""),
             data.get("cpu_time", 0.0), data.get("expected_detectable", True),
-            data.get("coverage_points", ()),
+            data.get("coverage_points", ()), data.get("collapsed_from", ()),
         )
 
     def __repr__(self):
@@ -384,6 +390,8 @@ class FaultCampaign:
     def __init__(self, config: Optional[CampaignConfig] = None):
         self.config = config or CampaignConfig()
         self._rtl_sim: Optional[RtlSimulator] = None
+        self._flat_design = None
+        self._ppsfp_sims: dict = {}
         self._rtl_golden: Optional[tuple] = None
         self._sysc_golden: Optional[tuple] = None
 
@@ -462,13 +470,31 @@ class FaultCampaign:
         )
 
     # -- RTL layer -----------------------------------------------------
+    def _design(self):
+        """The flattened LA-1-with-OVL netlist every RTL engine of this
+        campaign shares (elaborated once; backends compile lazily)."""
+        if self._flat_design is None:
+            self._flat_design = elaborate(
+                build_la1_top_with_ovl(self.config.la1()))
+        return self._flat_design
+
     def _rtl_simulator(self) -> RtlSimulator:
         if self._rtl_sim is None:
-            top = build_la1_top_with_ovl(self.config.la1())
             self._rtl_sim = RtlSimulator(
-                elaborate(top), backend=self.config.backend,
+                self._design(), backend=self.config.backend,
             )
         return self._rtl_sim
+
+    def _ppsfp_simulator(self, lanes: int) -> RtlSimulator:
+        """The lane-parallel sibling of :meth:`_rtl_simulator` (same
+        flattened netlist, ``"bitpar"`` backend), cached per lane count."""
+        sim = self._ppsfp_sims.get(lanes)
+        if sim is None:
+            sim = RtlSimulator(
+                self._design(), backend="bitpar", lanes=lanes,
+            )
+            self._ppsfp_sims[lanes] = sim
+        return sim
 
     def _rtl_golden_run(self) -> tuple:
         if self._rtl_golden is None:
@@ -631,6 +657,72 @@ class FaultCampaign:
         verdict.cpu_time = time.perf_counter() - fault_start
         return verdict
 
+    def execute_faults(self, faults: List[Fault],
+                       lanes: int = 1) -> List[FaultVerdict]:
+        """Verdicts for ``faults`` in order.
+
+        With ``lanes > 1`` the PPSFP-compatible RTL faults are swept in
+        lane-parallel batches (:mod:`repro.fault.ppsfp`) and everything
+        else -- plus any lane the degradation ladder rejects -- runs
+        through the ordinary per-fault :meth:`execute_fault`.  Verdicts
+        are bit-identical either way (only ``cpu_time`` differs)."""
+        batched: dict = {}
+        if lanes > 1:
+            from .ppsfp import ppsfp_compatible, run_ppsfp_batches
+
+            rtl = [f for f in faults
+                   if isinstance(f, (RtlStuckAt, RtlBitFlip))]
+            if rtl:
+                design = self._design()
+                compatible = [f for f in rtl if ppsfp_compatible(design, f)]
+                batched = run_ppsfp_batches(self, compatible, lanes)
+        return [
+            batched.get(fault.fault_id) or self.execute_fault(fault)
+            for fault in faults
+        ]
+
+    def _collapse(self, faults: List[Fault]):
+        """The campaign-level fault-collapsing step: a
+        :class:`~repro.fault.rtl_inject.CollapsePlan` when any stuck-ats
+        dedupe onto shared state bits, else None."""
+        if not any(isinstance(f, RtlStuckAt) for f in faults):
+            return None
+        plan = collapse_faults(faults, self._design())
+        return plan if plan.groups else None
+
+    def _expand_collapsed(self, plan, completed: dict, on_verdict) -> None:
+        """Fan each representative's verdict back out to its collapsed
+        members (equivalent faults share outcome, detection and coverage
+        by construction; members keep their own identity and zero cost).
+        Members already in ``completed`` -- e.g. from a pre-collapse
+        checkpoint -- keep their recorded verdict."""
+        for rep_id, members in plan.groups.items():
+            rep = completed.get(rep_id)
+            if rep is not None:
+                rep.collapsed_from = sorted(m.fault_id for m in members)
+            for member in members:
+                if member.fault_id in completed:
+                    continue
+                if rep is not None:
+                    verdict = FaultVerdict(
+                        member.fault_id, member.layer, member.kind,
+                        rep.outcome, rep.detected_by, rep.detail, 0.0,
+                        expected_detectable=member.expect_detectable,
+                        coverage_points=rep.coverage_points,
+                        collapsed_from=[rep_id],
+                    )
+                else:  # representative never swept (defensive)
+                    verdict = FaultVerdict(
+                        member.fault_id, member.layer, member.kind,
+                        "truncated",
+                        detail="collapse representative was not swept",
+                        expected_detectable=member.expect_detectable,
+                        collapsed_from=[rep_id],
+                    )
+                completed[member.fault_id] = verdict
+                if on_verdict is not None:
+                    on_verdict(verdict)
+
     #: relative per-fault cost by layer, used by the deterministic shard
     #: planner: the ASM perturbations each re-model-check a property
     #: suite and dominate a campaign (about 90% of the 4-bank wall
@@ -638,7 +730,8 @@ class FaultCampaign:
     LAYER_WEIGHTS = {"asm": 60.0, "sysc": 2.0, "rtl": 1.0}
 
     def _run_parallel(self, pending: List[Fault], completed: dict,
-                      on_verdict, jobs: int, start: float) -> dict:
+                      on_verdict, jobs: int, start: float,
+                      lanes: int = 1) -> dict:
         """Fan the pending faults out over a process pool (one shard per
         weight-balanced fault group).  Fills ``completed`` (checkpointing
         after every collected shard) and returns the merged engine
@@ -671,7 +764,7 @@ class FaultCampaign:
 
         results, stats = run_sharded(
             campaign_shard,
-            [(config, shard) for shard in shards],
+            [(config, shard, lanes) for shard in shards],
             jobs=jobs,
             initializer=campaign_init,
             initargs=(config,),
@@ -707,6 +800,7 @@ class FaultCampaign:
             resume: bool = True,
             on_verdict: Optional[Callable[[FaultVerdict], None]] = None,
             jobs: int = 1,
+            lanes: int = 1,
             ) -> CampaignReport:
         """Sweep ``faults`` (default: :func:`default_fault_list`).
 
@@ -714,57 +808,99 @@ class FaultCampaign:
         verdicts recorded by an earlier -- possibly killed -- invocation
         with the same workload fingerprint are reused instead of re-run.
 
+        Equivalent RTL stuck-ats are collapsed onto their shared state
+        bit first (:func:`repro.fault.rtl_inject.collapse_faults`): only
+        the representative is swept, members receive its verdict with
+        the relation recorded in ``collapsed_from``.
+
         ``jobs > 1`` shards the pending faults across a process pool
         (:mod:`repro.par`): one deterministic weight-balanced shard per
         worker, each worker building its models and golden runs once.
-        The determinism contract holds: the merged report's verdicts are
-        identical to a ``jobs=1`` sweep (only timing fields differ), the
-        checkpoint file stays resume-compatible in both directions, and
-        pool failure degrades to inline execution.
+        ``lanes > 1`` additionally batches the PPSFP-compatible RTL
+        faults into lane-parallel bitpar passes inside each worker (and
+        inline when ``jobs == 1``), multiplying with the process fan-out.
+        The determinism contract holds for both knobs: verdicts are
+        identical to a ``jobs=1, lanes=1`` sweep (only timing fields
+        differ), the checkpoint file stays resume-compatible in every
+        direction, and pool/batch failure degrades to inline per-fault
+        execution.
         """
         config = self.config
         if faults is None:
             faults = default_fault_list(config.banks)
         if config.max_faults is not None:
             faults = faults[: config.max_faults]
+        collapse = self._collapse(faults)
+        run_list = collapse.run_faults if collapse is not None else faults
         completed = self._load_checkpoint() if resume else {}
         start = time.perf_counter()
-        pending = [f for f in faults if f.fault_id not in completed]
+        pending = [f for f in run_list if f.fault_id not in completed]
 
         if jobs > 1 and len(pending) > 1:
             engine_stats = self._run_parallel(
-                pending, completed, on_verdict, jobs, start)
-            verdicts = [completed[f.fault_id] for f in faults]
-            return CampaignReport(
-                verdicts, config.fingerprint(),
-                time.perf_counter() - start, engine_stats,
-            )
+                pending, completed, on_verdict, jobs, start, lanes)
+        else:
+            if lanes > 1 and pending:
+                self._run_ppsfp_inline(
+                    pending, completed, on_verdict, start, lanes)
+                pending = [f for f in pending
+                           if f.fault_id not in completed]
+            for fault in pending:
+                elapsed = time.perf_counter() - start
+                if (config.campaign_deadline_s is not None
+                        and elapsed > config.campaign_deadline_s):
+                    verdict = FaultVerdict(
+                        fault.fault_id, fault.layer, fault.kind, "truncated",
+                        detail="campaign wall-clock deadline expired",
+                        expected_detectable=fault.expect_detectable,
+                    )
+                else:
+                    verdict = self.execute_fault(fault)
+                completed[fault.fault_id] = verdict
+                self._save_checkpoint(completed)
+                if on_verdict is not None:
+                    on_verdict(verdict)
+            engine_stats = {}
+            if self._rtl_sim is not None:
+                engine_stats["rtl_sim"] = self._rtl_sim.stats()
+            for count, sim in sorted(self._ppsfp_sims.items()):
+                engine_stats.setdefault("ppsfp", {})[str(count)] = sim.stats()
 
-        verdicts = []
-        for fault in faults:
-            cached = completed.get(fault.fault_id)
-            if cached is not None:
-                verdicts.append(cached)
-                continue
-            elapsed = time.perf_counter() - start
-            if (config.campaign_deadline_s is not None
-                    and elapsed > config.campaign_deadline_s):
-                verdict = FaultVerdict(
-                    fault.fault_id, fault.layer, fault.kind, "truncated",
-                    detail="campaign wall-clock deadline expired",
-                    expected_detectable=fault.expect_detectable,
-                )
-            else:
-                verdict = self.execute_fault(fault)
-            verdicts.append(verdict)
-            completed[fault.fault_id] = verdict
+        if collapse is not None:
+            self._expand_collapsed(collapse, completed, on_verdict)
             self._save_checkpoint(completed)
-            if on_verdict is not None:
-                on_verdict(verdict)
-        engine_stats = {}
-        if self._rtl_sim is not None:
-            engine_stats["rtl_sim"] = self._rtl_sim.stats()
+        verdicts = [completed[f.fault_id] for f in faults]
         return CampaignReport(
             verdicts, config.fingerprint(), time.perf_counter() - start,
             engine_stats,
         )
+
+    def _run_ppsfp_inline(self, pending: List[Fault], completed: dict,
+                          on_verdict, start: float, lanes: int) -> None:
+        """The serial sweep's PPSFP pre-pass: batch every compatible RTL
+        fault, checkpointing and reporting after each batch.  Remaining
+        faults (and batches skipped by the campaign deadline) flow into
+        the ordinary per-fault loop."""
+        from .ppsfp import ppsfp_compatible, run_ppsfp_batches
+
+        config = self.config
+        rtl = [f for f in pending if isinstance(f, (RtlStuckAt, RtlBitFlip))]
+        if not rtl:
+            return
+        design = self._design()
+        compatible = [f for f in rtl if ppsfp_compatible(design, f)]
+
+        def expired() -> bool:
+            return (config.campaign_deadline_s is not None
+                    and time.perf_counter() - start
+                    > config.campaign_deadline_s)
+
+        def collect(batch_verdicts: dict) -> None:
+            completed.update(batch_verdicts)
+            self._save_checkpoint(completed)
+            if on_verdict is not None:
+                for verdict in batch_verdicts.values():
+                    on_verdict(verdict)
+
+        run_ppsfp_batches(self, compatible, lanes,
+                          should_stop=expired, on_batch=collect)

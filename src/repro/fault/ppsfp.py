@@ -1,0 +1,229 @@
+"""Parallel-pattern single-fault-propagation (PPSFP) campaign batching.
+
+Classic PPSFP packs one golden machine plus N-1 faulty machines into the
+bit positions of machine words: the ``"bitpar"`` RTL backend
+(:mod:`repro.rtl.bitsim`) evaluates every lane with the same straight-
+line word ops, so a batch of compatible RTL faults costs one simulation
+pass instead of one per fault.  This module is the campaign-side driver:
+
+* faults are mapped onto lanes 1..N-1 through
+  :class:`~repro.fault.rtl_inject.RtlFaultInjector`'s ``lane_map``
+  (lane 0 stays golden);
+* the stimulus is the campaign's usual seeded host traffic, driven
+  broadcast into every lane by :class:`_LaneProbeHost`;
+* per-lane verdicts come from lane-wise golden differencing -- monitor
+  fire words for *detected*, the injector's ``triggered_lanes`` for
+  *masked*, and a lane word of transaction-log divergence for *silent*
+  -- with exactly the outcome ladder and detail strings of the
+  per-fault :meth:`~repro.fault.campaign.FaultCampaign._run_rtl` path.
+
+**Validity rule.**  The host reacts to the golden lane's pipeline status
+nets, so a faulty lane's verdict is only trustworthy if that lane's
+control behaviour never diverged from lane 0 at any status poll (then
+the stimulus it saw is bit-identical to what a dedicated run would have
+driven).  :class:`_LaneProbeHost` accumulates an ``invalid_lanes`` word
+at every poll; lanes flagged there -- and lanes that hit a tristate bus
+conflict, which the scalar backends turn into an ``error`` verdict --
+fall back to the ordinary per-fault compiled run.  The same degradation
+ladder catches whole-batch trouble (any engine exception re-runs the
+batch fault by fault) and fault classes that cannot be lane-encoded at
+all (protocol/ASM mutations and targets without register/input
+support), which never enter a batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from ..core.rtl_testbench import RtlHost
+from ..core.sysc_model import ReadResult
+from ..rtl.hdl import HdlError
+from .models import Fault, RtlBitFlip, RtlStuckAt
+from .rtl_inject import RtlFaultInjector, resolve_state_bit
+
+__all__ = ["ppsfp_compatible", "run_ppsfp_batches"]
+
+
+def ppsfp_compatible(design, fault: Fault) -> bool:
+    """True when ``fault`` can be lane-encoded: an RTL stuck-at/SEU whose
+    target resolves to a register/input bit.  Everything else (protocol
+    and ASM mutations, targets without pure-wiring state support) takes
+    the per-fault path."""
+    if not isinstance(fault, (RtlStuckAt, RtlBitFlip)):
+        return False
+    try:
+        resolve_state_bit(design, fault.path, fault.bit)
+    except HdlError:
+        return False
+    return True
+
+
+class _LaneProbeHost(RtlHost):
+    """The campaign host over a bitpar simulator.
+
+    Control flow (issue decisions, collection timing) follows lane 0 --
+    the golden machine -- because :meth:`_stat` returns lane-0 values.
+    Each poll also compares every lane's status word against the
+    broadcast lane-0 value and accumulates divergent lanes into
+    ``invalid_lanes``: for the remaining (valid) lanes, the stimulus
+    this host drove is bit-identical to a dedicated per-fault run, so
+    their lane words ARE the dedicated run's values.  Bus samples keep
+    the raw lane words; ``log_diff`` accumulates, per lane, whether any
+    collected beat or parity bit differed from the golden lane --
+    transaction-log divergence without per-lane log assembly.
+    """
+
+    def __init__(self, sim, config, top_name: str = "la1_top"):
+        super().__init__(sim, config, top_name)
+        self.invalid_lanes = 0
+        self.log_diff = 0
+        self._M = sim.lane_mask
+        bit_slots = sim._bitpar.bit_slots
+        self._stat_slots = {
+            key: bit_slots[path]
+            for key, path in self._stat_paths.items()
+        }
+        self._data_slots = bit_slots[self._data_bus]
+        self._par_slots = bit_slots[self._par_bus]
+
+    def _settled(self):
+        sim = self.sim
+        if sim._inputs_dirty:
+            sim._settle()
+            sim._inputs_dirty = False
+        return sim._v
+
+    def _stat(self, bank: int, name: str) -> int:
+        v = self._settled()
+        M = self._M
+        value = 0
+        invalid = self.invalid_lanes
+        for b, slot in enumerate(self._stat_slots[bank, name]):
+            word = v[slot]
+            bit0 = word & 1
+            invalid |= word ^ (M if bit0 else 0)
+            value |= bit0 << b
+        self.invalid_lanes = invalid
+        return value
+
+    def _sample_bus(self) -> list:
+        v = self._settled()
+        return [[v[slot] for slot in self._data_slots],
+                [v[slot] for slot in self._par_slots]]
+
+    def _finish_read(self, bank: int, addr: int, issued: int,
+                     sample0: list, sample1: list) -> None:
+        diff = self.log_diff
+        M = self._M
+        lane0 = []
+        for words in (*sample0, *sample1):
+            value = 0
+            for b, word in enumerate(words):
+                bit0 = (word >> 0) & 1
+                diff |= word ^ (M if bit0 else 0)
+                value |= bit0 << b
+            lane0.append(value)
+        self.log_diff = diff
+        beat0, par0, beat1, par1 = lane0
+        word = beat0 | (beat1 << self.config.beat_bits)
+        self.results.append(
+            ReadResult(bank, addr, word, (beat0, beat1),
+                       (par0, par1), issued, self.half_cycles)
+        )
+
+
+def _run_batch(campaign, batch: List[Fault], lanes: int) -> tuple:
+    """One PPSFP pass: verdicts for the lane-valid faults of ``batch``
+    plus the list of faults that must fall back to per-fault runs."""
+    from ..cover.functional import La1FunctionalCoverage
+    from .campaign import FaultVerdict
+
+    golden = campaign._rtl_golden_run()
+    sim = campaign._ppsfp_simulator(lanes)
+    sim.reset()
+    injector = RtlFaultInjector(
+        sim, batch, lane_map=list(range(1, len(batch) + 1)))
+    injector.attach()
+    try:
+        host = _LaneProbeHost(sim, campaign.config.la1())
+        functional = La1FunctionalCoverage(host)
+        campaign._queue_traffic(host)
+        functional.detach()
+        host.run_cycles(campaign.config.rtl_cycles)
+    finally:
+        injector.detach()
+    if sim.failures or campaign._log_signature(host) != golden:
+        # the golden lane must replay the golden run bit for bit; if it
+        # does not, nothing in this pass can be trusted
+        raise RuntimeError("PPSFP lane 0 diverged from the golden run")
+    invalid = host.invalid_lanes | sim.conflict_lanes
+    verdicts = {}
+    fallbacks: List[Fault] = []
+    for lane, fault in enumerate(batch, start=1):
+        if (invalid >> lane) & 1:
+            fallbacks.append(fault)
+            continue
+        detected_by = sim.lane_failure_names(lane)
+        if detected_by:
+            outcome, detail = "detected", ""
+        elif not injector.lane_triggered(lane):
+            outcome, detail = "masked", "fault never changed a state bit"
+        elif (host.log_diff >> lane) & 1:
+            outcome = "silent"
+            detail = ("transaction log diverged from golden run with no "
+                      "OVL checker firing")
+        else:
+            outcome, detail = "masked", "no observable divergence"
+        verdicts[fault.fault_id] = FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+            detail, expected_detectable=fault.expect_detectable,
+            coverage_points=(functional.harvest().covered_keys()
+                            if detected_by else None),
+        )
+    return verdicts, fallbacks
+
+
+def run_ppsfp_batches(
+    campaign,
+    faults: List[Fault],
+    lanes: int,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_batch: Optional[Callable[[dict], None]] = None,
+) -> dict:
+    """Sweep ``faults`` in PPSFP batches of ``lanes - 1``.
+
+    Returns ``{fault_id: FaultVerdict}`` in fault order.  Faults are
+    assumed :func:`ppsfp_compatible`.  Lanes that cannot be trusted
+    (control divergence, bus conflict) and whole batches that raise are
+    re-run through :meth:`FaultCampaign.execute_fault`, so every verdict
+    is bit-identical to a per-fault sweep regardless of lane count or
+    batch boundaries.  ``should_stop`` is consulted before each batch
+    (campaign deadline); unprocessed faults are simply not in the result.
+    """
+    out: dict = {}
+    if lanes < 2 or not faults:
+        return out
+    width = lanes - 1
+    for index in range(0, len(faults), width):
+        if should_stop is not None and should_stop():
+            break
+        batch = faults[index:index + width]
+        batch_start = time.perf_counter()
+        try:
+            verdicts, fallbacks = _run_batch(campaign, batch, lanes)
+        except Exception:
+            # degradation ladder: anything wrong with the pass itself
+            # (not a fault outcome) re-runs the whole batch per-fault
+            verdicts, fallbacks = {}, list(batch)
+        if verdicts:
+            share = (time.perf_counter() - batch_start) / len(batch)
+            for verdict in verdicts.values():
+                verdict.cpu_time = share
+        for fault in fallbacks:
+            verdicts[fault.fault_id] = campaign.execute_fault(fault)
+        ordered = {f.fault_id: verdicts[f.fault_id] for f in batch}
+        out.update(ordered)
+        if on_batch is not None:
+            on_batch(ordered)
+    return out

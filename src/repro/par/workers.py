@@ -128,16 +128,21 @@ def campaign_init(config) -> None:
     _campaign(config)
 
 
-def campaign_shard(config, faults) -> dict:
+def campaign_shard(config, faults, lanes: int = 1) -> dict:
     """Sweep one shard of faults; returns a mergeable mini
-    :class:`~repro.fault.campaign.CampaignReport` as a dict."""
+    :class:`~repro.fault.campaign.CampaignReport` as a dict.  With
+    ``lanes > 1`` the compatible RTL faults of the shard run as PPSFP
+    batches on the bitpar backend (verdicts unchanged), so lane
+    parallelism multiplies with the process fan-out."""
     from ..fault.campaign import CampaignReport
 
     campaign = _campaign(config)
-    verdicts = [campaign.execute_fault(fault) for fault in faults]
+    verdicts = campaign.execute_faults(faults, lanes=lanes)
     engine_stats = {}
     if campaign._rtl_sim is not None:
         engine_stats["rtl_sim"] = campaign._rtl_sim.stats()
+    for count, sim in sorted(campaign._ppsfp_sims.items()):
+        engine_stats.setdefault("ppsfp", {})[str(count)] = sim.stats()
     return CampaignReport(
         verdicts, config.fingerprint(),
         sum(v.cpu_time for v in verdicts), engine_stats,

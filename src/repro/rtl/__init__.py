@@ -29,6 +29,7 @@ from .hdl import (
 )
 from .netlist import FlatDesign, FlatMonitor, FlatNet, elaborate
 from .compile import CompiledDesign, compile_design, mangle_edge
+from .bitsim import BitparDesign, compile_bitpar
 from .simulator import AssertionFailure, MonitorRecord, RtlSimulator
 from .verilog_emit import emit_expr, emit_verilog
 from .trace import RtlTracer
@@ -59,6 +60,8 @@ __all__ = [
     "CompiledDesign",
     "compile_design",
     "mangle_edge",
+    "BitparDesign",
+    "compile_bitpar",
     "RtlSimulator",
     "AssertionFailure",
     "MonitorRecord",

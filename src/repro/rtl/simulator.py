@@ -1,4 +1,4 @@
-"""Synchronous simulator for flattened RTL designs (two backends).
+"""Synchronous simulator for flattened RTL designs (three backends).
 
 This plays the role of the commercial Verilog simulator in the paper's
 Table 3 experiment: the design is evaluated at the bit level, gate by gate,
@@ -6,15 +6,22 @@ once per clock edge, with OVL assertion monitors loaded *as part of the
 simulated design* (each monitor adds nets and registers to the netlist,
 which is exactly the overhead the paper attributes to the OVL approach).
 
-Two backends share one slot-array state representation (``FlatNet.slot``
-indexes a flat ``list[int]``):
+Three backends share the flat slot-array state representation:
 
 * ``"compiled"`` (default) -- the design is lowered once to Python
   bytecode by :mod:`repro.rtl.compile`: one function per clock edge plus
-  a ``settle`` function, with expressions inlined over the slot array.
+  a ``settle`` function, with expressions inlined over the slot array
+  (``FlatNet.slot`` indexes a flat ``list[int]``, one slot per net).
 * ``"interp"`` -- the original tree-walking interpreter, kept as the
   executable reference semantics; the differential suite in
   ``tests/test_rtl_compiled.py`` holds the two bit-identical.
+* ``"bitpar"`` -- the bit-parallel (PPSFP) codegen of
+  :mod:`repro.rtl.bitsim`: the netlist is bit-sliced so each *bit* of
+  each net holds one lane word whose bit *i* is that bit's value in
+  independent simulation lane *i* (``lanes`` per pass, default 64).
+  Lane 0 is held bit-identical to the compiled backend by
+  ``tests/test_rtl_bitpar.py``; the other lanes carry faulty machines
+  or alternative stimulus walks.
 
 The simulator steps at half-cycle granularity.  With the LA-1 clock pair,
 edge ``"K"`` is the rising edge of the K master clock and edge ``"K#"``
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 from typing import Callable, Union
 
+from .bitsim import compile_bitpar
 from .compile import compile_design
 from .hdl import HdlError, RtlModule
 from .netlist import FlatDesign, FlatMonitor, FlatNet, elaborate
@@ -83,6 +91,29 @@ class _SlotValues:
         return len(self._v)
 
 
+class _LaneSlotValues:
+    """The :class:`FlatNet`-keyed view for the bitpar backend.
+
+    Reads assemble lane 0 (the golden lane) from the bit-sliced words;
+    writes broadcast a scalar value into every lane, matching what
+    :meth:`RtlSimulator.set_input` does for scalar drives.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "RtlSimulator"):
+        self._sim = sim
+
+    def __getitem__(self, net: FlatNet) -> int:
+        return self._sim.read_lane(net.path, 0)
+
+    def __setitem__(self, net: FlatNet, value: int) -> None:
+        self._sim._broadcast(net, value)
+
+    def __len__(self) -> int:
+        return len(self._sim.design.nets)
+
+
 class RtlSimulator:
     """Evaluate a flattened RTL design edge by edge.
 
@@ -100,7 +131,14 @@ class RtlSimulator:
     backend:
         ``"compiled"`` (default) runs the design through the code
         generator of :mod:`repro.rtl.compile`; ``"interp"`` walks the
-        expression trees directly.
+        expression trees directly; ``"bitpar"`` runs ``lanes``
+        independent simulations per pass over bit-sliced lane words
+        (:mod:`repro.rtl.bitsim`).
+    lanes:
+        Number of parallel simulation lanes for ``backend="bitpar"``
+        (ignored otherwise; :attr:`lanes` reads back 0 for the scalar
+        backends).  Python ints are unbounded, so any positive count is
+        legal; 64 keeps one native machine word per bit slot.
     """
 
     def __init__(
@@ -109,8 +147,9 @@ class RtlSimulator:
         stop_on_failure: bool = False,
         detect_bus_conflicts: bool = True,
         backend: str = "compiled",
+        lanes: int = 64,
     ):
-        if backend not in ("compiled", "interp"):
+        if backend not in ("compiled", "interp", "bitpar"):
             raise HdlError(f"unknown simulator backend {backend!r}")
         self.design = top if isinstance(top, FlatDesign) else elaborate(top)
         self.backend = backend
@@ -121,9 +160,20 @@ class RtlSimulator:
             if backend == "compiled"
             else None
         )
+        self._bitpar = (
+            compile_bitpar(self.design, detect_bus_conflicts, lanes)
+            if backend == "bitpar"
+            else None
+        )
+        self.lanes = lanes if backend == "bitpar" else 0
+        self.lane_mask = self._bitpar.lane_mask if self._bitpar else 0
         self._slots: dict[str, int] = {
             path: flat.slot for path, flat in self.design.nets.items()
         }
+        # lane-word accounting (cumulative across resets, like the
+        # coverage counters below)
+        self._lane_passes = 0
+        self._words_evaluated = 0
         self.edge_count = 0
         self.failures: list[MonitorRecord] = []
         self.firings: list[MonitorRecord] = []
@@ -140,26 +190,101 @@ class RtlSimulator:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Return every register to its init value and re-settle logic."""
-        v = [0] * self.design.num_slots
-        for flat in self.design.regs:
-            v[flat.slot] = flat.init
-        self._v = v
-        self.values = _SlotValues(v)
+        if self._bitpar is not None:
+            self._v = list(self._bitpar.init)
+            self.values = _LaneSlotValues(self)
+            # ctx[0]: tristate conflict lane word; ctx[1:]: activity
+            # guard flags, all raised so the first settle computes
+            # every guarded net
+            self._ctx = [0] + [1] * self._bitpar.num_guards
+            self._lane_fire_words: dict[int, int] = {}
+        else:
+            v = [0] * self.design.num_slots
+            for flat in self.design.regs:
+                v[flat.slot] = flat.init
+            self._v = v
+            self.values = _SlotValues(v)
         self.edge_count = 0
         self.failures = []
         self.firings = []
         self._inputs_dirty = False
         self._settle()
 
+    def _broadcast(self, flat: FlatNet, value: int) -> bool:
+        """Drive ``value`` into every lane of a bit-sliced net; True when
+        any lane word changed."""
+        assert self._bitpar is not None
+        slots = self._bitpar.bit_slots[flat.path]
+        mask = self._bitpar.lane_mask
+        v = self._v
+        changed = False
+        for b in range(flat.width):
+            word = mask if (value >> b) & 1 else 0
+            if v[slots[b]] != word:
+                v[slots[b]] = word
+                changed = True
+        if changed:
+            self._raise_guards(flat.path)
+        return changed
+
+    def _raise_guards(self, path: str) -> None:
+        """Flag the activity guards watching ``path`` after an external
+        write (input drive, fault force) changed one of its bits."""
+        for flag in self._bitpar.state_guards.get(path, ()):
+            self._ctx[flag] = 1
+
     def set_input(self, path: str, value: int) -> None:
-        """Drive a free (testbench) input net by hierarchical path."""
+        """Drive a free (testbench) input net by hierarchical path.
+
+        On the bitpar backend the scalar value is broadcast into every
+        lane (use :meth:`set_input_lanes` for per-lane stimulus).
+        """
         flat = self.design.net(path)
         if flat.kind != "input":
             raise HdlError(f"{path} is not a free input ({flat.kind})")
         if value < 0 or value >= (1 << flat.width):
             raise HdlError(f"value {value} does not fit {flat.width}-bit {path}")
+        if self._bitpar is not None:
+            if self._broadcast(flat, value):
+                self._inputs_dirty = True
+            return
         if self._v[flat.slot] != value:
             self._v[flat.slot] = value
+            self._inputs_dirty = True
+
+    def set_input_lanes(self, path: str, values) -> None:
+        """Drive one value per lane into a free input (bitpar only).
+
+        ``values`` must hold exactly :attr:`lanes` ints; value *i* is
+        packed into lane *i* of each of the net's bit words.
+        """
+        if self._bitpar is None:
+            raise HdlError("set_input_lanes requires backend='bitpar'")
+        flat = self.design.net(path)
+        if flat.kind != "input":
+            raise HdlError(f"{path} is not a free input ({flat.kind})")
+        if len(values) != self.lanes:
+            raise HdlError(
+                f"expected {self.lanes} lane values for {path}, "
+                f"got {len(values)}"
+            )
+        limit = 1 << flat.width
+        for value in values:
+            if value < 0 or value >= limit:
+                raise HdlError(
+                    f"value {value} does not fit {flat.width}-bit {path}")
+        slots = self._bitpar.bit_slots[flat.path]
+        v = self._v
+        changed = False
+        for b in range(flat.width):
+            word = 0
+            for lane, value in enumerate(values):
+                word |= ((value >> b) & 1) << lane
+            if v[slots[b]] != word:
+                v[slots[b]] = word
+                changed = True
+        if changed:
+            self._raise_guards(flat.path)
             self._inputs_dirty = True
 
     def read(self, path: str) -> int:
@@ -167,12 +292,56 @@ class RtlSimulator:
 
         Pending input changes are settled lazily here, so a read of a
         combinational net immediately after :meth:`set_input` observes
-        the updated logic rather than the pre-update values.
+        the updated logic rather than the pre-update values.  On the
+        bitpar backend this returns lane 0 (the golden lane).
         """
         if self._inputs_dirty:
             self._settle()
             self._inputs_dirty = False
+        if self._bitpar is not None:
+            return self._assemble(path, 0)
         return self._v[self._slots[path]]
+
+    def _assemble(self, path: str, lane: int) -> int:
+        slots = self._bitpar.bit_slots[path]
+        v = self._v
+        value = 0
+        for b, slot in enumerate(slots):
+            value |= ((v[slot] >> lane) & 1) << b
+        return value
+
+    def read_lane(self, path: str, lane: int) -> int:
+        """Read one lane's value of a net (bitpar only)."""
+        if self._bitpar is None:
+            raise HdlError("read_lane requires backend='bitpar'")
+        if self._inputs_dirty:
+            self._settle()
+            self._inputs_dirty = False
+        return self._assemble(path, lane)
+
+    def read_lanes(self, path: str) -> list[int]:
+        """Read every lane's value of a net as a list (bitpar only)."""
+        if self._bitpar is None:
+            raise HdlError("read_lanes requires backend='bitpar'")
+        if self._inputs_dirty:
+            self._settle()
+            self._inputs_dirty = False
+        v = self._v
+        words = [v[slot] for slot in self._bitpar.bit_slots[path]]
+        return [
+            sum(((word >> lane) & 1) << b for b, word in enumerate(words))
+            for lane in range(self.lanes)
+        ]
+
+    def lane_word(self, path: str, bit: int = 0) -> int:
+        """The raw lane word of one bit of a net (bitpar only): bit *i*
+        of the result is ``path[bit]`` in lane *i*."""
+        if self._bitpar is None:
+            raise HdlError("lane_word requires backend='bitpar'")
+        if self._inputs_dirty:
+            self._settle()
+            self._inputs_dirty = False
+        return self._v[self._bitpar.bit_slots[path][bit]]
 
     def add_edge_hook(self, hook: Callable[[str, "RtlSimulator"], None]) -> None:
         """Register ``hook(edge_name, sim)`` called after every edge settles."""
@@ -206,6 +375,7 @@ class RtlSimulator:
         "nets", "inputs", "comb", "regs", "state_bits", "monitors",
         "backend", "edges", "firings", "failures",
         "cover_probe_calls", "cover_tracked_nets", "cover_collectors",
+        "lanes", "lane_passes", "words_evaluated",
     )
 
     def stats(self) -> dict:
@@ -228,6 +398,11 @@ class RtlSimulator:
             cover_probe_calls=self._cover_probe_calls,
             cover_tracked_nets=self._cover_tracked_nets,
             cover_collectors=len(self._cover_collectors),
+            # bit-parallel accounting: zero on the scalar backends so the
+            # schema stays comparable across all three
+            lanes=self.lanes,
+            lane_passes=self._lane_passes,
+            words_evaluated=self._words_evaluated,
         )
         assert set(stats) == set(self.STATS_KEYS)
         return stats
@@ -260,6 +435,11 @@ class RtlSimulator:
         if self._compiled is not None:
             self._compiled.settle(self._v)
             return
+        if self._bitpar is not None:
+            self._bitpar.settle(self._v, self._ctx)
+            self._lane_passes += 1
+            self._words_evaluated += self._bitpar.work["settle"]
+            return
         v = self._v
         for flat in self.design.comb_order:
             v[flat.slot] = self._eval_flat(flat)
@@ -274,7 +454,20 @@ class RtlSimulator:
         if self._inputs_dirty:
             self._settle()
             self._inputs_dirty = False
-        if self._compiled is not None:
+        if self._bitpar is not None:
+            step_fn = self._bitpar.steps.get(edge)
+            lane_fired: list[tuple[int, int]] = []
+            if step_fn is not None:
+                step_fn(self._v, lane_fired, self._ctx)
+                self._words_evaluated += self._bitpar.work[edge]
+            else:  # edge without regs or monitors: just re-settle
+                self._bitpar.settle(self._v, self._ctx)
+                self._words_evaluated += self._bitpar.work["settle"]
+            self._lane_passes += 1
+            self.edge_count += 1
+            if lane_fired:
+                self._record_lane_firings(lane_fired, edge)
+        elif self._compiled is not None:
             step_fn = self._compiled.steps.get(edge)
             fired: list[int] = []
             if step_fn is not None:
@@ -330,6 +523,52 @@ class RtlSimulator:
         monitors = self.design.monitors
         for index in fired:
             self._record(monitors[index], edge)
+
+    def _record_lane_firings(self, fired: list[tuple[int, int]],
+                             edge: str) -> None:
+        """Bitpar firing handling: lane-0 firings become ordinary
+        :class:`MonitorRecord` entries (so firings/failures/ok and
+        ``stop_on_failure`` see exactly what the compiled backend sees),
+        while the full lane words accumulate per monitor for per-lane
+        verdicts."""
+        monitors = self.design.monitors
+        words = self._lane_fire_words
+        for index, word in fired:
+            words[index] = words.get(index, 0) | word
+            if word & 1:
+                self._record(monitors[index], edge)
+
+    @property
+    def conflict_lanes(self) -> int:
+        """Lane word of tristate bus conflicts seen since reset (bitpar
+        only; lane 0 conflicts raise instead, like the scalar backends)."""
+        if self._bitpar is None:
+            return 0
+        if self._inputs_dirty:
+            self._settle()
+            self._inputs_dirty = False
+        return self._ctx[0]
+
+    def monitor_lane_word(self, index: int) -> int:
+        """Accumulated fire word of monitor ``index`` since reset (bitpar
+        only): bit *i* set means the monitor fired at least once in lane
+        *i*."""
+        if self._bitpar is None:
+            raise HdlError("monitor_lane_word requires backend='bitpar'")
+        return self._lane_fire_words.get(index, 0)
+
+    def lane_failure_names(self, lane: int) -> list[str]:
+        """Sorted names of error-severity monitors that fired in ``lane``
+        at any point since reset (bitpar only)."""
+        if self._bitpar is None:
+            raise HdlError("lane_failure_names requires backend='bitpar'")
+        mask = 1 << lane
+        monitors = self.design.monitors
+        return sorted({
+            monitors[index].name
+            for index, word in self._lane_fire_words.items()
+            if word & mask and monitors[index].severity == "error"
+        })
 
     def _check_monitors(self, edge: str) -> None:
         for monitor in self.design.monitors:

@@ -1,0 +1,205 @@
+"""The PPSFP contract: lane-parallel fault batching changes nothing but
+the wall clock.
+
+``FaultCampaign.run(lanes=N)`` packs compatible RTL faults into the
+lanes of one bit-parallel simulation pass (lane 0 golden, fault *k* in
+lane *k*); the resulting :class:`FaultVerdict` objects must be
+bit-identical (timing aside) to a ``lanes=1`` per-fault sweep, lanes
+must multiply with ``jobs``, checkpoints must resume across lane
+counts, and every fault the lane encoding cannot express must fall back
+to the per-fault compiled path -- the degradation ladder.  On top sits
+fault collapsing: equivalent stuck-ats are swept once and fanned back
+out through ``collapsed_from``.
+"""
+
+import pytest
+
+from repro.core import La1Config, build_la1_top_with_ovl
+from repro.fault.campaign import CampaignConfig, FaultCampaign
+from repro.fault.models import ProtocolMutation, RtlBitFlip, RtlStuckAt
+from repro.fault.ppsfp import ppsfp_compatible
+from repro.fault.rtl_inject import collapse_faults
+from repro.rtl import elaborate
+
+
+def _tiny_config(**overrides):
+    base = dict(banks=1, traffic=8, rtl_cycles=80)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _timeless(report):
+    out = []
+    for verdict in report.verdicts:
+        data = verdict.to_dict()
+        data.pop("cpu_time", None)
+        out.append(data)
+    return out
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return FaultCampaign(_tiny_config()).run(jobs=1, lanes=1)
+
+
+@pytest.fixture(scope="module")
+def la1_design():
+    return elaborate(build_la1_top_with_ovl(
+        La1Config(banks=1, beat_bits=16, addr_bits=4)))
+
+
+# aliased pure-wiring views of the same input bit in the 1-bank top:
+# a stuck-at on any of them resolves to la1_top.r_sel[0]
+_ALIASES = ["la1_top.r_sel", "la1_top.bank0.r_sel",
+            "la1_top.bank0.read_port.r_sel"]
+
+
+class TestLaneDeterminism:
+    @pytest.mark.parametrize("lanes", [8, 64])
+    def test_lanes_n_matches_lanes_1(self, serial_report, lanes):
+        batched = FaultCampaign(_tiny_config()).run(lanes=lanes)
+        assert batched.signature() == serial_report.signature()
+        assert _timeless(batched) == _timeless(serial_report)
+        # the bitpar engine really ran, and reports its lane accounting
+        ppsfp = batched.engine_stats["ppsfp"][str(lanes)]
+        assert ppsfp["backend"] == "bitpar"
+        assert ppsfp["lanes"] == lanes
+        assert ppsfp["lane_passes"] > 0
+        assert ppsfp["words_evaluated"] > 0
+
+    def test_lanes_multiply_with_jobs(self, serial_report):
+        combined = FaultCampaign(_tiny_config()).run(jobs=2, lanes=8)
+        assert combined.signature() == serial_report.signature()
+        assert _timeless(combined) == _timeless(serial_report)
+        assert combined.engine_stats["par"]["mode"] == "pool"
+
+    def test_checkpoint_resumes_across_lane_counts(self, serial_report,
+                                                   tmp_path):
+        # lanes is an execution strategy, not part of the campaign
+        # fingerprint: a lanes=1 checkpoint must resume under lanes=64
+        state = str(tmp_path / "campaign.json")
+        first = FaultCampaign(
+            _tiny_config(checkpoint_path=state, max_faults=5)).run(lanes=1)
+        assert len(first.verdicts) == 5
+        full = FaultCampaign(
+            _tiny_config(checkpoint_path=state)).run(lanes=64)
+        assert full.signature() == serial_report.signature()
+
+
+class TestDegradationLadder:
+    def test_ppsfp_compatible_classification(self, la1_design):
+        ok = RtlStuckAt("la1_top.bank0.read_port.st_fetch", 0, 1)
+        seu = RtlBitFlip("la1_top.bank0.read_port.st_out0", 0, at_edge=8)
+        assert ppsfp_compatible(la1_design, ok)
+        assert ppsfp_compatible(la1_design, seu)
+        # protocol mutations act at the SystemC transactor: no lane form
+        assert not ppsfp_compatible(
+            la1_design, ProtocolMutation("drop_beat0", 0))
+        # unresolvable targets go to the per-fault path, which contains
+        # them as error verdicts
+        assert not ppsfp_compatible(
+            la1_design, RtlStuckAt("la1_top.no.such.net", 0, 1))
+
+    def test_execute_faults_mixes_batched_and_fallback(self):
+        campaign = FaultCampaign(_tiny_config())
+        faults = [
+            RtlStuckAt("la1_top.bank0.read_port.st_out0", 0, 0),
+            ProtocolMutation("drop_beat0", 0),  # fallback: sysc layer
+            RtlStuckAt("la1_top.bank0.read_port.st_fetch", 0, 0),
+            RtlBitFlip("la1_top.bank0.read_port.st_out1", 0, at_edge=6),
+        ]
+        batched = campaign.execute_faults(faults, lanes=8)
+        reference = [FaultCampaign(_tiny_config()).execute_fault(f)
+                     for f in faults]
+        assert [v.fault_id for v in batched] == [f.fault_id for f in faults]
+        for got, want in zip(batched, reference):
+            got, want = got.to_dict(), want.to_dict()
+            got.pop("cpu_time"), want.pop("cpu_time")
+            assert got == want
+
+    def test_bad_target_contained_under_lanes(self, tmp_path):
+        bad = RtlStuckAt("la1_top.no.such.net", 0, 1)
+        good = RtlStuckAt("la1_top.bank0.read_port.st_fetch", 0, 0)
+        report = FaultCampaign(_tiny_config()).run(
+            faults=[bad, good], lanes=64)
+        by_id = {v.fault_id: v for v in report.verdicts}
+        assert by_id[bad.fault_id].outcome == "error"
+        assert "no.such.net" in by_id[bad.fault_id].detail
+        assert by_id[good.fault_id].outcome != "error"
+
+
+class TestCollapse:
+    def test_collapse_faults_groups_aliases(self, la1_design):
+        rep = RtlStuckAt(_ALIASES[0], 0, 0)
+        members = [RtlStuckAt(path, 0, 0) for path in _ALIASES[1:]]
+        distinct = RtlStuckAt(_ALIASES[0], 0, 1)    # other forced value
+        passthru = [ProtocolMutation("drop_beat0", 0),
+                    RtlStuckAt("la1_top.no.such.net", 0, 1)]
+        plan = collapse_faults([rep, *members, distinct, *passthru],
+                               la1_design)
+        assert plan.run_faults == [rep, distinct, *passthru]
+        assert plan.collapsed == 2
+        assert plan.groups == {rep.fault_id: members}
+
+    def test_campaign_fans_verdicts_back_out(self):
+        rep = RtlStuckAt(_ALIASES[0], 0, 0)
+        members = [RtlStuckAt(path, 0, 0) for path in _ALIASES[1:]]
+        seen = []
+        report = FaultCampaign(_tiny_config()).run(
+            faults=[rep, *members],
+            on_verdict=lambda v: seen.append(v.fault_id))
+        by_id = {v.fault_id: v for v in report.verdicts}
+        assert len(report.verdicts) == 3
+        assert sorted(seen) == sorted(by_id)
+        rep_v = by_id[rep.fault_id]
+        assert rep_v.collapsed_from == sorted(m.fault_id for m in members)
+        for member in members:
+            verdict = by_id[member.fault_id]
+            assert verdict.collapsed_from == [rep.fault_id]
+            assert verdict.cpu_time == 0.0
+            assert verdict.outcome == rep_v.outcome
+            assert verdict.detected_by == rep_v.detected_by
+            assert verdict.detail == rep_v.detail
+
+    def test_collapsed_member_equals_standalone_sweep(self):
+        """The semantic justification: sweeping a member alone yields
+        the same outcome the representative's verdict claims for it."""
+        member = RtlStuckAt(_ALIASES[2], 0, 0)
+        alone = FaultCampaign(_tiny_config()).run(faults=[member])
+        collapsed = FaultCampaign(_tiny_config()).run(
+            faults=[RtlStuckAt(_ALIASES[0], 0, 0), member])
+        alone_v = alone.verdicts[0]
+        coll_v = next(v for v in collapsed.verdicts
+                      if v.fault_id == member.fault_id)
+        assert alone_v.outcome == coll_v.outcome
+        assert alone_v.detected_by == coll_v.detected_by
+
+    def test_collapse_identical_across_jobs_and_lanes(self):
+        faults = [RtlStuckAt(path, 0, 0) for path in _ALIASES]
+        faults.append(RtlStuckAt("la1_top.bank0.read_port.st_out0", 0, 0))
+        serial = FaultCampaign(_tiny_config()).run(faults=list(faults))
+        both = FaultCampaign(_tiny_config()).run(
+            faults=list(faults), jobs=2, lanes=8)
+        assert serial.signature() == both.signature()
+        assert _timeless(serial) == _timeless(both)
+
+    def test_checkpointed_member_keeps_its_verdict(self, tmp_path):
+        """A member already swept by an earlier (pre-collapse) run is
+        not overwritten when a later run collapses it."""
+        member = RtlStuckAt(_ALIASES[1], 0, 0)
+        rep = RtlStuckAt(_ALIASES[0], 0, 0)
+        state = str(tmp_path / "campaign.json")
+        first = FaultCampaign(
+            _tiny_config(checkpoint_path=state)).run(faults=[member])
+        second = FaultCampaign(
+            _tiny_config(checkpoint_path=state)).run(faults=[rep, member])
+        kept = next(v for v in second.verdicts
+                    if v.fault_id == member.fault_id)
+        assert kept.collapsed_from == []        # swept, not copied
+        assert kept.outcome == first.verdicts[0].outcome
+
+    def test_default_fault_list_signature_unchanged(self, serial_report):
+        """The shipped smoke list has no collapsible duplicates, so
+        collapsing is invisible to its report."""
+        for verdict in serial_report.verdicts:
+            assert verdict.collapsed_from == []

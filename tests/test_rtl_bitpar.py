@@ -1,0 +1,275 @@
+"""Differential equivalence: bit-parallel RTL backend vs the scalar ones.
+
+The ``"bitpar"`` backend in :mod:`repro.rtl.bitsim` evaluates the same
+netlist in N lanes at once -- each net bit becomes one Python int whose
+bit *i* is that bit's value in lane *i*.  Its contract has two halves:
+
+* **lane 0 is golden** -- with identical (broadcast) stimulus, lane 0
+  must be bit-identical to the ``"compiled"`` and ``"interp"`` backends
+  on every net after every edge, with the same monitor firing sequence;
+* **lanes are independent** -- lane *i* driven with stimulus stream *i*
+  must equal a scalar simulator driven with that stream alone, no
+  matter what the other lanes do.
+
+This suite pins both halves over the random expression netlists of
+``test_rtl_compiled.py`` and the 1/2/4/8-bank LA-1 tops with the OVL
+checker set loaded, plus the lane-word monitor/ conflict accounting and
+the backend stats schema.
+"""
+
+import random
+
+import pytest
+
+from repro.core import La1Config, RtlHost, build_la1_top_with_ovl
+from repro.ovl import assert_even_parity
+from repro.rtl import C, HdlError, RtlModule, RtlSimulator, elaborate
+from tests.test_rtl_compiled import _INPUT_WIDTHS, _firing_sig, _fuzz_module
+
+LANES = 4
+
+
+def _trio(design, lanes=LANES, **kwargs):
+    """Interpreter, compiled and bitpar simulators over one FlatDesign."""
+    return (
+        RtlSimulator(design, backend="interp", **kwargs),
+        RtlSimulator(design, backend="compiled", **kwargs),
+        RtlSimulator(design, backend="bitpar", lanes=lanes, **kwargs),
+    )
+
+
+def _assert_lane0_equal(bitpar, scalar, context=""):
+    """Every net's lane-0 value must equal the scalar backend's value."""
+    for path in bitpar.design.nets:
+        assert bitpar.read(path) == scalar.read(path), (
+            f"{path} diverged ({scalar.backend} backend) {context}"
+        )
+
+
+# ----------------------------------------------------------------------
+# random expression netlists -- lane 0 vs both scalar backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_expression_fuzz_lane0_bit_identical(seed):
+    design = elaborate(_fuzz_module(seed))
+    si, sc, sb = _trio(design)
+    _assert_lane0_equal(sb, sc, "after reset")
+    rng = random.Random(seed + 1000)
+    top = f"fuzz{seed}"
+    for step in range(40):
+        for k, width in enumerate(_INPUT_WIDTHS):
+            value = rng.getrandbits(width)
+            for sim in (si, sc, sb):
+                sim.set_input(f"{top}.i{k}", value)  # broadcast on bitpar
+        edge = rng.choice(["K", "K#"])
+        for sim in (si, sc, sb):
+            sim.step(edge)
+        _assert_lane0_equal(sb, sc, f"at step {step} ({edge})")
+        _assert_lane0_equal(sb, si, f"at step {step} ({edge})")
+    assert _firing_sig(sb) == _firing_sig(sc)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_expression_fuzz_lane_independence(seed):
+    """Lane *i* under stimulus stream *i* equals a scalar sim under that
+    stream alone -- the property PPSFP and lane-parallel scoring rest on."""
+    design = elaborate(_fuzz_module(seed))
+    sb = RtlSimulator(design, backend="bitpar", lanes=LANES)
+    refs = [RtlSimulator(design, backend="compiled")
+            for __ in range(LANES)]
+    rngs = [random.Random(seed * 100 + lane) for lane in range(LANES)]
+    top = f"fuzz{seed}"
+    edge_rng = random.Random(seed + 5000)
+    for step in range(30):
+        for k, width in enumerate(_INPUT_WIDTHS):
+            values = [rng.getrandbits(width) for rng in rngs]
+            sb.set_input_lanes(f"{top}.i{k}", values)
+            for ref, value in zip(refs, values):
+                ref.set_input(f"{top}.i{k}", value)
+        edge = edge_rng.choice(["K", "K#"])
+        sb.step(edge)
+        for ref in refs:
+            ref.step(edge)
+        for path in design.nets:
+            got = sb.read_lanes(path)
+            want = [ref.read(path) for ref in refs]
+            assert got == want, f"{path} diverged at step {step}"
+
+
+# ----------------------------------------------------------------------
+# LA-1 with OVL checkers -- the shipped 1/2/4/8-bank models
+# ----------------------------------------------------------------------
+BANKS = [1, 2, 4, 8]
+
+
+def _la1_design(banks):
+    config = La1Config(banks=banks, beat_bits=16, addr_bits=3)
+    return config, elaborate(build_la1_top_with_ovl(config))
+
+
+@pytest.mark.parametrize("banks", BANKS)
+def test_la1_random_traffic_lane0_bit_identical(banks):
+    """Broadcast random (illegal) traffic: lane 0 must track both scalar
+    backends through OVL monitor firings and all."""
+    __, design = _la1_design(banks)
+    si, sc, sb = _trio(design, detect_bus_conflicts=False)
+    free = [(path, flat.width) for path, flat in design.nets.items()
+            if flat.kind == "input"]
+    rng = random.Random(2004 + banks)
+    for cycle in range(30):
+        for path, width in free:
+            value = rng.getrandbits(width)
+            for sim in (si, sc, sb):
+                sim.set_input(path, value)
+        for edge in ("K", "K#"):
+            for sim in (si, sc, sb):
+                sim.step(edge)
+        if cycle % 5 == 0 or cycle == 29:
+            _assert_lane0_equal(sb, sc, f"at cycle {cycle}")
+            _assert_lane0_equal(sb, si, f"at cycle {cycle}")
+    assert _firing_sig(sb) == _firing_sig(sc) == _firing_sig(si)
+    if banks >= 2:
+        assert sb.firings, "random traffic should trip the checkers"
+    # the lane-word accounting agrees with the scalar record list:
+    # a monitor's lane-0 bit is set iff it appears in the firings
+    fired_names = {record.name for record in sb.firings}
+    for index, monitor in enumerate(sb.design.monitors):
+        lane0 = bool(sb.monitor_lane_word(index) & 1)
+        assert lane0 == (monitor.name in fired_names)
+
+
+@pytest.mark.parametrize("banks", [1, 2, 4])
+def test_la1_legal_traffic_host_equivalent(banks):
+    """The RtlHost testbench reads lane 0 through the ordinary scalar
+    API, so a legal-traffic session must complete identically."""
+    config = La1Config(banks=banks, beat_bits=16, addr_bits=3)
+    results = {}
+    for backend in ("compiled", "bitpar"):
+        sim = RtlSimulator(elaborate(build_la1_top_with_ovl(config)),
+                           backend=backend, lanes=8)
+        host = RtlHost(sim, config)
+        rng = random.Random(7)
+        for __ in range(25):
+            bank, addr = rng.randrange(banks), rng.randrange(8)
+            if rng.random() < 0.5:
+                host.read(bank, addr)
+            else:
+                host.write(bank, addr, rng.getrandbits(32))
+        host.run_cycles(160)
+        assert sim.ok, sim.failures[:3]
+        results[backend] = [
+            (r.bank, r.addr, r.word, r.beats, r.parities,
+             r.issued_at, r.completed_at)
+            for r in host.results
+        ]
+    assert results["compiled"], "some reads must complete"
+    assert results["compiled"] == results["bitpar"]
+
+
+# ----------------------------------------------------------------------
+# per-lane monitors and bus-conflict accounting
+# ----------------------------------------------------------------------
+def _parity_module():
+    m = RtlModule("pm")
+    data = m.input("data", 8)
+    par = m.input("par", 1)
+    valid = m.input("valid", 1)
+    assert_even_parity(m, data.ref(), par.ref(), valid.ref(),
+                       name="parity", message="parity mismatch")
+    return m
+
+
+def test_per_lane_monitor_firings():
+    """Only the lanes driven with a parity violation may fire; lane 0
+    stays clean so no scalar failure is recorded."""
+    design = elaborate(_parity_module())
+    sim = RtlSimulator(design, backend="bitpar", lanes=4)
+    # lane 0 and 2 legal (even parity claimed even), lanes 1 and 3 violate
+    sim.set_input_lanes("pm.data", [0b11, 0b1, 0b0, 0b111])
+    sim.set_input_lanes("pm.par", [0, 0, 0, 0])
+    sim.set_input_lanes("pm.valid", [1, 1, 1, 1])
+    sim.step("K")
+    index = next(i for i, monitor in enumerate(design.monitors)
+                 if monitor.name == "pm.parity")
+    assert sim.monitor_lane_word(index) == 0b1010
+    assert sim.lane_failure_names(0) == []
+    assert sim.lane_failure_names(1) == ["pm.parity"]
+    assert sim.lane_failure_names(2) == []
+    assert sim.lane_failure_names(3) == ["pm.parity"]
+    # lane 0 clean -> no scalar record, simulator still ok
+    assert sim.ok and not sim.firings
+
+
+def _bus_module():
+    m = RtlModule("bus")
+    sel = m.input("sel", 2)
+    out = m.output("q", 4)
+    m.tristate(out, sel.ref().bit(0), C(5, 4))
+    m.tristate(out, sel.ref().bit(1), C(9, 4))
+    return elaborate(m)
+
+
+def test_conflict_lanes_recorded_per_lane():
+    sim = RtlSimulator(_bus_module(), backend="bitpar", lanes=4)
+    # lane 2 enables both drivers; lane 0 must stay conflict-free
+    sim.set_input_lanes("bus.sel", [0b01, 0b10, 0b11, 0b00])
+    assert sim.read_lanes("bus.q")[:2] == [5, 9]
+    assert sim.conflict_lanes == 0b0100
+
+
+def test_conflict_on_lane0_raises_like_scalar():
+    messages = {}
+    for backend in ("compiled", "bitpar"):
+        sim = RtlSimulator(_bus_module(), backend=backend, lanes=4)
+        sim.set_input("bus.sel", 0b11)
+        with pytest.raises(HdlError) as exc:
+            sim.read("bus.q")
+        messages[backend] = str(exc.value)
+    assert messages["compiled"] == messages["bitpar"]
+    assert "bus conflict on bus.q" in messages["bitpar"]
+
+
+# ----------------------------------------------------------------------
+# lane API contract and stats schema
+# ----------------------------------------------------------------------
+def test_lane_api_rejects_scalar_backends():
+    design = elaborate(_parity_module())
+    sim = RtlSimulator(design, backend="compiled")
+    with pytest.raises(HdlError, match="bitpar"):
+        sim.set_input_lanes("pm.data", [0])
+    with pytest.raises(HdlError, match="bitpar"):
+        sim.read_lanes("pm.data")
+    with pytest.raises(HdlError, match="bitpar"):
+        sim.lane_word("pm.data")
+    with pytest.raises(HdlError, match="bitpar"):
+        sim.monitor_lane_word(0)
+    with pytest.raises(HdlError, match="bitpar"):
+        sim.lane_failure_names(0)
+
+
+def test_set_input_lanes_requires_exact_width():
+    design = elaborate(_parity_module())
+    sim = RtlSimulator(design, backend="bitpar", lanes=4)
+    with pytest.raises(HdlError, match="expected 4 lane values"):
+        sim.set_input_lanes("pm.data", [1, 2])
+    with pytest.raises(HdlError, match="does not fit"):
+        sim.set_input_lanes("pm.data", [0, 0, 0, 1 << 8])
+
+
+def test_stats_schema_across_backends():
+    design = elaborate(_parity_module())
+    for backend in ("interp", "compiled", "bitpar"):
+        sim = RtlSimulator(design, backend=backend, lanes=8)
+        sim.set_input("pm.valid", 0)
+        sim.cycle(3)
+        stats = sim.stats()
+        assert set(stats) == set(RtlSimulator.STATS_KEYS)
+        assert stats["backend"] == backend
+        if backend == "bitpar":
+            assert stats["lanes"] == 8
+            assert stats["lane_passes"] > 0
+            assert stats["words_evaluated"] > 0
+        else:
+            assert stats["lanes"] == 0
+            assert stats["lane_passes"] == 0
+            assert stats["words_evaluated"] == 0
