@@ -88,6 +88,14 @@ class FlowConfig:
     #: conjuncts one process per property -- verdicts are identical to
     #: jobs=1, which checks their conjunction in a single run
     jobs: int = 1
+    #: service-grade supervision knobs for the sharded stages
+    #: (repro.par.supervise; jobs > 1 only): attempts each shard gets
+    #: before quarantine, and the per-shard wall-clock after which a
+    #: hung worker is killed and the shard retried.  A quarantined
+    #: MC property degrades the stage to inconclusive (FAIL), never to
+    #: a silent pass
+    shard_attempts: int = 2
+    shard_deadline_s: Optional[float] = None
     #: bit-parallel lane width for the OVL simulation stage; lanes > 1
     #: runs it on the "bitpar" backend (rtl_backend then applies to the
     #: other RTL consumers only) with broadcast traffic and lane-0
@@ -301,6 +309,7 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
     # ------------------------------------------------ 6. RTL model check
     if config.rtl_mc is not None:
         start = time.perf_counter()
+        degraded = ""
         if config.jobs > 1:
             # sweep the read-mode conjuncts one process per property;
             # the conjunction of the per-property verdicts equals the
@@ -313,8 +322,23 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
                 read_mode_suite(1),
                 datapath=(config.rtl_mc == "full"),
                 jobs=config.jobs,
+                shard_attempts=config.shard_attempts,
+                shard_deadline_s=config.shard_deadline_s,
             )
             mc = sweep.combined()
+            # degraded-run visibility: a sweep that needed the
+            # supervision ladder says so instead of passing silently
+            par = sweep.par_stats
+            notes = []
+            if par.get("retries"):
+                notes.append(f"{par['retries']} retries")
+            if par.get("killed_workers"):
+                notes.append(f"{par['killed_workers']} workers reaped")
+            if sweep.quarantined:
+                notes.append(
+                    f"quarantined: {', '.join(sweep.quarantined)}")
+            if notes:
+                degraded = f" [DEGRADED: {'; '.join(notes)}]"
         else:
             mc = check_read_mode_rtl(
                 config.banks,
@@ -335,7 +359,8 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
             f"model, {mc.peak_nodes} BDDs, {mc.iterations} iterations"
             + cache
             + (" [STATE EXPLOSION]" if mc.exploded else "")
-            + (" [DEADLINE]" if mc.truncated else ""),
+            + (" [DEADLINE]" if mc.truncated else "")
+            + degraded,
             time.perf_counter() - start,
             data=mc,
         ))

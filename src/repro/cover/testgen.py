@@ -139,24 +139,29 @@ def _score_round(
     A machine with a ``score_walks`` hook scores all candidates itself
     (lane-parallel vehicles pack ``lanes`` of them per simulation
     pass).  Otherwise, with ``jobs > 1`` and a ``model_spec`` the
-    candidates fan out over the process pool
-    (:func:`repro.par.workers.testgen_score_shard`); each worker
+    candidates fan out over the supervised process pool
+    (:func:`repro.par.run_supervised` running
+    :func:`repro.par.workers.testgen_score_shard`); each worker
     regenerates its walks from the per-walk seeds and replays them
     against a snapshot of the DB, so only ``(index, gain)`` pairs cross
-    the pipe.  The inline path replays against clones with identical
-    arithmetic, which is what the determinism tests check.
+    the pipe.  A worker that crashes or hangs is retried; a shard
+    quarantined after its attempt budget is re-scored inline, so the
+    selected suite is bit-identical to ``jobs=1`` under any fault the
+    supervisor can contain.  The inline path replays against clones
+    with identical arithmetic, which is what the determinism tests
+    check.
     """
     score_walks = getattr(machine, "score_walks", None)
     if score_walks is not None:
         return score_walks(walk_seeds, walk_steps, db, lanes=lanes)
     if jobs > 1 and model_spec is not None and len(walk_seeds) > 1:
-        from ..par import plan_shards, run_sharded
+        from ..par import ShardError, plan_shards, run_supervised
         from ..par.workers import testgen_init, testgen_score_shard
 
         candidates = list(enumerate(walk_seeds))
         shards = plan_shards(candidates, jobs)
         db_dict = db.to_dict()
-        results, __ = run_sharded(
+        results, __ = run_supervised(
             testgen_score_shard,
             [(model_spec, db_dict, shard, walk_steps) for shard in shards],
             jobs=jobs,
@@ -164,7 +169,14 @@ def _score_round(
             initargs=(model_spec,),
         )
         gains = [0] * len(walk_seeds)
-        for pairs in results:
+        for shard, pairs in zip(shards, results):
+            if pairs is None or isinstance(pairs, ShardError):
+                # quarantined or abandoned shard: re-score inline so the
+                # selected suite stays bit-identical to jobs=1 (a
+                # deterministic failure then raises here, exactly as the
+                # sequential run would have)
+                pairs = testgen_score_shard(
+                    model_spec, db_dict, shard, walk_steps)
             for index, gain in pairs:
                 gains[index] = gain
         return gains
@@ -286,12 +298,12 @@ def undirected_suite(
             history.append(db.coverage())
         return CoverageDrivenResult(walks, db, history, False, False, 0)
     if jobs > 1 and model_spec is not None and num_tests > 1:
-        from ..par import plan_shards, run_sharded
+        from ..par import ShardError, plan_shards, run_supervised
         from ..par.workers import testgen_init, testgen_replay_shard
 
         candidates = list(enumerate(walk_seeds))
         shards = plan_shards(candidates, jobs)
-        results, __ = run_sharded(
+        results, __ = run_supervised(
             testgen_replay_shard,
             [(model_spec, shard, walk_steps) for shard in shards],
             jobs=jobs,
@@ -299,7 +311,12 @@ def undirected_suite(
             initargs=(model_spec,),
         )
         per_walk = {}
-        for pairs in results:
+        for shard, pairs in zip(shards, results):
+            if pairs is None or isinstance(pairs, ShardError):
+                # quarantined shard: replay inline (bit-identical merge
+                # order is preserved because merging happens below, in
+                # walk order, from the per-walk DBs)
+                pairs = testgen_replay_shard(model_spec, shard, walk_steps)
             for index, db_dict in pairs:
                 per_walk[index] = CoverageDB.from_dict(db_dict)
         for index in range(num_tests):

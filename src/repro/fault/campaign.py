@@ -20,8 +20,16 @@ error      the engine itself raised; campaigns contain the exception
 Robustness contract: a campaign never crashes (per-fault exception
 containment), honours per-fault and whole-campaign wall-clock deadlines
 with structured ``truncated`` verdicts, and checkpoints every verdict to
-a JSON state file so a killed campaign resumes -- skipping completed
-faults -- to the same final report (:meth:`CampaignReport.signature`).
+a JSON state file -- written atomically (temp file + ``os.replace`` +
+fsync) -- so a killed campaign resumes, skipping completed faults, to
+the same final report (:meth:`CampaignReport.signature`).  Under
+``jobs > 1`` the sweep runs on the supervised pool
+(:func:`repro.par.run_supervised`): crashed or hung workers are reaped
+and their shards retried with backoff, a deterministically-failing
+shard is quarantined into structured ``error`` verdicts after its
+``shard_attempts`` budget instead of aborting the run, and an optional
+``journal_path`` write-ahead journal lets a killed coordinator resume
+without recomputing any collected shard.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import os
 import random
 import time
 import traceback
+import warnings
 from typing import Callable, List, Optional
 
 from ..asm import AsmModelChecker, ExplorationConfig
@@ -80,6 +89,12 @@ class CampaignConfig:
         campaign_deadline_s: Optional[float] = None,
         checkpoint_path: Optional[str] = None,
         max_faults: Optional[int] = None,
+        shard_attempts: int = 2,
+        shard_deadline_s: Optional[float] = None,
+        retry_backoff_s: float = 0.05,
+        journal_path: Optional[str] = None,
+        chaos_kill_marker: Optional[str] = None,
+        chaos_hang_marker: Optional[str] = None,
     ):
         self.banks = banks
         self.traffic = traffic
@@ -90,6 +105,20 @@ class CampaignConfig:
         self.campaign_deadline_s = campaign_deadline_s
         self.checkpoint_path = checkpoint_path
         self.max_faults = max_faults
+        #: supervised execution budget (jobs > 1): attempts per shard
+        #: before quarantine, per-shard wall-clock before the worker is
+        #: killed, and the retry backoff base (repro.par.supervise)
+        self.shard_attempts = shard_attempts
+        self.shard_deadline_s = shard_deadline_s
+        self.retry_backoff_s = retry_backoff_s
+        #: write-ahead journal for jobs > 1: collected shard reports are
+        #: durably appended as they land, so a killed coordinator
+        #: resumes without recomputing any collected shard
+        self.journal_path = journal_path
+        #: chaos-injection markers (tests / bench / serve --smoke only):
+        #: the first worker to claim one dies / hangs exactly once
+        self.chaos_kill_marker = chaos_kill_marker
+        self.chaos_hang_marker = chaos_hang_marker
 
     def la1(self) -> La1Config:
         """The concrete simulation-scale config (the flow's shape)."""
@@ -606,7 +635,23 @@ class FaultCampaign:
         try:
             with open(path) as fh:
                 state = json.load(fh)
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
+            # a truncated or corrupt checkpoint (crash mid-write with a
+            # pre-atomic writer, disk trouble) must not make resume
+            # crash: warn and start empty -- completed work is lost but
+            # the campaign still finishes with correct verdicts
+            warnings.warn(
+                f"campaign checkpoint {path} is unreadable ({exc}); "
+                "resuming with an empty state",
+                stacklevel=2,
+            )
+            return {}
+        if not isinstance(state, dict):
+            warnings.warn(
+                f"campaign checkpoint {path} holds a non-object payload;"
+                " resuming with an empty state",
+                stacklevel=2,
+            )
             return {}
         if state.get("fingerprint") != self.config.fingerprint():
             return {}  # different workload: verdicts not transferable
@@ -626,10 +671,25 @@ class FaultCampaign:
                 for fault_id, verdict in completed.items()
             },
         }
-        tmp = f"{path}.tmp"
+        # atomic and durable: same-directory temp file, fsync'd before
+        # the rename and the directory fsync'd after it -- a coordinator
+        # killed at any instant leaves either the old checkpoint or the
+        # new one, never a torn file
+        tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fh:
             json.dump(state, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        parent = os.path.dirname(os.path.abspath(path))
+        try:
+            fd = os.open(parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # -- the sweep -----------------------------------------------------
     def _dispatch(self, fault: Fault) -> FaultVerdict:
@@ -732,13 +792,20 @@ class FaultCampaign:
     def _run_parallel(self, pending: List[Fault], completed: dict,
                       on_verdict, jobs: int, start: float,
                       lanes: int = 1) -> dict:
-        """Fan the pending faults out over a process pool (one shard per
-        weight-balanced fault group).  Fills ``completed`` (checkpointing
-        after every collected shard) and returns the merged engine
-        stats.  Pool failure degrades to inline execution inside
-        :func:`repro.par.run_sharded`; a campaign deadline turns
-        uncollected shards into structured ``truncated`` verdicts."""
-        from ..par import plan_shards, run_sharded
+        """Fan the pending faults out over the *supervised* process pool
+        (one shard per weight-balanced fault group,
+        :func:`repro.par.run_supervised`).  Fills ``completed``
+        (checkpointing after every collected shard) and returns the
+        merged engine stats.  The supervision ladder applies per shard:
+        a crashed or hung worker is reaped and its shard retried with
+        backoff (``shard_attempts`` budget); a shard that fails every
+        attempt is quarantined into structured ``error`` verdicts while
+        every other shard completes; a campaign deadline turns
+        uncollected shards into ``truncated`` verdicts; and with a
+        ``journal_path`` every collected shard report is durably
+        journaled, so a killed coordinator resumes bit-identically
+        without recomputing it."""
+        from ..par import ShardError, plan_shards, run_supervised
         from ..par.workers import campaign_init, campaign_shard
 
         config = self.config
@@ -752,6 +819,11 @@ class FaultCampaign:
                 0.0,
                 config.campaign_deadline_s - (time.perf_counter() - start),
             )
+        journal = None
+        if config.journal_path:
+            from ..serve.journal import Journal
+
+            journal = Journal(config.journal_path)
 
         def collect(index: int, report_dict: dict) -> None:
             shard_report = CampaignReport.from_dict(report_dict)
@@ -762,18 +834,54 @@ class FaultCampaign:
                 for verdict in shard_report.verdicts:
                     on_verdict(verdict)
 
-        results, stats = run_sharded(
-            campaign_shard,
-            [(config, shard, lanes) for shard in shards],
-            jobs=jobs,
-            initializer=campaign_init,
-            initargs=(config,),
-            timeout_s=timeout,
-            on_result=collect,
-        )
+        try:
+            results, stats = run_supervised(
+                campaign_shard,
+                [(config, shard, lanes) for shard in shards],
+                jobs=jobs,
+                initializer=campaign_init,
+                initargs=(config,),
+                timeout_s=timeout,
+                shard_deadline_s=config.shard_deadline_s,
+                max_attempts=config.shard_attempts,
+                backoff_base_s=config.retry_backoff_s,
+                seed=config.seed,
+                on_result=collect,
+                journal=journal,
+                journal_fingerprint={
+                    "campaign": config.fingerprint(),
+                    "lanes": lanes,
+                    "plan": [[f.fault_id for f in shard]
+                             for shard in shards],
+                },
+            )
+        finally:
+            if journal is not None:
+                journal.close()
         shard_reports = []
         for shard, result in zip(shards, results):
-            if result is None:  # deadline expired before collection
+            if isinstance(result, ShardError):
+                # poison shard: quarantined after its retry budget --
+                # structured error verdicts, the rest of the campaign
+                # is unaffected
+                errors = [
+                    FaultVerdict(
+                        f.fault_id, f.layer, f.kind, "error",
+                        detail=(f"shard quarantined after "
+                                f"{result.attempts} attempt(s): "
+                                f"[{result.kind}] {result.detail}"),
+                        expected_detectable=f.expect_detectable,
+                    )
+                    for f in shard
+                ]
+                shard_reports.append(
+                    CampaignReport(errors, config.fingerprint()))
+                for verdict in errors:
+                    completed[verdict.fault_id] = verdict
+                    if on_verdict is not None:
+                        on_verdict(verdict)
+                self._save_checkpoint(completed)
+            elif result is None:  # deadline expired before collection
                 truncated = [
                     FaultVerdict(
                         f.fault_id, f.layer, f.kind, "truncated",

@@ -29,21 +29,27 @@ __all__ = ["PropertySweepReport", "sweep_rtl_properties"]
 class PropertySweepReport:
     """Per-property results of one sweep plus pool accounting."""
 
-    def __init__(self, results: list, par_stats: Optional[dict] = None):
+    def __init__(self, results: list, par_stats: Optional[dict] = None,
+                 quarantined: Optional[list] = None):
         #: list of (name, SymbolicCheckResult), in suite order
         self.results = list(results)
-        #: ParStats.to_dict() of the underlying run_sharded call
+        #: ParStats.to_dict() of the underlying supervised run
         self.par_stats = dict(par_stats or {})
+        #: names of properties whose shard was quarantined (worker
+        #: failed every attempt) -- no verdict exists for them, so the
+        #: sweep's conjunction degrades to inconclusive, never to a
+        #: silent pass
+        self.quarantined = list(quarantined or [])
 
     @property
     def holds(self) -> Optional[bool]:
         """Conjunction verdict: ``False`` if any property fails,
-        ``None`` if any is inconclusive (exploded/truncated) and none
-        fails, else ``True``."""
+        ``None`` if any is inconclusive (exploded/truncated/quarantined)
+        and none fails, else ``True``."""
         verdicts = [r.holds for __, r in self.results]
         if any(v is False for v in verdicts):
             return False
-        if any(v is not True for v in verdicts):
+        if self.quarantined or any(v is not True for v in verdicts):
             return None
         return True
 
@@ -88,6 +94,7 @@ class PropertySweepReport:
             "properties": [
                 {"name": name, **r.to_dict()} for name, r in self.results
             ],
+            "quarantined": list(self.quarantined),
             "par": self.par_stats,
         }
 
@@ -103,6 +110,8 @@ def sweep_rtl_properties(
     properties: Sequence[Tuple[str, Property]],
     datapath: bool = True,
     jobs: int = 1,
+    shard_attempts: int = 2,
+    shard_deadline_s: Optional[float] = None,
     **options,
 ) -> PropertySweepReport:
     """Check every named property against the N-bank LA-1 RTL.
@@ -113,27 +122,37 @@ def sweep_rtl_properties(
     elaborated design via the warm-start initializer.  ``jobs=1`` runs
     the same tasks inline against a locally cached design -- verdicts
     are identical either way (BDD reachability is deterministic), only
-    wall-clock differs.  Extra ``options`` pass through to
-    :func:`repro.core.rulebase.check_read_mode_rtl` (budgets, deadline,
-    ``coi``).
+    wall-clock differs.  The sweep runs supervised
+    (:func:`repro.par.run_supervised`): a crashed or hung worker is
+    reaped and its property retried up to ``shard_attempts`` times
+    (``shard_deadline_s`` bounds one property's wall-clock); a property
+    quarantined after the budget lands in
+    :attr:`PropertySweepReport.quarantined` and degrades the sweep to
+    inconclusive rather than aborting it.  Extra ``options`` pass
+    through to :func:`repro.core.rulebase.check_read_mode_rtl`
+    (budgets, deadline, ``coi``).
     """
-    from ..par import run_sharded
+    from ..par import ShardError, run_supervised
     from ..par.workers import mc_check_shard, mc_sweep_init
 
     shard_args = [
         (banks, datapath, name, prop, dict(options))
         for name, prop in properties
     ]
-    results, stats = run_sharded(
+    results, stats = run_supervised(
         mc_check_shard,
         shard_args,
         jobs=jobs,
         initializer=mc_sweep_init,
         initargs=(banks, datapath),
+        max_attempts=shard_attempts,
+        shard_deadline_s=shard_deadline_s,
     )
-    paired = [
-        (name, SymbolicCheckResult.from_dict(result))
-        for (name, __), result in zip(properties, results)
-        if result is not None
-    ]
-    return PropertySweepReport(paired, stats.to_dict())
+    paired = []
+    quarantined = []
+    for (name, __), result in zip(properties, results):
+        if isinstance(result, ShardError):
+            quarantined.append(name)
+        elif result is not None:
+            paired.append((name, SymbolicCheckResult.from_dict(result)))
+    return PropertySweepReport(paired, stats.to_dict(), quarantined)

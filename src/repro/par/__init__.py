@@ -15,10 +15,18 @@ the execution layer that exploits that:
   into at most ``jobs`` shards (equal inputs always produce equal plans);
 * :func:`run_sharded` -- a :class:`concurrent.futures.ProcessPoolExecutor`
   wrapper with worker warm-start (per-process initializer), per-shard
-  wall-clock accounting, an overall timeout, and a degradation ladder:
-  any pool-layer failure (fork trouble, unpicklable work, a killed
-  worker) falls back to inline execution of the remaining shards, so a
-  parallel caller can never do worse than finish sequentially.
+  wall-clock accounting, an overall timeout (expiry reaps the
+  still-running workers), and a degradation ladder: any pool-layer
+  failure (fork trouble, unpicklable work, a killed worker) falls back
+  to inline execution of the remaining shards, so a parallel caller can
+  never do worse than finish sequentially;
+* :func:`run_supervised` -- the service-grade sibling
+  (:mod:`repro.par.supervise`): per-shard retry with exponential
+  backoff and deterministic jitter, poison-shard quarantine
+  (:class:`ShardError` results instead of aborted runs), hung-worker
+  reaping on a per-shard deadline, out-of-order collection, and
+  optional write-ahead journaling so a killed coordinator resumes
+  without recomputing a single collected shard.
 
 The determinism contract: for a fixed work list and configuration,
 ``jobs=1`` and ``jobs=N`` produce identical *merged* results -- only
@@ -28,12 +36,16 @@ timing fields differ.  Every caller in :mod:`repro.fault`,
 
 from .pool import ParStats, plan_shards, run_sharded
 from .seeds import derive_seed
+from .supervise import ShardError, backoff_delay, run_supervised
 from .workers import ModelSpec, la1_model_spec
 
 __all__ = [
     "ParStats",
     "plan_shards",
     "run_sharded",
+    "run_supervised",
+    "ShardError",
+    "backoff_delay",
     "derive_seed",
     "ModelSpec",
     "la1_model_spec",

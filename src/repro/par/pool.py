@@ -11,15 +11,24 @@ order is preserved -- both facts the determinism tests rely on.
 :class:`concurrent.futures.ProcessPoolExecutor` with an optional
 per-process *initializer* (the worker warm-start: build the netlist or
 model once per worker, not once per task).  Results come back in shard
-order regardless of completion order.  Failures degrade, never crash:
+order regardless of completion order; ``on_result`` fires the moment a
+shard is collected (completion order, via
+:func:`concurrent.futures.wait`), so a checkpointing caller never waits
+for a slow shard 0 before durably recording a finished shard 3.
+Failures degrade, never crash:
 
 * a pool-layer failure (fork refusal, unpicklable payload, a worker
   killed mid-task) switches the remaining shards to inline in-process
   execution (``mode="pool+inline"``, reason recorded);
 * an overall ``timeout_s`` marks uncollected shards in
-  ``stats.timed_out`` and returns ``None`` for them -- the caller
-  decides how to degrade (the fault campaign emits ``truncated``
-  verdicts).
+  ``stats.timed_out``, returns ``None`` for them -- the caller decides
+  how to degrade (the fault campaign emits ``truncated`` verdicts) --
+  and *terminates* the still-running worker processes
+  (``stats.killed_workers``): a timed-out campaign must not leak
+  CPU-burning workers behind the returned call.
+
+For per-shard retry, poison-shard quarantine and per-shard deadlines,
+see the supervised sibling :func:`repro.par.supervise.run_supervised`.
 
 Per-shard wall-clock is measured *inside* the worker, so
 :class:`ParStats` reports honest compute times: ``critical_path_s`` is
@@ -31,8 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Optional, Sequence
 
 __all__ = ["ParStats", "plan_shards", "run_sharded"]
@@ -86,6 +94,17 @@ class ParStats:
         self.timed_out: list[int] = []
         #: overall wall-clock of the run_sharded call
         self.wall_s = 0.0
+        #: shard attempts beyond the first (supervised runs only)
+        self.retries = 0
+        #: shard indices quarantined after exhausting their attempt
+        #: budget (supervised runs only; each has a ShardError result)
+        self.quarantined: list[int] = []
+        #: worker processes forcibly terminated (hung-shard reaping and
+        #: overall-timeout cleanup)
+        self.killed_workers = 0
+        #: shards answered from a write-ahead journal instead of being
+        #: recomputed (supervised resume)
+        self.journal_hits = 0
 
     @property
     def critical_path_s(self) -> float:
@@ -117,6 +136,10 @@ class ParStats:
             "wall_s": round(self.wall_s, 4),
             "critical_path_s": round(self.critical_path_s, 4),
             "speedup_estimate": round(self.speedup_estimate, 3),
+            "retries": self.retries,
+            "quarantined": list(self.quarantined),
+            "killed_workers": self.killed_workers,
+            "journal_hits": self.journal_hits,
         }
 
     def __repr__(self):
@@ -161,10 +184,11 @@ def run_sharded(
     with identical semantics -- including the initializer call, so
     worker warm-start caches behave the same in both modes.
 
-    ``on_result(index, value)`` fires in the coordinator as each shard's
-    result is collected (ascending index order) -- the checkpointing
-    hook: a killed coordinator has durably recorded every shard already
-    collected.
+    ``on_result(index, value)`` fires in the coordinator the moment each
+    shard's result is collected (completion order, not index order) --
+    the checkpointing hook: a killed coordinator has durably recorded
+    every shard already collected, and a slow shard never delays the
+    checkpointing of a fast one.
     """
     shard_args = list(shard_args)
     stats = ParStats(jobs, len(shard_args))
@@ -201,25 +225,40 @@ def run_sharded(
             initializer=initializer,
             initargs=initargs,
         ) as pool:
-            futures = [
-                pool.submit(_timed_call, task, args) for args in shard_args
-            ]
-            try:
-                for i, future in enumerate(futures):
-                    remaining = None
-                    if deadline is not None:
-                        remaining = max(0.0, deadline - time.perf_counter())
-                    wall, value = future.result(timeout=remaining)
+            index_of = {
+                pool.submit(_timed_call, task, args): i
+                for i, args in enumerate(shard_args)
+            }
+            outstanding = set(index_of)
+            while outstanding:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.perf_counter())
+                done, outstanding = wait(
+                    outstanding, timeout=remaining,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:  # overall deadline expired
+                    for future in outstanding:
+                        future.cancel()
+                        stats.timed_out.append(index_of[future])
+                    # cancel() cannot stop a *running* task: reap the
+                    # worker processes so a timed-out campaign does not
+                    # leave them burning CPU behind the returned call
+                    for proc in list(getattr(pool, "_processes",
+                                             {}).values()):
+                        if proc.is_alive():
+                            proc.terminate()
+                            stats.killed_workers += 1
+                    break
+                for future in done:
+                    i = index_of[future]
+                    wall, value = future.result()  # raises -> ladder
                     stats.shard_wall_s[i] = wall
                     results[i] = value
                     collected[i] = True
                     if on_result is not None:
                         on_result(i, value)
-            except FuturesTimeout:
-                for i, future in enumerate(futures):
-                    if not collected[i]:
-                        future.cancel()
-                        stats.timed_out.append(i)
         stats.mode = "pool"
     except Exception as exc:
         # the degradation ladder: any pool-layer failure (broken pool,

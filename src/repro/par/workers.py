@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import importlib
 import json
+import os
+import time
 from typing import Optional
 
 __all__ = [
     "ModelSpec",
+    "apply_chaos",
     "la1_model_spec",
     "build_la1_testgen_model",
     "campaign_init",
@@ -97,6 +100,38 @@ def _model(spec: ModelSpec):
 
 
 # ----------------------------------------------------------------------
+# chaos injection (tests / chaos bench / serve --smoke only)
+# ----------------------------------------------------------------------
+def _claim_marker(path: Optional[str]) -> bool:
+    """Atomically claim a chaos marker file: True for exactly one
+    claimant across all workers and attempts, False ever after -- which
+    is what makes an induced fault strike exactly once per marker."""
+    if not path:
+        return False
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return False
+    return True
+
+
+def apply_chaos(config) -> None:
+    """Honour the chaos knobs a campaign config may carry.
+
+    ``chaos_kill_marker``: the first worker to claim the marker dies
+    instantly (``os._exit``), simulating an OOM kill or segfault;
+    ``chaos_hang_marker``: the first claimant wedges, simulating a hung
+    engine the supervisor must reap.  Both strike exactly once, so a
+    retried attempt proceeds normally -- the supervised determinism
+    story the chaos bench asserts.
+    """
+    if _claim_marker(getattr(config, "chaos_kill_marker", None)):
+        os._exit(137)
+    if _claim_marker(getattr(config, "chaos_hang_marker", None)):
+        time.sleep(3600)
+
+
+# ----------------------------------------------------------------------
 # fault campaign
 # ----------------------------------------------------------------------
 _CAMPAIGN_CACHE: dict = {}
@@ -136,6 +171,7 @@ def campaign_shard(config, faults, lanes: int = 1) -> dict:
     parallelism multiplies with the process fan-out."""
     from ..fault.campaign import CampaignReport
 
+    apply_chaos(config)
     campaign = _campaign(config)
     verdicts = campaign.execute_faults(faults, lanes=lanes)
     engine_stats = {}

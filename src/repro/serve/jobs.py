@@ -1,0 +1,314 @@
+"""Job adapters: the verification engines behind a uniform service API.
+
+Every job kind wraps one batch tool of the methodology -- fault
+campaigns (:mod:`repro.fault`), coverage-driven testgen
+(:mod:`repro.cover`), RTL model-checking sweeps (:mod:`repro.mc`) and
+the full Figure-2 flow (:mod:`repro.core.flow`) -- behind three
+methods:
+
+* :meth:`Job.fingerprint` -- the *content identity* of the work: every
+  field that can change the result (design shape, stimulus seed,
+  workload config) and none that cannot (process/lane fan-out, retry
+  budgets, chaos markers).  Two submissions with equal fingerprints are
+  the same work, so the server dedupes them onto one computation and
+  one content-addressed store entry (:func:`repro.serve.store.content_key`
+  of ``(kind, fingerprint)``).
+* :meth:`Job.run` -- execute, streaming incremental events through the
+  ``emit`` callback as shards land (campaign verdicts the moment their
+  shard is collected -- the supervised pool's out-of-order
+  ``on_result``), returning the JSON result payload.
+* per-key work directories -- a job given a ``workdir`` places its
+  checkpoint and write-ahead journal there under its content key, so a
+  job interrupted by a server crash resumes on resubmission without
+  recomputing collected work.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from .store import content_key
+
+__all__ = ["Job", "CampaignJob", "CoverJob", "McJob", "FlowJob",
+           "JOB_KINDS", "build_job"]
+
+Emit = Callable[[dict], None]
+
+
+def _get(spec: dict, key: str, default, kinds) -> object:
+    value = spec.get(key, default)
+    if value is not None and not isinstance(value, kinds):
+        raise ValueError(f"job field {key!r} must be {kinds}, "
+                         f"got {type(value).__name__}")
+    return value
+
+
+class Job:
+    """One unit of verification work behind the service."""
+
+    kind = "abstract"
+
+    def __init__(self, spec: dict):
+        if not isinstance(spec, dict):
+            raise ValueError("job spec must be a JSON object")
+        self.spec = dict(spec)
+        # execution knobs: shape the *how*, never the result content
+        self.jobs = int(_get(spec, "jobs", 1, (int,)))
+        self.lanes = int(_get(spec, "lanes", 1, (int,)))
+        self.shard_attempts = int(_get(spec, "shard_attempts", 2, (int,)))
+        self.shard_deadline_s = _get(
+            spec, "shard_deadline_s", None, (int, float))
+
+    def fingerprint(self) -> dict:
+        raise NotImplementedError
+
+    def key(self) -> str:
+        return content_key(self.kind, self.fingerprint())
+
+    def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
+        raise NotImplementedError
+
+    def _spool(self, workdir: Optional[str], suffix: str) -> Optional[str]:
+        """A durable per-content-key scratch path under ``workdir``."""
+        if not workdir:
+            return None
+        os.makedirs(workdir, exist_ok=True)
+        return os.path.join(workdir, f"{self.key()}.{suffix}")
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.fingerprint()!r})"
+
+
+class CampaignJob(Job):
+    """A fault-injection campaign (:class:`repro.fault.FaultCampaign`)."""
+
+    kind = "campaign"
+
+    def __init__(self, spec: dict):
+        super().__init__(spec)
+        self.banks = int(_get(spec, "banks", 2, (int,)))
+        self.traffic = int(_get(spec, "traffic", 24, (int,)))
+        self.seed = int(_get(spec, "seed", 2004, (int,)))
+        self.backend = str(_get(spec, "backend", "compiled", (str,)))
+        self.rtl_cycles = int(_get(spec, "rtl_cycles", 160, (int,)))
+        self.max_faults = _get(spec, "max_faults", None, (int,))
+        self.deadline_s = _get(spec, "deadline_s", None, (int, float))
+        # chaos markers ride the spec (smoke/bench only) but are
+        # execution-side: they must not perturb the content identity
+        self.chaos_kill_marker = _get(
+            spec, "chaos_kill_marker", None, (str,))
+        self.chaos_hang_marker = _get(
+            spec, "chaos_hang_marker", None, (str,))
+
+    def fingerprint(self) -> dict:
+        return {
+            "banks": self.banks,
+            "traffic": self.traffic,
+            "seed": self.seed,
+            "backend": self.backend,
+            "rtl_cycles": self.rtl_cycles,
+            "max_faults": self.max_faults,
+        }
+
+    def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
+        from ..fault.campaign import CampaignConfig, FaultCampaign
+
+        config = CampaignConfig(
+            banks=self.banks,
+            traffic=self.traffic,
+            seed=self.seed,
+            backend=self.backend,
+            rtl_cycles=self.rtl_cycles,
+            max_faults=self.max_faults,
+            campaign_deadline_s=self.deadline_s,
+            checkpoint_path=self._spool(workdir, "ckpt.json"),
+            journal_path=self._spool(workdir, "wal.jsonl"),
+            shard_attempts=self.shard_attempts,
+            shard_deadline_s=self.shard_deadline_s,
+            chaos_kill_marker=self.chaos_kill_marker,
+            chaos_hang_marker=self.chaos_hang_marker,
+        )
+        report = FaultCampaign(config).run(
+            jobs=self.jobs,
+            lanes=self.lanes,
+            on_verdict=lambda v: emit({
+                "type": "verdict",
+                "fault_id": v.fault_id,
+                "outcome": v.outcome,
+                "detected_by": v.detected_by,
+            }),
+        )
+        return report.to_dict()
+
+
+class CoverJob(Job):
+    """Coverage-driven (or undirected) ASM test generation."""
+
+    kind = "cover"
+
+    def __init__(self, spec: dict):
+        super().__init__(spec)
+        self.banks = int(_get(spec, "banks", 2, (int,)))
+        self.mode = str(_get(spec, "mode", "directed", (str,)))
+        if self.mode not in ("directed", "undirected"):
+            raise ValueError(f"unknown cover mode {self.mode!r}")
+        self.seed = int(_get(spec, "seed", 0, (int,)))
+        self.max_tests = int(_get(spec, "max_tests", 8, (int,)))
+        self.walk_steps = int(_get(spec, "walk_steps", 16, (int,)))
+        self.candidates_per_round = int(
+            _get(spec, "candidates_per_round", 8, (int,)))
+        self.target = float(_get(spec, "target", 1.0, (int, float)))
+        self.plateau_rounds = int(_get(spec, "plateau_rounds", 3, (int,)))
+
+    def fingerprint(self) -> dict:
+        return {
+            "banks": self.banks,
+            "mode": self.mode,
+            "seed": self.seed,
+            "max_tests": self.max_tests,
+            "walk_steps": self.walk_steps,
+            "candidates_per_round": self.candidates_per_round,
+            "target": self.target,
+            "plateau_rounds": self.plateau_rounds,
+        }
+
+    def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
+        from ..cover.testgen import coverage_driven_suite, undirected_suite
+        from ..par.workers import la1_model_spec
+
+        spec = la1_model_spec(self.banks)
+        machine, predicates = spec.build()
+        if self.mode == "directed":
+            result = coverage_driven_suite(
+                machine, predicates,
+                target=self.target,
+                max_tests=self.max_tests,
+                candidates_per_round=self.candidates_per_round,
+                walk_steps=self.walk_steps,
+                seed=self.seed,
+                plateau_rounds=self.plateau_rounds,
+                jobs=self.jobs,
+                model_spec=spec,
+            )
+        else:
+            result = undirected_suite(
+                machine, predicates,
+                num_tests=self.max_tests,
+                walk_steps=self.walk_steps,
+                seed=self.seed,
+                jobs=self.jobs,
+                model_spec=spec,
+            )
+        for index, coverage in enumerate(result.history):
+            emit({"type": "round", "test": index,
+                  "coverage": round(coverage, 6)})
+        return {
+            "mode": self.mode,
+            "num_tests": result.num_tests,
+            "coverage": result.coverage,
+            "history": result.history,
+            "reached_target": result.reached_target,
+            "plateaued": result.plateaued,
+            "candidates_scored": result.candidates_scored,
+            "db": result.db.to_dict(),
+        }
+
+
+class McJob(Job):
+    """A read-mode RTL model-checking sweep (:mod:`repro.mc`)."""
+
+    kind = "mc"
+
+    def __init__(self, spec: dict):
+        super().__init__(spec)
+        self.banks = int(_get(spec, "banks", 2, (int,)))
+        self.datapath = bool(_get(spec, "datapath", False, (bool, int)))
+
+    def fingerprint(self) -> dict:
+        return {"banks": self.banks, "datapath": self.datapath}
+
+    def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
+        from ..core.properties import read_mode_suite
+        from ..mc import sweep_rtl_properties
+
+        sweep = sweep_rtl_properties(
+            self.banks,
+            read_mode_suite(1),
+            datapath=self.datapath,
+            jobs=self.jobs,
+            shard_attempts=self.shard_attempts,
+            shard_deadline_s=self.shard_deadline_s,
+        )
+        for name, result in sweep.results:
+            emit({"type": "property", "name": name, "holds": result.holds})
+        return sweep.to_dict()
+
+
+class FlowJob(Job):
+    """The full Figure-2 flow (:func:`repro.core.flow.run_flow`)."""
+
+    kind = "flow"
+
+    def __init__(self, spec: dict):
+        super().__init__(spec)
+        self.banks = int(_get(spec, "banks", 2, (int,)))
+        self.traffic = int(_get(spec, "traffic", 40, (int,)))
+        self.seed = int(_get(spec, "seed", 2004, (int,)))
+        self.rtl_mc = _get(spec, "rtl_mc", "control", (str,))
+        self.coverage = bool(_get(spec, "coverage", True, (bool, int)))
+
+    def fingerprint(self) -> dict:
+        return {
+            "banks": self.banks,
+            "traffic": self.traffic,
+            "seed": self.seed,
+            "rtl_mc": self.rtl_mc,
+            "coverage": self.coverage,
+        }
+
+    def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
+        from ..core.flow import FlowConfig, run_flow
+
+        report = run_flow(FlowConfig(
+            banks=self.banks,
+            traffic=self.traffic,
+            seed=self.seed,
+            rtl_mc=self.rtl_mc,
+            coverage=self.coverage,
+            jobs=self.jobs,
+            shard_attempts=self.shard_attempts,
+            shard_deadline_s=self.shard_deadline_s,
+        ))
+        stages = []
+        for stage in report.stages:
+            emit({"type": "stage", "name": stage.name, "ok": stage.ok})
+            stages.append({
+                "name": stage.name,
+                "ok": stage.ok,
+                "detail": stage.detail,
+                "cpu_time": round(stage.cpu_time, 4),
+            })
+        return {
+            "ok": report.ok,
+            "stages": stages,
+            "verilog_lines": len(report.verilog.splitlines()),
+        }
+
+
+JOB_KINDS = {
+    job.kind: job for job in (CampaignJob, CoverJob, McJob, FlowJob)
+}
+
+
+def build_job(kind: str, spec: dict) -> Job:
+    """Instantiate and validate one job; raises ``ValueError`` for an
+    unknown kind or malformed spec (the server's 400 path)."""
+    try:
+        factory = JOB_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown job kind {kind!r}; expected one of "
+            f"{sorted(JOB_KINDS)}"
+        ) from None
+    return factory(spec)

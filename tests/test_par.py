@@ -107,12 +107,15 @@ class TestRunSharded:
         assert s2.mode == "pool"
         assert len(s2.shard_wall_s) == len(shards)
 
-    def test_on_result_fires_in_order(self):
+    def test_on_result_fires_once_per_shard(self):
+        # collection is as-completed (a straggler must not delay other
+        # shards' callbacks), so arrival order is scheduling-dependent;
+        # the contract is exactly one (index, value) pair per shard
         seen = []
         args = [([i],) for i in range(4)]
         run_sharded(_square_shard, args, jobs=2,
                     on_result=lambda i, v: seen.append((i, v)))
-        assert seen == [(0, [0]), (1, [1]), (2, [4]), (3, [9])]
+        assert sorted(seen) == [(0, [0]), (1, [1]), (2, [4]), (3, [9])]
 
     def test_pool_failure_degrades_to_inline(self, monkeypatch):
         def broken_pool(*a, **k):

@@ -43,11 +43,13 @@ class TestCampaignDeterminism:
 
     def test_pool_failure_falls_back_deterministically(
             self, serial_report, monkeypatch):
-        def broken_pool(*a, **k):
+        # the campaign now runs on the supervised layer: break its
+        # process-spawning context, not run_sharded's executor
+        def broken_context():
             raise OSError("fork refused")
 
         monkeypatch.setattr(
-            "repro.par.pool.ProcessPoolExecutor", broken_pool)
+            "repro.par.supervise._mp_context", broken_context)
         degraded = FaultCampaign(_tiny_config()).run(jobs=2)
         assert degraded.signature() == serial_report.signature()
         par = degraded.engine_stats["par"]

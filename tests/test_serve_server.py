@@ -1,0 +1,140 @@
+"""End-to-end tests of the HTTP front-end: real sockets, real JSON,
+a real event stream -- plus the server's own crash recovery."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.journal import Journal
+from repro.serve.server import VerificationServer, serve_in_thread
+
+CAMPAIGN = {"banks": 1, "traffic": 6, "rtl_cycles": 100, "max_faults": 4}
+
+
+def _http(method, url, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read().decode())
+
+
+def _wait(base, job_id, timeout_s=120.0):
+    import time
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        record = _http("GET", f"{base}/jobs/{job_id}")
+        if record["status"] in ("done", "cached", "error", "interrupted"):
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("serve"))
+    server, stop = serve_in_thread(root)
+    yield server, f"http://127.0.0.1:{server.port}", root
+    stop()
+
+
+class TestHTTP:
+    def test_healthz(self, server):
+        __, base, ___ = server
+        health = _http("GET", f"{base}/healthz")
+        assert health["ok"] is True
+        assert "store" in health and "jobs" in health
+
+    def test_submit_run_fetch_and_dedupe(self, server):
+        __, base, ___ = server
+        submitted = _http("POST", f"{base}/jobs",
+                          {"kind": "campaign", "spec": CAMPAIGN})
+        assert submitted["status"] in ("queued", "running")
+        record = _wait(base, submitted["id"])
+        assert record["status"] == "done"
+        assert record["result"]["counts"]
+        assert len(record["result"]["faults"]) == 4
+        # the result is addressable in the store
+        stored = _http("GET", f"{base}/store/{submitted['key']}")
+        assert stored == record["result"]
+        # an identical resubmission is served from the store
+        again = _http("POST", f"{base}/jobs",
+                      {"kind": "campaign", "spec": dict(CAMPAIGN)})
+        assert again["status"] == "cached"
+        assert again["key"] == submitted["key"]
+        assert again["result"] == record["result"]
+        # and a semantically different one is not
+        other = _http("POST", f"{base}/jobs", {
+            "kind": "campaign", "spec": {**CAMPAIGN, "seed": 99}})
+        assert other["status"] != "cached"
+        _wait(base, other["id"])
+
+    def test_event_stream_carries_verdicts_then_done(self, server):
+        __, base, ___ = server
+        submitted = _http("POST", f"{base}/jobs", {
+            "kind": "campaign", "spec": {**CAMPAIGN, "seed": 31}})
+        _wait(base, submitted["id"])
+        lines = urllib.request.urlopen(
+            f"{base}/jobs/{submitted['id']}/events",
+            timeout=60).read().decode().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["type"] == "done"
+        assert events[-1]["status"] in ("done", "cached")
+        assert sum(1 for e in events if e.get("type") == "verdict") == 4
+
+    def test_jobs_listing(self, server):
+        __, base, ___ = server
+        listing = _http("GET", f"{base}/jobs")
+        assert listing["jobs"]
+        assert all("id" in j and "status" in j for j in listing["jobs"])
+
+    def test_error_paths(self, server):
+        __, base, ___ = server
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _http("POST", f"{base}/jobs", {"kind": "nope", "spec": {}})
+        assert exc.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _http("GET", f"{base}/jobs/j999999")
+        assert exc.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _http("GET", f"{base}/store/deadbeef")
+        assert exc.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _http("POST", f"{base}/healthz", {})
+        assert exc.value.code == 405
+        # a job whose adapter raises mid-run lands in status=error
+        # (with the traceback) without killing the server
+        bad = _http("POST", f"{base}/jobs",
+                    {"kind": "mc", "spec": {"banks": -1}})
+        record = _wait(base, bad["id"])
+        assert record["status"] == "error"
+        assert "banks must be >= 1" in record["error"]
+        assert _http("GET", f"{base}/healthz")["ok"] is True
+
+
+class TestRecovery:
+    def test_interrupted_jobs_resurface_after_restart(self, tmp_path):
+        # forge the durable state a killed server leaves behind: a
+        # submission journaled without a matching completion
+        root = str(tmp_path)
+        with Journal(f"{root}/serve.journal") as journal:
+            journal.append({"type": "submit", "id": "j1",
+                            "kind": "campaign", "key": "abc",
+                            "spec": CAMPAIGN})
+            journal.append({"type": "finish", "id": "j1", "key": "abc",
+                            "status": "done"})
+            journal.append({"type": "submit", "id": "j2",
+                            "kind": "campaign", "key": "def",
+                            "spec": CAMPAIGN})
+        server = VerificationServer(root)
+        assert list(server.records) == ["j2"]
+        assert server.records["j2"].status == "interrupted"
+        # new ids never collide with journaled ones
+        assert next(server._ids) == 3
+        server.journal.close()
+
+    def test_fresh_root_recovers_to_empty(self, tmp_path):
+        server = VerificationServer(str(tmp_path))
+        assert server.records == {}
+        server.journal.close()

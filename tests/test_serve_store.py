@@ -1,0 +1,128 @@
+"""Unit tests for the service's durable state: the content-addressed
+result store and the write-ahead journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.serve.journal import Journal
+from repro.serve.store import ResultStore, content_key
+
+
+# ----------------------------------------------------------------------
+# content addressing
+# ----------------------------------------------------------------------
+class TestContentKey:
+    def test_deterministic_and_order_insensitive(self):
+        a = content_key("campaign", {"banks": 2, "seed": 7})
+        b = content_key("campaign", {"seed": 7, "banks": 2})
+        assert a == b
+        assert len(a) == 32  # blake2b-16 hex
+
+    def test_semantic_differences_land_elsewhere(self):
+        base = content_key("campaign", {"banks": 2, "seed": 7})
+        assert content_key("campaign", {"banks": 4, "seed": 7}) != base
+        assert content_key("campaign", {"banks": 2, "seed": 8}) != base
+        assert content_key("cover", {"banks": 2, "seed": 7}) != base
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = content_key("campaign", {"banks": 1})
+        assert store.get(key) is None  # miss first
+        store.put(key, {"counts": {"detected": 3}})
+        assert store.get(key) == {"counts": {"detected": 3}}
+        assert store.has(key) and len(store) == 1
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1 and stats["corrupt"] == 0
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = content_key("mc", {"banks": 2})
+        path = store.put(key, {"holds": True})
+        parent = os.path.dirname(path)
+        assert [n for n in os.listdir(parent) if ".tmp." in n] == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = content_key("mc", {"banks": 2})
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+        assert len(store) == 1
+
+    def test_corrupt_entry_is_quarantined_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = content_key("campaign", {"banks": 1})
+        path = store.put(key, {"ok": True})
+        with open(path, "w") as fh:
+            fh.write('{"torn": tru')  # a pre-atomic writer died here
+        with pytest.warns(UserWarning, match="corrupt"):
+            assert store.get(key) is None
+        assert os.path.exists(f"{path}.corrupt")
+        assert not os.path.exists(path)
+        assert store.stats()["corrupt"] == 1
+        # the service recomputes and the key works again
+        store.put(key, {"ok": True})
+        assert store.get(key) == {"ok": True}
+
+    def test_non_object_payload_is_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        key = content_key("campaign", {"banks": 1})
+        path = store.put(key, {"ok": True})
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+        with pytest.warns(UserWarning, match="non-object"):
+            assert store.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# the journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "header", "fingerprint": {"x": 1}})
+            journal.append({"type": "shard", "index": 0, "value": [1]})
+        assert Journal(path).appended == 0  # per-process counter
+        records = list(Journal(path).replay())
+        assert [r["type"] for r in records] == ["header", "shard"]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert list(Journal(str(tmp_path / "nope.jsonl")).replay()) == []
+
+    def test_torn_tail_ends_replay_with_warning(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with Journal(path) as journal:
+            journal.append({"type": "header"})
+            journal.append({"type": "shard", "index": 0})
+        with open(path, "a") as fh:
+            fh.write('{"type": "shard", "ind')  # kill -9 mid-write
+        with pytest.warns(UserWarning, match="torn"):
+            records = list(Journal(path).replay())
+        assert len(records) == 2  # everything before the tear is intact
+
+    def test_matches_guards_fingerprint(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        journal = Journal(path)
+        assert journal.matches({"x": 1})  # empty journal matches anything
+        journal.append({"type": "header", "fingerprint": {"x": 1}})
+        journal.close()
+        assert Journal(path).matches({"x": 1})
+        assert not Journal(path).matches({"x": 2})
+
+    def test_append_after_replay_appends_not_truncates(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with Journal(path) as journal:
+            journal.append({"n": 1})
+        with Journal(path) as journal:
+            assert len(list(journal.replay())) == 1
+            journal.append({"n": 2})
+        assert [r["n"] for r in Journal(path).replay()] == [1, 2]
