@@ -69,6 +69,10 @@ class FlowConfig:
     #: run the RTL symbolic MC stage on the control abstraction (fast)
     #: or the full datapath ("full", minutes) or skip it (None)
     rtl_mc: Optional[str] = "control"
+    #: engine of the RTL MC stage: "bdd" (RuleBase-style reachability)
+    #: or "sat" (CNF-unrolled BMC + k-induction, repro.sat -- proves
+    #: the 4-bank suite the BDD engine explodes on)
+    mc_engine: str = "bdd"
     #: run the static-analysis stage (repro.lint) over the refined RTL,
     #: the PSL suite and the ASM model before model checking
     static_lint: bool = True
@@ -324,6 +328,7 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
                 jobs=config.jobs,
                 shard_attempts=config.shard_attempts,
                 shard_deadline_s=config.shard_deadline_s,
+                engine=config.mc_engine,
             )
             mc = sweep.combined()
             # degraded-run visibility: a sweep that needed the
@@ -339,13 +344,23 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
                     f"quarantined: {', '.join(sweep.quarantined)}")
             if notes:
                 degraded = f" [DEGRADED: {'; '.join(notes)}]"
+        elif config.mc_engine == "sat":
+            from ..sat.bmc import check_read_mode_sat
+
+            mc = check_read_mode_sat(
+                config.banks,
+                datapath=(config.rtl_mc == "full"),
+            )
         else:
+            if config.mc_engine != "bdd":
+                raise ValueError(
+                    f"unknown mc engine {config.mc_engine!r}")
             mc = check_read_mode_rtl(
                 config.banks,
                 datapath=(config.rtl_mc == "full"),
             )
         cache = ""
-        if mc.bdd_stats:
+        if mc.bdd_stats and config.mc_engine != "sat":
             hits = mc.bdd_stats.get("cache_hits", 0)
             misses = mc.bdd_stats.get("cache_misses", 0)
             total = hits + misses
@@ -353,10 +368,15 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
                 f", computed-table {hits}/{total} hits"
                 f" ({mc.bdd_stats.get('cache_clears', 0)} clears)"
             )
+        size_label = (
+            f"{mc.peak_nodes} clauses, k={mc.iterations}"
+            if config.mc_engine == "sat"
+            else f"{mc.peak_nodes} BDDs, {mc.iterations} iterations"
+        )
         report.stages.append(StageResult(
             "rtl_model_checking", mc.holds is True,
             f"{'full datapath' if config.rtl_mc == 'full' else 'control'} "
-            f"model, {mc.peak_nodes} BDDs, {mc.iterations} iterations"
+            f"model, " + size_label
             + cache
             + (" [STATE EXPLOSION]" if mc.exploded else "")
             + (" [DEADLINE]" if mc.truncated else "")

@@ -65,6 +65,14 @@ from .rtl_rules import (
     NetlistRulesPass,
     ObservabilityPass,
 )
+from .sat_rules import (
+    AsmSatRequirePass,
+    CecPass,
+    SatConstNetPass,
+    SatPslTautologyPass,
+    SatPslVacuityPass,
+    sat_satisfiable,
+)
 
 __all__ = [
     "ERROR",
@@ -90,9 +98,15 @@ __all__ = [
     "PslVacuityPass",
     "PslTautologyPass",
     "AsmRulesPass",
+    "SatConstNetPass",
+    "SatPslVacuityPass",
+    "SatPslTautologyPass",
+    "AsmSatRequirePass",
+    "CecPass",
     "fold_expr",
     "pure_fold",
     "satisfiable",
+    "sat_satisfiable",
     "sere_can_match",
     "sweep_states",
     "net_reads",
@@ -106,9 +120,13 @@ __all__ = [
 ]
 
 
-def default_rtl_passes() -> list[Pass]:
-    """The full RTL pipeline: foundation analyses plus every rule."""
-    return [
+def default_rtl_passes(semantic: bool = False) -> list[Pass]:
+    """The full RTL pipeline: foundation analyses plus every rule.
+
+    ``semantic=True`` appends the SAT-backed passes (proved-constant
+    nets, dead tristate drivers, codegen equivalence).
+    """
+    passes: list[Pass] = [
         DataflowPass(),
         ConstPropPass(),
         CoiPass(),
@@ -117,6 +135,9 @@ def default_rtl_passes() -> list[Pass]:
         ObservabilityPass(),
         CdcPass(),
     ]
+    if semantic:
+        passes += [SatConstNetPass(), CecPass()]
+    return passes
 
 
 def lint_design(
@@ -124,6 +145,7 @@ def lint_design(
     config: Optional[LintConfig] = None,
     design: Optional[FlatDesign] = None,
     subject: Optional[str] = None,
+    semantic: bool = False,
 ) -> LintReport:
     """Lint an RTL module tree.
 
@@ -144,7 +166,7 @@ def lint_design(
             "elaboration-error", ERROR, top.name,
             f"design does not elaborate: {failure}",
         )
-    PassManager(default_rtl_passes()).run(ctx)
+    PassManager(default_rtl_passes(semantic=semantic)).run(ctx)
     return report
 
 
@@ -152,21 +174,34 @@ def lint_properties(
     properties: Sequence[tuple],
     config: Optional[LintConfig] = None,
     subject: str = "properties",
+    semantic: bool = False,
 ) -> LintReport:
-    """Lint a named PSL property suite (``[(name, Property), ...]``)."""
+    """Lint a named PSL property suite (``[(name, Property), ...]``).
+
+    ``semantic=True`` swaps the BDD deciders for the proof-logging SAT
+    engine (same rule ids, certified verdicts).
+    """
     report = LintReport(subject)
     ctx = LintContext(config=config, report=report, properties=properties)
-    PassManager([PslVacuityPass(), PslTautologyPass()]).run(ctx)
+    if semantic:
+        passes = [SatPslVacuityPass(), SatPslTautologyPass()]
+    else:
+        passes = [PslVacuityPass(), PslTautologyPass()]
+    PassManager(passes).run(ctx)
     return report
 
 
 def lint_machine(
-    machine, config: Optional[LintConfig] = None
+    machine, config: Optional[LintConfig] = None,
+    semantic: bool = False,
 ) -> LintReport:
     """Lint an :class:`~repro.asm.machine.AsmMachine`."""
     report = LintReport(machine.name)
     ctx = LintContext(config=config, report=report, machine=machine)
-    PassManager([AsmRulesPass()]).run(ctx)
+    passes: list[Pass] = [AsmRulesPass()]
+    if semantic:
+        passes.append(AsmSatRequirePass())
+    PassManager(passes).run(ctx)
     return report
 
 
@@ -174,6 +209,7 @@ def lint_la1(
     banks: int = 2,
     config: Optional[LintConfig] = None,
     parity_checks: bool = True,
+    semantic: bool = False,
 ) -> LintReport:
     """Lint the full shipped LA-1 stack at one bank count.
 
@@ -200,11 +236,14 @@ def lint_la1(
         asm_state_cap=base.asm_state_cap,
     )
     report = lint_design(top, config=rtl_config,
-                         subject=f"la1[{banks} banks]")
+                         subject=f"la1[{banks} banks]",
+                         semantic=semantic)
     report.extend(
-        lint_properties(device_property_suite(banks), config=base)
+        lint_properties(device_property_suite(banks), config=base,
+                        semantic=semantic)
     )
     report.extend(
-        lint_machine(build_la1_asm(La1AsmConfig(banks=banks)), config=base)
+        lint_machine(build_la1_asm(La1AsmConfig(banks=banks)), config=base,
+                     semantic=semantic)
     )
     return report

@@ -8,6 +8,8 @@ Examples::
     python -m repro.lint                  # 2-bank stack, text report
     python -m repro.lint --banks 4        # 4-bank stack
     python -m repro.lint --json           # machine-readable report
+    python -m repro.lint --sarif out.sarif  # SARIF 2.1.0 for CI viewers
+    python -m repro.lint --semantic       # + SAT-proved passes (slower)
     python -m repro.lint --disable cdc-no-sync --no-waived
 """
 
@@ -30,6 +32,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write the report as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--semantic", action="store_true",
+        help="enable the SAT-backed semantic passes (proved const "
+             "nets, codegen equivalence; slower)",
     )
     parser.add_argument(
         "--no-waived", action="store_true",
@@ -58,7 +69,12 @@ def main(argv=None) -> int:
     report = lint_la1(
         banks=args.banks, config=config,
         parity_checks=not args.no_parity,
+        semantic=args.semantic,
     )
+    if args.sarif:
+        from .sarif import write_sarif
+
+        write_sarif(report, args.sarif)
     if args.json:
         print(report.to_json())
     else:

@@ -272,14 +272,31 @@ class ConstPropPass(Pass):
 
 
 class CoiAnalysis:
-    """Cone-of-influence query object produced by :class:`CoiPass`."""
+    """Cone-of-influence query object produced by :class:`CoiPass`.
+
+    Cones are memoized per root set for the lifetime of the analysis --
+    one :class:`~repro.lint.manager.PassManager` run shares a single
+    instance through the context, so every later pass that asks for a
+    cone already computed (the monitor cone above all) gets the cached
+    set back.  ``cache_hits`` counts those saved recomputations; the
+    manager folds it into the per-pass ``analysis_cache_hits`` stat.
+    """
 
     def __init__(self, design: FlatDesign):
         self.design = design
+        self._cones: dict[frozenset, set[str]] = {}
+        self.cache_hits = 0
 
     def cone(self, roots) -> set[str]:
-        """Backward closure from the given flat paths."""
-        return cone_of_influence(self.design, roots)
+        """Backward closure from the given flat paths (memoized)."""
+        key = frozenset(roots)
+        cached = self._cones.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        cone = cone_of_influence(self.design, key)
+        self._cones[key] = cone
+        return cone
 
     def monitor_cone(self) -> Optional[set[str]]:
         """Union of every monitor's cone, or ``None`` without monitors."""

@@ -117,6 +117,8 @@ class LintReport:
         self.diagnostics: list[Diagnostic] = []
         self.pass_times: dict[str, float] = {}
         self.pass_order: list[str] = []
+        #: per-pass counters beyond wall time (``analysis_cache_hits``)
+        self.pass_stats: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     def add(self, diag: Diagnostic) -> None:
@@ -131,6 +133,10 @@ class LintReport:
                 self.pass_times[name] = other.pass_times[name]
             else:
                 self.pass_times[name] += other.pass_times[name]
+        for name, stats in other.pass_stats.items():
+            mine = self.pass_stats.setdefault(name, {})
+            for key, value in stats.items():
+                mine[key] = mine.get(key, 0) + value
 
     # ------------------------------------------------------------------
     def active(self, severity: Optional[str] = None) -> list[Diagnostic]:
@@ -182,10 +188,15 @@ class LintReport:
         if self.pass_order:
             times = ", ".join(
                 f"{name} {self.pass_times[name] * 1e3:.1f}ms"
+                + self._render_stats(name)
                 for name in self.pass_order
             )
             lines.append(f"  passes: {times}")
         return "\n".join(lines)
+
+    def _render_stats(self, name: str) -> str:
+        hits = self.pass_stats.get(name, {}).get("analysis_cache_hits", 0)
+        return f" ({hits} cache hits)" if hits else ""
 
     def to_dict(self) -> dict:
         return {
@@ -194,6 +205,10 @@ class LintReport:
             "counts": self.counts(),
             "pass_times": {
                 name: self.pass_times[name] for name in self.pass_order
+            },
+            "pass_stats": {
+                name: dict(stats)
+                for name, stats in self.pass_stats.items()
             },
             "ok": self.ok,
         }

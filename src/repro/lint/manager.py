@@ -161,10 +161,21 @@ class PassManager:
             visit(name, ())
         return order
 
+    @staticmethod
+    def _cache_hits(ctx: LintContext) -> int:
+        """Total memoized-analysis hits across shared analysis objects
+        (any context result exposing a ``cache_hits`` counter)."""
+        return sum(
+            result.cache_hits
+            for result in ctx.results.values()
+            if hasattr(result, "cache_hits")
+        )
+
     def run(self, ctx: LintContext) -> LintReport:
         """Run every registered pass in dependency order."""
         self.order = []
         for p in self._resolve_order():
+            hits_before = self._cache_hits(ctx)
             start = time.perf_counter()
             ctx.results[p.name] = p.run(ctx)
             elapsed = time.perf_counter() - start
@@ -172,5 +183,11 @@ class PassManager:
             ctx.report.pass_order.append(p.name)
             ctx.report.pass_times[p.name] = (
                 ctx.report.pass_times.get(p.name, 0.0) + elapsed
+            )
+            stats = ctx.report.pass_stats.setdefault(
+                p.name, {"analysis_cache_hits": 0}
+            )
+            stats["analysis_cache_hits"] += (
+                self._cache_hits(ctx) - hits_before
             )
         return ctx.report

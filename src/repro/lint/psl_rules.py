@@ -79,16 +79,18 @@ def satisfiable(expr: BoolExpr) -> bool:
     return bool_to_bdd(mgr, expr) != mgr.FALSE
 
 
-def sere_can_match(sere: Sere) -> bool:
+def sere_can_match(sere: Sere, decider=satisfiable) -> bool:
     """True when the SERE's language is non-empty: it matches the empty
-    word, or an accepting NFA state is reachable over satisfiable guards."""
+    word, or an accepting NFA state is reachable over satisfiable guards.
+    ``decider`` pluggably decides guard satisfiability (BDD by default,
+    SAT in the semantic pipeline)."""
     nfa = compile_sere(sere)
     if nfa.accepts_empty:
         return True
     live = {
         (src, dst)
         for src, guard, dst in nfa.transitions
-        if satisfiable(guard)
+        if decider(guard)
     }
     reached = set(nfa.initial)
     frontier = list(reached)
@@ -102,9 +104,18 @@ def sere_can_match(sere: Sere) -> bool:
 
 
 class PslVacuityPass(Pass):
-    """Unsatisfiable guards and unmatchable antecedents."""
+    """Unsatisfiable guards and unmatchable antecedents.
+
+    The boolean deciders are overridable hooks: this base class decides
+    with the BDD engine; :class:`repro.lint.sat_rules.SatPslVacuityPass`
+    re-decides with the CDCL solver and certifies every "unsatisfiable"
+    verdict with a checked UNSAT proof.
+    """
 
     name = "psl-vacuity"
+
+    _satisfiable = staticmethod(satisfiable)
+    _sere_can_match = staticmethod(sere_can_match)
 
     def run(self, ctx: LintContext) -> None:
         for prop_name, prop in ctx.properties:
@@ -119,7 +130,7 @@ class PslVacuityPass(Pass):
             for part in prop.parts:
                 self._walk(ctx, prop_name, part)
         elif isinstance(prop, PropImplication):
-            if not satisfiable(prop.guard):
+            if not self._satisfiable(prop.guard):
                 ctx.emit(
                     "psl-vacuity", ERROR, prop_name,
                     f"implication guard {prop.guard!r} is unsatisfiable; "
@@ -128,7 +139,7 @@ class PslVacuityPass(Pass):
                 )
             self._walk(ctx, prop_name, prop.p)
         elif isinstance(prop, SuffixImpl):
-            if not sere_can_match(prop.sere):
+            if not self._sere_can_match(prop.sere):
                 ctx.emit(
                     "psl-vacuity", ERROR, prop_name,
                     f"suffix-implication antecedent {prop.sere!r} can "
@@ -139,7 +150,7 @@ class PslVacuityPass(Pass):
                 )
             self._walk(ctx, prop_name, prop.p)
         elif isinstance(prop, Never):
-            if not sere_can_match(prop.sere):
+            if not self._sere_can_match(prop.sere):
                 ctx.emit(
                     "psl-vacuity", ERROR, prop_name,
                     f"never-SERE {prop.sere!r} can never match; the "

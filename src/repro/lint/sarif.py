@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 export of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is the standard
+ingestion format of code-scanning UIs; emitting it lets the lint
+pipeline's findings land in the same review surfaces as conventional
+linters.  The mapping is straightforward:
+
+* one ``run`` per report, tool ``repro-lint``, with every rule id that
+  fired registered as a ``reportingDescriptor``;
+* one ``result`` per diagnostic -- severity maps onto SARIF levels
+  (``error``/``warning``/``note``), the flat net path / property name /
+  ASM rule name becomes a logical location, and the fix hint travels as
+  a ``fixes`` description;
+* waived diagnostics stay in the log but carry an accepted
+  ``suppression`` with the waiver's justification, mirroring the text
+  report's ``[waived]`` flag (suppressed results do not fail CI).
+
+Only an export is provided (``python -m repro.lint --sarif out.sarif``);
+the text and JSON report formats are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import ERROR, WARNING, Diagnostic, LintReport
+
+__all__ = ["SARIF_VERSION", "to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+           "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {ERROR: "error", WARNING: "warning"}
+
+
+def _result(diag: Diagnostic) -> dict:
+    result = {
+        "ruleId": diag.rule,
+        "level": _LEVELS.get(diag.severity, "note"),
+        "message": {"text": diag.message},
+        "locations": [{
+            "logicalLocations": [{
+                "fullyQualifiedName": diag.location,
+            }],
+        }],
+    }
+    if diag.fix_hint:
+        result["fixes"] = [{"description": {"text": diag.fix_hint}}]
+    if diag.waived:
+        result["suppressions"] = [{
+            "kind": "external",
+            "status": "accepted",
+            "justification": diag.waived_reason,
+        }]
+    return result
+
+
+def to_sarif(report: LintReport) -> dict:
+    """The SARIF 2.1.0 log object for one lint report."""
+    rules = []
+    seen: set = set()
+    for diag in report.diagnostics:
+        if diag.rule not in seen:
+            seen.add(diag.rule)
+            rules.append({"id": diag.rule})
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": rules,
+                },
+            },
+            "properties": {
+                "subject": report.subject,
+                "passTimes": {
+                    name: report.pass_times[name]
+                    for name in report.pass_order
+                },
+                "passStats": {
+                    name: dict(stats)
+                    for name, stats in report.pass_stats.items()
+                },
+            },
+            "results": [_result(d) for d in report.diagnostics],
+        }],
+    }
+
+
+def write_sarif(report: LintReport, path: str, indent: int = 2) -> None:
+    """Serialise the report to ``path`` as a SARIF JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(report), fh, indent=indent)
+        fh.write("\n")

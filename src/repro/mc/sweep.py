@@ -112,6 +112,7 @@ def sweep_rtl_properties(
     jobs: int = 1,
     shard_attempts: int = 2,
     shard_deadline_s: Optional[float] = None,
+    engine: str = "bdd",
     **options,
 ) -> PropertySweepReport:
     """Check every named property against the N-bank LA-1 RTL.
@@ -128,19 +129,28 @@ def sweep_rtl_properties(
     (``shard_deadline_s`` bounds one property's wall-clock); a property
     quarantined after the budget lands in
     :attr:`PropertySweepReport.quarantined` and degrades the sweep to
-    inconclusive rather than aborting it.  Extra ``options`` pass
-    through to :func:`repro.core.rulebase.check_read_mode_rtl`
-    (budgets, deadline, ``coi``).
+    inconclusive rather than aborting it.
+
+    ``engine`` picks the per-property checker: ``"bdd"`` (default)
+    routes through :func:`repro.core.rulebase.check_read_mode_rtl`,
+    ``"sat"`` through :func:`repro.sat.bmc.check_read_mode_sat`
+    (BMC + k-induction past the BDD explosion wall); extra ``options``
+    pass through to the selected checker (budgets, deadline, ``coi``,
+    and for SAT ``max_k``/``max_depth``/``method``).
     """
     from ..par import ShardError, run_supervised
-    from ..par.workers import mc_check_shard, mc_sweep_init
+    from ..par.workers import mc_check_shard, mc_sweep_init, \
+        sat_check_shard
 
+    if engine not in ("bdd", "sat"):
+        raise ValueError(f"unknown mc engine {engine!r}")
+    shard_fn = sat_check_shard if engine == "sat" else mc_check_shard
     shard_args = [
         (banks, datapath, name, prop, dict(options))
         for name, prop in properties
     ]
     results, stats = run_supervised(
-        mc_check_shard,
+        shard_fn,
         shard_args,
         jobs=jobs,
         initializer=mc_sweep_init,

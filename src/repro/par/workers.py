@@ -37,6 +37,7 @@ __all__ = [
     "cover_collect_shard",
     "mc_sweep_init",
     "mc_check_shard",
+    "sat_check_shard",
 ]
 
 
@@ -280,6 +281,24 @@ def mc_check_shard(banks: int, datapath: bool, name: str, prop,
     from ..core.rulebase import check_read_mode_rtl
 
     result = check_read_mode_rtl(
+        banks,
+        prop=prop,
+        datapath=datapath,
+        property_name=name,
+        design=_mc_design(banks, datapath),
+        **options,
+    )
+    return result.to_dict()
+
+
+def sat_check_shard(banks: int, datapath: bool, name: str, prop,
+                    options: dict) -> dict:
+    """Check one PSL property with the SAT engine (BMC + k-induction)
+    against the cached design.  Same signature and result shape as
+    :func:`mc_check_shard`, so sweeps swap engines without re-sharding."""
+    from ..sat.bmc import check_read_mode_sat
+
+    result = check_read_mode_sat(
         banks,
         prop=prop,
         datapath=datapath,

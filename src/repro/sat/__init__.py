@@ -1,0 +1,70 @@
+"""``repro.sat`` -- CNF-based semantic analysis and bounded proof engine.
+
+The SAT counterpart of the BDD stack in :mod:`repro.mc`: where the
+RuleBase-style symbolic checker explodes at 4 banks (the paper's Table 2
+negative result), this package proves the same properties by bounded
+model checking and k-induction over a Tseitin-encoded transition
+relation, in pure Python.
+
+Layers
+------
+* :mod:`repro.sat.cnf` -- Tseitin gate builder with constant folding and
+  structural hashing, emitting clauses straight into a solver;
+* :mod:`repro.sat.solver` -- a CDCL solver (two-watched literals, 1UIP
+  learning, VSIDS, Luby restarts, incremental assumptions) that logs
+  every learned clause for proof checking;
+* :mod:`repro.sat.drat` -- a RUP/DRAT-style proof checker validating
+  every UNSAT answer against the original formula;
+* :mod:`repro.sat.encode` -- the netlist front-end: combinational cones
+  and per-edge next-state functions of a flattened
+  :class:`~repro.rtl.netlist.FlatDesign`, bit-identical to the
+  interpreter semantics (and to :class:`repro.mc.transition.SymbolicModel`);
+* :mod:`repro.sat.symexec` -- symbolic executors for the *generated
+  Python source* of the compiled and bit-parallel backends, used by
+* :mod:`repro.sat.cec` -- the combinational equivalence checker proving
+  the three simulator codegens emit identical logic cone by cone;
+* :mod:`repro.sat.bmc` -- BMC unrolling + k-induction with PSL checker
+  automata embedded per frame, and :func:`check_read_mode_sat`, the
+  drop-in SAT analogue of :func:`repro.core.rulebase.check_read_mode_rtl`.
+
+Run ``python -m repro.sat`` for the CLI (read-mode proofs, CEC).
+"""
+
+from __future__ import annotations
+
+from .bmc import (
+    BmcResult,
+    KInductionResult,
+    SatModelChecker,
+    check_read_mode_sat,
+)
+from .cec import (
+    CecMismatch,
+    CecReport,
+    check_equivalence,
+    check_la1_equivalence,
+)
+from .cnf import Tseitin
+from .drat import DratError, check_proof, check_unsat
+from .encode import NetlistEncoder
+from .solver import Solver
+from .symexec import SymbolicExecutor, SymexecError
+
+__all__ = [
+    "Tseitin",
+    "Solver",
+    "check_proof",
+    "check_unsat",
+    "DratError",
+    "NetlistEncoder",
+    "SymbolicExecutor",
+    "SymexecError",
+    "SatModelChecker",
+    "BmcResult",
+    "KInductionResult",
+    "check_read_mode_sat",
+    "CecReport",
+    "CecMismatch",
+    "check_equivalence",
+    "check_la1_equivalence",
+]

@@ -1,0 +1,219 @@
+"""RUP proof checker for the CDCL solver's clause log.
+
+A :class:`repro.sat.solver.Solver` run that answers UNSAT leaves behind
+``solver.clauses`` (the formula as added) and ``solver.proof`` (every
+learned clause in derivation order, ending in the final clause: the
+empty clause for plain UNSAT, or the negated responsible assumptions for
+an assumption failure).  :func:`check_proof` replays that log and
+verifies each lemma follows from the accumulated clause database by
+reverse unit propagation (RUP) -- assert the lemma's negation, propagate
+to fixpoint, demand a conflict.  This is the DRAT forward check without
+deletions (the solver never deletes), restricted to the RUP fragment
+(CDCL learns only RUP clauses).
+
+The checker shares no machinery with the solver: propagation here is
+counter-based over an occurrence index (no watched literals), so a bug
+in the solver's two-watched scheme cannot hide inside its own
+certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["DratError", "check_proof", "check_unsat"]
+
+
+class DratError(Exception):
+    """A proof lemma that does not follow by reverse unit propagation."""
+
+
+class _Propagator:
+    """Counter-based unit propagation with O(1) undo to a mark.
+
+    Tracks, per clause, how many of its literals are currently false;
+    a clause whose false-count reaches ``len - 1`` is scanned for a unit
+    or a conflict.  Assignments append to a trail (and their counter
+    increments to a parallel ops trail) so a failed RUP probe unwinds
+    exactly.
+    """
+
+    def __init__(self):
+        self.clauses: list = []
+        self.occ: dict = {}            # lit -> [clause indices]
+        self.n_false: list = []
+        self.value: dict = {}          # var -> bool
+        self.trail: list = []          # assigned literals, in order
+        self.inc_trail: list = []      # clause indices incremented
+        self.contradiction = False     # db propagates to conflict on its own
+
+    def _value_of(self, lit: int):
+        v = self.value.get(abs(lit))
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def add_clause(self, clause: Sequence[int]) -> int:
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause:
+            self.occ.setdefault(lit, []).append(index)
+        count = 0
+        for lit in clause:
+            if self._value_of(lit) is False:
+                count += 1
+        self.n_false.append(count)
+        return index
+
+    def _assign(self, lit: int, pending: list) -> bool:
+        """Make ``lit`` true; returns False on immediate conflict."""
+        v = self._value_of(lit)
+        if v is not None:
+            return v
+        self.value[abs(lit)] = lit > 0
+        self.trail.append(lit)
+        occ = self.occ.get(-lit)
+        if occ:
+            n_false = self.n_false
+            inc = self.inc_trail
+            for ci in occ:
+                n_false[ci] += 1
+                inc.append(ci)
+                if n_false[ci] >= len(self.clauses[ci]) - 1:
+                    pending.append(ci)
+        return True
+
+    def propagate(self, lits: Sequence[int]) -> bool:
+        """Assert ``lits`` and propagate to fixpoint.
+
+        Returns True when a conflict is reached.  Call :meth:`mark` /
+        :meth:`undo` around it to scope the assignments.
+        """
+        pending: list = []
+        for lit in lits:
+            if not self._assign(lit, pending):
+                return True
+        while pending:
+            ci = pending.pop()
+            clause = self.clauses[ci]
+            unit = None
+            count = 0
+            satisfied = False
+            for lit in clause:
+                v = self._value_of(lit)
+                if v is True:
+                    satisfied = True
+                    break
+                if v is None:
+                    count += 1
+                    unit = lit
+                    if count > 1:
+                        break
+            if satisfied or count > 1:
+                continue
+            if count == 0:
+                return True
+            if not self._assign(unit, pending):
+                return True
+        return False
+
+    def mark(self) -> tuple:
+        return len(self.trail), len(self.inc_trail)
+
+    def undo(self, mark: tuple) -> None:
+        trail_mark, inc_mark = mark
+        while len(self.inc_trail) > inc_mark:
+            self.n_false[self.inc_trail.pop()] -= 1
+        while len(self.trail) > trail_mark:
+            del self.value[abs(self.trail.pop())]
+
+    def commit_units(self, clause: Sequence[int]) -> None:
+        """Persistently propagate a newly added clause if it forces
+        anything under the current persistent assignment."""
+        if self.contradiction:
+            return
+        unit = None
+        count = 0
+        for lit in clause:
+            v = self._value_of(lit)
+            if v is True:
+                return
+            if v is None:
+                count += 1
+                unit = lit
+                if count > 1:
+                    return
+        if count == 0 or self.propagate((unit,)):
+            self.contradiction = True
+
+
+def check_proof(
+    clauses: Iterable[Sequence[int]],
+    proof: Iterable[Sequence[int]],
+    require_empty: bool = False,
+) -> int:
+    """Validate each proof lemma by RUP against formula + prior lemmas.
+
+    Returns the number of lemmas checked.  Raises :class:`DratError` on
+    the first lemma that is not RUP, on an empty proof, or -- when
+    ``require_empty`` -- if the final lemma is not the empty clause.
+    """
+    prop = _Propagator()
+    for clause in clauses:
+        tclause = tuple(clause)
+        prop.add_clause(tclause)
+        prop.commit_units(tclause)
+    lemmas = [tuple(lemma) for lemma in proof]
+    if not lemmas:
+        raise DratError("empty proof log: nothing to certify")
+    for index, lemma in enumerate(lemmas):
+        if len(set(abs(lit) for lit in lemma)) != len(lemma):
+            raise DratError(
+                f"lemma {index} {lemma!r} has duplicate/conflicting literals"
+            )
+        if not prop.contradiction:
+            mark = prop.mark()
+            conflict = prop.propagate([-lit for lit in lemma])
+            prop.undo(mark)
+            if not conflict:
+                raise DratError(
+                    f"lemma {index} {lemma!r} is not RUP "
+                    f"(negation propagates without conflict)"
+                )
+        prop.add_clause(lemma)
+        prop.commit_units(lemma)
+    if require_empty and lemmas[-1] != ():
+        raise DratError(
+            f"final lemma {lemmas[-1]!r} is not the empty clause"
+        )
+    return len(lemmas)
+
+
+def check_unsat(solver, assumptions: Sequence[int] = ()) -> int:
+    """Certify the UNSAT answer a solver just produced.
+
+    For a plain UNSAT run the proof must end in the empty clause.  For
+    an assumption failure the final lemma is ``solver.final_conflict``
+    (negated responsible assumptions); the checker additionally verifies
+    that this clause blocks the given assumptions -- i.e. every literal
+    in it is the negation of an assumption.
+    """
+    if solver.proof is None:
+        raise DratError("solver was built with proof_log=False")
+    checked = check_proof(solver.clauses, solver.proof)
+    final = tuple(solver.proof[-1])
+    if not assumptions:
+        if final != ():
+            raise DratError(
+                f"plain UNSAT must end in the empty clause, got {final!r}"
+            )
+        return checked
+    if final == ():
+        return checked                 # formula itself UNSAT: stronger
+    assumed = set(assumptions)
+    for lit in final:
+        if -lit not in assumed:
+            raise DratError(
+                f"final clause literal {lit} does not negate an assumption"
+            )
+    return checked

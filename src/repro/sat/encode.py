@@ -1,0 +1,238 @@
+"""CNF front-end for flattened RTL netlists.
+
+:class:`NetlistEncoder` is the SAT counterpart of
+:class:`repro.mc.transition.SymbolicModel`: it walks the same
+:class:`~repro.rtl.netlist.FlatDesign` and mirrors ``_compile_expr``
+operation for operation (equality as an AND of XNORs, addition as a
+truncated ripple carry, tristate nets as reversed priority-mux chains
+over an undriven 0), but emits Tseitin clauses instead of BDD nodes.
+Because the semantics match the interpreter bit for bit, a frame encoded
+over *constant* literals folds completely and must equal an
+``RtlSimulator`` settle -- the differential consistency suite in
+``tests/test_sat_encode.py`` leans on exactly that.
+
+Unlike the monolithic BDD model there is no global transition relation:
+callers encode one :class:`Frame` per time step (fresh literals for that
+step's free inputs, whatever literals they like for the register state)
+and chain frames functionally -- frame ``t+1``'s state literals simply
+*are* frame ``t``'s next-state literals.  DDR phase is static per frame
+(``(t + start_phase) % 2``), so no phase variable is ever allocated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..rtl.hdl import (
+    BinOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Reduce,
+    Ref,
+    Slice,
+    UnOp,
+)
+from ..rtl.netlist import FlatDesign, FlatNet
+from .cnf import Tseitin
+
+__all__ = ["Frame", "NetlistEncoder"]
+
+
+class Frame:
+    """One encoded time step: literal vectors for every live net."""
+
+    __slots__ = ("bits", "state", "inputs", "phase")
+
+    def __init__(self, bits, state, inputs, phase):
+        #: FlatNet -> list of literals (regs, inputs and comb nets)
+        self.bits: Dict[FlatNet, List[int]] = bits
+        #: reg path -> literal vector (this frame's register state)
+        self.state: Dict[str, List[int]] = state
+        #: input path -> literal vector
+        self.inputs: Dict[str, List[int]] = inputs
+        #: 0 = rising K, 1 = rising K# (None on single-clock designs)
+        self.phase: Optional[int] = phase
+
+
+class NetlistEncoder:
+    """Encode frames of a flat design into a :class:`Tseitin` builder."""
+
+    def __init__(
+        self,
+        design: FlatDesign,
+        tseitin: Tseitin,
+        coi_roots: Optional[Sequence[str]] = None,
+    ):
+        if coi_roots is not None:
+            from ..lint.coi import reduce_design
+
+            design = reduce_design(design, coi_roots)
+        if len(design.clocks) > 2:
+            raise ValueError(
+                "SAT encoder supports at most two clock domains "
+                f"(got {design.clocks})"
+            )
+        self.design = design
+        self.t = tseitin
+        self.multi_clock = len(design.clocks) > 1
+
+    # ------------------------------------------------------------------
+    # state construction
+    # ------------------------------------------------------------------
+    def init_state(self) -> Dict[str, List[int]]:
+        """Register state at reset, as constant literals."""
+        t = self.t
+        return {
+            reg.path: [
+                t.TRUE if (reg.init >> i) & 1 else t.FALSE
+                for i in range(reg.width)
+            ]
+            for reg in self.design.regs
+        }
+
+    def free_state(self) -> Dict[str, List[int]]:
+        """A fully unconstrained register state (fresh variables);
+        the k-induction hypothesis frames start from one of these."""
+        t = self.t
+        return {
+            reg.path: [t.new_var() for _ in range(reg.width)]
+            for reg in self.design.regs
+        }
+
+    def free_inputs(self) -> Dict[str, List[int]]:
+        """Fresh variables for every free input bit of one frame."""
+        t = self.t
+        return {
+            inp.path: [t.new_var() for _ in range(inp.width)]
+            for inp in self.design.inputs
+        }
+
+    def const_inputs(self, values: Dict[str, int]) -> Dict[str, List[int]]:
+        """Constant input literals from a ``path -> value`` dict
+        (unlisted inputs read 0, like an undriven testbench pin)."""
+        t = self.t
+        out = {}
+        for inp in self.design.inputs:
+            value = values.get(inp.path, 0)
+            out[inp.path] = [
+                t.TRUE if (value >> i) & 1 else t.FALSE
+                for i in range(inp.width)
+            ]
+        return out
+
+    # ------------------------------------------------------------------
+    # frame encoding
+    # ------------------------------------------------------------------
+    def frame(
+        self,
+        state: Dict[str, List[int]],
+        inputs: Dict[str, List[int]],
+        phase: Optional[int] = None,
+    ) -> Frame:
+        """Encode the combinational closure of one time step.
+
+        ``state``/``inputs`` map net paths to literal vectors; ``phase``
+        must be 0 or 1 on dual-clock designs (which rising edge this
+        step models) and ``None`` otherwise.
+        """
+        if self.multi_clock and phase is None:
+            raise ValueError("dual-clock design: frame needs phase 0 or 1")
+        bits: Dict[FlatNet, List[int]] = {}
+        for reg in self.design.regs:
+            vec = state[reg.path]
+            assert len(vec) == reg.width, reg.path
+            bits[reg] = list(vec)
+        for inp in self.design.inputs:
+            vec = inputs[inp.path]
+            assert len(vec) == inp.width, inp.path
+            bits[inp] = list(vec)
+        for flat in self.design.comb_order:
+            bits[flat] = self._encode_flat(flat, bits)
+        return Frame(bits, dict(state), dict(inputs), phase)
+
+    def next_state(self, frame: Frame) -> Dict[str, List[int]]:
+        """Register state after this frame's clock edge.
+
+        On dual-clock designs only the active domain's registers load
+        (``phase`` 0 clocks ``design.clocks[0]``, i.e. ``K``); the other
+        domain's literals pass through unchanged -- the static analogue
+        of the BDD model's phase-gated ``ite``.
+        """
+        out: Dict[str, List[int]] = {}
+        clocks = self.design.clocks
+        for reg in self.design.regs:
+            if self.multi_clock and clocks.index(reg.clock) != frame.phase:
+                out[reg.path] = list(frame.bits[reg])
+                continue
+            assert reg.next_expr is not None
+            out[reg.path] = self._encode_expr(
+                reg.next_expr, reg.scope, frame.bits
+            )
+        return out
+
+    def net_bits(self, frame: Frame, path: str) -> List[int]:
+        """Literal vector of any live net in ``frame`` by flat path."""
+        return list(frame.bits[self.design.net(path)])
+
+    # ------------------------------------------------------------------
+    # expression lowering (mirrors SymbolicModel._compile_expr)
+    # ------------------------------------------------------------------
+    def _encode_flat(self, flat: FlatNet, bits) -> List[int]:
+        t = self.t
+        if flat.tristate is not None:
+            out = [t.FALSE] * flat.width
+            for driver in reversed(flat.tristate):
+                enable = self._encode_expr(driver.enable, flat.scope, bits)[0]
+                value = self._encode_expr(driver.value, flat.scope, bits)
+                out = [t.ite(enable, v, b) for v, b in zip(value, out)]
+            return out
+        assert flat.expr is not None
+        return self._encode_expr(flat.expr, flat.scope, bits)
+
+    def _encode_expr(self, expr: Expr, scope, bits) -> List[int]:
+        t = self.t
+        if isinstance(expr, Const):
+            return [
+                t.TRUE if (expr.value >> i) & 1 else t.FALSE
+                for i in range(expr.width)
+            ]
+        if isinstance(expr, Ref):
+            return list(bits[scope[expr.net]])
+        if isinstance(expr, UnOp):
+            return [-b for b in self._encode_expr(expr.a, scope, bits)]
+        if isinstance(expr, BinOp):
+            a = self._encode_expr(expr.a, scope, bits)
+            b = self._encode_expr(expr.b, scope, bits)
+            if expr.op == "and":
+                return [t.and_(x, y) for x, y in zip(a, b)]
+            if expr.op == "or":
+                return [t.or_(x, y) for x, y in zip(a, b)]
+            if expr.op == "xor":
+                return [t.xor_(x, y) for x, y in zip(a, b)]
+            if expr.op == "eq":
+                return [t.equal_vec(a, b)]
+            if expr.op == "add":
+                return t.add_vec(a, b)
+        if isinstance(expr, Mux):
+            sel = self._encode_expr(expr.sel, scope, bits)[0]
+            tv = self._encode_expr(expr.if_true, scope, bits)
+            fv = self._encode_expr(expr.if_false, scope, bits)
+            return [t.ite(sel, x, y) for x, y in zip(tv, fv)]
+        if isinstance(expr, Slice):
+            vec = self._encode_expr(expr.a, scope, bits)
+            return vec[expr.lo : expr.hi + 1]
+        if isinstance(expr, Concat):
+            out: List[int] = []
+            for part in expr.parts:
+                out.extend(self._encode_expr(part, scope, bits))
+            return out
+        if isinstance(expr, Reduce):
+            vec = self._encode_expr(expr.a, scope, bits)
+            if expr.op == "xor":
+                return [t.xor_many(vec)]
+            if expr.op == "or":
+                return [t.or_many(vec)]
+            return [t.and_many(vec)]
+        raise TypeError(f"cannot encode {expr!r}")

@@ -1,0 +1,203 @@
+"""Tests for the SAT-backed semantic lint passes and the SARIF output."""
+
+import json
+
+from repro.lint import (
+    ERROR,
+    LintConfig,
+    LintContext,
+    SatConstNetPass,
+    default_rtl_passes,
+    lint_design,
+    lint_machine,
+    lint_properties,
+)
+from repro.lint.sarif import SARIF_VERSION, to_sarif, write_sarif
+from repro.psl import builder as B
+from repro.psl.ast import And, Not, Or
+from repro.rtl import C, RtlModule, elaborate
+
+
+def _reconvergent_const_module():
+    """`w` is semantically constant 0 but no single Tseitin gate folds:
+    the four maxterm factors reconverge only at the final AND."""
+    m = RtlModule("rc")
+    a = m.input("a", 1)
+    b = m.input("b", 1)
+    w = m.wire("dead", 1)
+    m.assign(w, (a.ref() | b.ref()) & (~a.ref() | b.ref())
+             & (a.ref() | ~b.ref()) & (~a.ref() | ~b.ref()))
+    live = m.wire("live", 1)
+    m.assign(live, a.ref() ^ b.ref())
+    r = m.reg("r", 1, clock="K", init=0)
+    m.sync(r, live.ref())
+    out = m.output("q", 1)
+    m.assign(out, w.ref() | r.ref())
+    return m
+
+
+class TestSatConstNetPass:
+    def test_reconvergent_dead_net_proved(self):
+        report = lint_design(_reconvergent_const_module(), semantic=True)
+        found = [d for d in report.diagnostics
+                 if d.rule == "sat-const-net"]
+        assert len(found) == 1
+        assert "rc.dead" in found[0].location
+        assert "provably 0" in found[0].message
+        # the live nets are untouched
+        assert not any("rc.live" in d.location for d in found)
+
+    def test_clean_design_emits_nothing(self):
+        m = RtlModule("ok")
+        a = m.input("a", 2)
+        r = m.reg("r", 2, clock="K", init=0)
+        m.sync(r, a.ref() ^ r.ref())
+        out = m.output("q", 2)
+        m.assign(out, r.ref())
+        report = lint_design(m, semantic=True)
+        assert not [d for d in report.diagnostics
+                    if d.rule.startswith("sat-")]
+
+    def test_monitor_fire_nets_excluded(self):
+        """A provably-0 monitor fire net is the assertion *holding*,
+        not dead logic."""
+        m = RtlModule("mon")
+        a = m.input("a", 1)
+        fire = m.wire("never_fire", 1)
+        # same reconvergent always-0 shape the rule would otherwise flag
+        m.assign(fire, (a.ref() | ~a.ref()) & (a.ref() & ~a.ref() | C(0)))
+        m.monitors.append((fire, "boom", "error", "never", "K"))
+        r = m.reg("r", 1, clock="K", init=0)
+        m.sync(r, a.ref())
+        out = m.output("q", 1)
+        m.assign(out, r.ref())
+        report = lint_design(m, semantic=True)
+        assert not [d for d in report.diagnostics
+                    if d.rule == "sat-const-net"]
+
+    def test_dead_tristate_driver(self):
+        m = RtlModule("tri")
+        a = m.input("a", 1)
+        en = m.input("en", 1)
+        bus = m.wire("bus", 1)
+        m.tristate(bus, en.ref(), a.ref())
+        # reconvergent never-true enable: en & a & ~(en & a) shaped so
+        # no single gate folds
+        m.tristate(bus, (en.ref() | a.ref()) & (~en.ref() | a.ref())
+                   & (en.ref() | ~a.ref()) & (~en.ref() | ~a.ref()),
+                   ~a.ref())
+        r = m.reg("r", 1, clock="K", init=0)
+        m.sync(r, bus.ref())
+        out = m.output("q", 1)
+        m.assign(out, r.ref())
+        report = lint_design(m, semantic=True)
+        dead = [d for d in report.diagnostics
+                if d.rule == "sat-dead-driver"]
+        assert len(dead) == 1
+        assert "tri.bus" in dead[0].location
+
+    def test_pass_stats_record_solves(self):
+        design = elaborate(_reconvergent_const_module())
+        ctx = LintContext(design=design)
+        from repro.lint.analyses import ConstPropPass
+
+        ctx.results["constprop"] = ConstPropPass().run(ctx) or {}
+        result = SatConstNetPass().run(ctx)
+        assert result["solves"] >= 2
+        assert result["proved_const"] == {"rc.dead": 0}
+        assert result["proof_lemmas"] is None or \
+            result["proof_lemmas"] >= 0
+
+
+class TestSatPslPasses:
+    def test_vacuity_and_tautology_sat_decided(self):
+        a = B.atom("a")
+        suite = [
+            ("vacuous", B.always(B.implies(And(a, Not(a)), B.atom("b")))),
+            ("tautology", B.always(Or(a, Not(a)))),
+            ("honest", B.always(B.implies(a, B.atom("b")))),
+        ]
+        report = lint_properties(suite, semantic=True)
+        rules = {d.rule for d in report.diagnostics}
+        assert "psl-vacuity" in rules
+        assert "psl-tautology" in rules
+        flagged = {d.location for d in report.diagnostics}
+        assert not any("honest" in loc for loc in flagged)
+
+
+class TestAsmSatRequire:
+    def test_la1_machine_certified(self):
+        from repro.core.asm_model import La1AsmConfig, build_la1_asm
+
+        machine = build_la1_asm(La1AsmConfig(banks=1))
+        report = lint_machine(machine, semantic=True)
+        # the certificate must never disagree with the sweep
+        assert not [d for d in report.diagnostics
+                    if d.rule == "asm-sat-require" and d.severity == ERROR
+                    and not d.waived]
+        assert "asm-sat-require" in report.pass_order
+
+
+class TestCecPass:
+    def test_semantic_lint_runs_cec(self):
+        report = lint_design(_reconvergent_const_module(), semantic=True)
+        assert "rtl-cec" in report.pass_order
+        assert not [d for d in report.diagnostics
+                    if d.rule == "backend-mismatch"]
+
+    def test_default_passes_gate_on_semantic(self):
+        names = [type(p).__name__ for p in default_rtl_passes()]
+        assert "SatConstNetPass" not in names
+        names = [type(p).__name__
+                 for p in default_rtl_passes(semantic=True)]
+        assert "SatConstNetPass" in names and "CecPass" in names
+
+
+class TestAnalysisCache:
+    def test_coi_memoization_reported_in_pass_stats(self):
+        report = lint_design(_reconvergent_const_module())
+        assert report.pass_stats
+        for stats in report.pass_stats.values():
+            assert "analysis_cache_hits" in stats
+        total_hits = sum(s["analysis_cache_hits"]
+                         for s in report.pass_stats.values())
+        assert total_hits >= 0
+
+
+class TestSarif:
+    def test_structure_and_levels(self):
+        report = lint_design(_reconvergent_const_module(), semantic=True)
+        doc = to_sarif(report)
+        assert doc["version"] == SARIF_VERSION
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {res["ruleId"] for res in run["results"]} <= rule_ids
+        by_rule = {res["ruleId"]: res for res in run["results"]}
+        assert by_rule["sat-const-net"]["level"] == "error"
+        loc = by_rule["sat-const-net"]["locations"][0]
+        assert loc["logicalLocations"][0]["fullyQualifiedName"] == \
+            "rc.dead"
+
+    def test_waived_findings_become_suppressions(self):
+        config = LintConfig(waivers=(
+            ("sat-const-net", "rc.dead", "known dead logic fixture"),
+        ))
+        report = lint_design(
+            _reconvergent_const_module(), config=config, semantic=True)
+        doc = to_sarif(report)
+        suppressed = [res for res in doc["runs"][0]["results"]
+                      if res.get("suppressions")]
+        assert suppressed
+        assert suppressed[0]["suppressions"][0]["justification"] == \
+            "known dead logic fixture"
+        # a waived error no longer fails the run
+        assert report.ok
+
+    def test_write_sarif_round_trips(self, tmp_path):
+        report = lint_design(_reconvergent_const_module())
+        path = tmp_path / "out.sarif"
+        write_sarif(report, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == SARIF_VERSION
+        assert doc["runs"][0]["properties"]["subject"] == report.subject

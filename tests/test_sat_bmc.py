@@ -1,0 +1,157 @@
+"""Tests for SAT-based bounded model checking and k-induction, and
+their integration with the sweep/flow layers."""
+
+import pytest
+
+from repro.core.properties import read_mode_suite, rtl_labels
+from repro.core.rtl_model import build_la1_top_rtl
+from repro.core.rulebase import MC_SCALE_CONFIG
+from repro.psl import builder as B
+from repro.rtl import elaborate
+from repro.sat.bmc import SatModelChecker, check_read_mode_sat
+
+
+def _design(banks=1, datapath=False):
+    return elaborate(
+        build_la1_top_rtl(MC_SCALE_CONFIG(banks), datapath=datapath))
+
+
+class TestBmc:
+    def test_false_property_refuted_and_replayed(self):
+        """'read_req never rises' is false; BMC must find the violation
+        and the decoded counterexample must replay on the simulator."""
+        design = _design()
+        prop = B.always(B.implies(B.atom("req"), B.atom("nope")))
+        labels = {
+            "req": ("la1_top.bank0.stat_read_req", 0),
+            "nope": ("la1_top.bank0.stat_data_valid", 0),
+        }
+        mc = SatModelChecker(design, prop, labels, name="false-prop")
+        result = mc.bmc(max_depth=20)
+        assert result.holds is False
+        assert result.failed_at is not None
+        assert result.replayed is True
+        assert len(result.counterexample) == result.failed_at + 1
+
+    def test_true_property_clean_to_depth_with_proofs(self):
+        design = _design()
+        suite = read_mode_suite(1)
+        labels = rtl_labels("la1_top", 1)
+        name, prop = suite[0]
+        mc = SatModelChecker(design, prop, labels, name=name)
+        result = mc.bmc(max_depth=10, check_proofs=True)
+        assert result.holds is None
+        assert result.failed_at is None
+        assert result.clean_depth == 10
+        assert result.stats["proof_lemmas"] > 0
+
+
+class TestKInduction:
+    def test_read_mode_suite_proved(self):
+        design = _design()
+        labels = rtl_labels("la1_top", 1)
+        for name, prop in read_mode_suite(1):
+            mc = SatModelChecker(design, prop, labels, name=name)
+            result = mc.prove(max_k=20, check_proofs=True)
+            assert result.proved, f"{name}: {result!r}"
+            assert result.k is not None and result.k >= 1
+            assert result.stats["proof_lemmas"] > 0
+
+    def test_false_property_yields_base_counterexample(self):
+        design = _design()
+        prop = B.always(B.implies(B.atom("req"), B.atom("nope")))
+        labels = {
+            "req": ("la1_top.bank0.stat_read_req", 0),
+            "nope": ("la1_top.bank0.stat_data_valid", 0),
+        }
+        mc = SatModelChecker(design, prop, labels, name="false-prop")
+        result = mc.prove(max_k=20)
+        assert result.holds is False
+        assert result.cex is not None
+        assert result.cex.replayed is True
+
+    def test_non_safety_property_rejected(self):
+        from repro.psl.ast import PslError
+
+        design = _design()
+        with pytest.raises(PslError, match="safety"):
+            SatModelChecker(
+                design, B.always(B.eventually(B.atom("x"))),
+                {"x": ("la1_top.bank0.stat_read_req", 0)})
+
+
+class TestCheckReadModeSat:
+    def test_result_shape_matches_bdd_engine(self):
+        result = check_read_mode_sat(1, max_k=20, check_proofs=True)
+        assert result.holds is True
+        assert result.property_name == "read_mode[1banks]"
+        stats = result.bdd_stats
+        assert stats["engine"] == "sat"
+        assert stats["method"] == "k-induction"
+        assert stats["k"] >= 1
+        assert stats["proof_checked"] is True
+        # round-trips through the shard-transport dict form
+        from repro.mc.checker import SymbolicCheckResult
+
+        again = SymbolicCheckResult.from_dict(result.to_dict())
+        assert again.holds is True
+        assert again.bdd_stats["engine"] == "sat"
+
+    def test_bmc_method(self):
+        result = check_read_mode_sat(1, method="bmc", max_depth=8)
+        assert result.holds is None
+        assert result.bdd_stats["method"] == "bmc"
+        assert result.bdd_stats["clean_depth"] == 8
+        assert not result.truncated
+
+    def test_past_the_bdd_wall_4banks(self):
+        """The acceptance check: the full 4-bank read-mode property set
+        -- the configuration the BDD engine explodes on (paper Table 2)
+        -- is proved by k-induction, full netlist, no cone reduction."""
+        for name, prop in read_mode_suite(4):
+            result = check_read_mode_sat(
+                4, prop=prop, property_name=name, coi=False, max_k=20)
+            assert result.holds is True, f"{name}: {result!r}"
+            assert not result.bdd_stats.get("exploded", False)
+
+
+class TestSweepIntegration:
+    def test_sweep_engine_sat_inline(self):
+        from repro.mc import sweep_rtl_properties
+
+        report = sweep_rtl_properties(
+            1, read_mode_suite(1), datapath=False, jobs=1, engine="sat")
+        assert report.holds is True
+        combined = report.combined()
+        assert combined.holds is True
+        for __, result in report.results:
+            assert result.bdd_stats["engine"] == "sat"
+
+    def test_sweep_rejects_unknown_engine(self):
+        from repro.mc import sweep_rtl_properties
+
+        with pytest.raises(ValueError, match="unknown mc engine"):
+            sweep_rtl_properties(
+                1, read_mode_suite(1), engine="smt")
+
+
+class TestFlowIntegration:
+    def test_flow_mc_engine_sat(self):
+        from repro.core.flow import FlowConfig, run_flow
+
+        report = run_flow(FlowConfig(
+            banks=1, traffic=4, mc_engine="sat",
+            static_lint=False, coverage=False))
+        stage = next(s for s in report.stages
+                     if s.name == "rtl_model_checking")
+        assert stage.ok
+        assert "clauses" in stage.detail
+        assert stage.data.bdd_stats["engine"] == "sat"
+
+    def test_flow_rejects_unknown_engine(self):
+        from repro.core.flow import FlowConfig, run_flow
+
+        with pytest.raises(ValueError, match="unknown mc engine"):
+            run_flow(FlowConfig(
+                banks=1, traffic=4, mc_engine="smt",
+                static_lint=False, coverage=False))
