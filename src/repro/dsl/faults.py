@@ -1,0 +1,175 @@
+"""``repro.dsl.faults`` -- fault campaigns over elaborated DSL designs.
+
+Zoo campaigns reuse the whole ``repro.fault`` machinery -- verdict
+taxonomy, golden-run differencing, checkpoint/resume, PPSFP lane
+batching, process-pool sharding -- with an open-loop workload: a seeded
+per-cycle input-vector stream replaces the LA-1 transaction host, and
+the per-cycle output-port log replaces the transaction log.  Detection
+ladder and verdict semantics are identical to the LA-1 campaign, so
+reports merge and signatures compare across design kinds."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..fault.models import Fault, RtlBitFlip, RtlStuckAt
+from ..fault.rtl_inject import RtlFaultInjector
+from ..rtl.netlist import FlatDesign
+
+__all__ = [
+    "zoo_fault_list",
+    "zoo_stimulus",
+    "zoo_log_run",
+    "run_zoo_fault",
+    "run_zoo_batch",
+]
+
+
+def zoo_fault_list(flat: FlatDesign, include_flips: bool = True,
+                   flip_edge: int = 5) -> List[Fault]:
+    """Both stuck-at polarities on every register bit, plus one SEU per
+    register (deterministic order: netlist register order)."""
+    faults: List[Fault] = []
+    for reg in flat.regs:
+        for bit in range(reg.width):
+            faults.append(RtlStuckAt(reg.path, bit, 0))
+            faults.append(RtlStuckAt(reg.path, bit, 1))
+        if include_flips:
+            faults.append(RtlBitFlip(reg.path, 0, at_edge=flip_edge))
+    return faults
+
+
+def zoo_stimulus(flat: FlatDesign, seed: int, cycles: int
+                 ) -> List[Dict[str, int]]:
+    """The open-loop workload: one seeded input vector per cycle."""
+    rng = random.Random(seed)
+    inputs = [(net.path, net.width) for net in flat.inputs]
+    return [
+        {path: rng.getrandbits(width) for path, width in inputs}
+        for __ in range(cycles)
+    ]
+
+
+def zoo_log_run(campaign, sim) -> Tuple:
+    """Drive ``sim`` through the campaign's stimulus; the golden-
+    comparable log is the per-cycle tuple of output-port values
+    (sampled combinationally before each edge)."""
+    stim = campaign._zoo_stimulus()
+    outputs = campaign._design().top_outputs
+    log = []
+    for values in stim:
+        for path, value in values.items():
+            sim.set_input(path, value)
+        log.append(tuple(sim.read(path) for path in outputs))
+        sim.step("K")
+    return tuple(log)
+
+
+def zoo_golden_run(campaign) -> Tuple:
+    """The fault-free reference log; raises if any design monitor fires
+    (a zoo design must be self-consistent under its own workload)."""
+    sim = campaign._rtl_simulator()
+    sim.reset()
+    log = zoo_log_run(campaign, sim)
+    if sim.failures:
+        raise RuntimeError(
+            f"golden run of design {campaign.config.design!r} fails its "
+            f"own monitors {sim.failures[:3]}")
+    return log
+
+
+def run_zoo_fault(campaign, fault: Fault):
+    """One fault through the zoo detection ladder (mirrors
+    ``FaultCampaign._run_rtl`` so verdicts merge transparently)."""
+    from ..fault.campaign import FaultVerdict
+
+    golden = campaign._rtl_golden_run()
+    sim = campaign._rtl_simulator()
+    sim.reset()
+    injector = RtlFaultInjector(sim, [fault])
+    injector.attach()
+    try:
+        log = zoo_log_run(campaign, sim)
+    finally:
+        injector.detach()
+    detected_by = sorted({record.name for record in sim.failures})
+    if detected_by:
+        outcome, detail = "detected", ""
+    elif not injector.triggered:
+        outcome, detail = "masked", "fault never changed a state bit"
+    elif log != golden:
+        outcome = "silent"
+        detail = ("output log diverged from golden run with no design "
+                  "monitor firing")
+    else:
+        outcome, detail = "masked", "no observable divergence"
+    return FaultVerdict(
+        fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+        detail, expected_detectable=fault.expect_detectable,
+    )
+
+
+def run_zoo_batch(campaign, batch: List[Fault], lanes: int) -> tuple:
+    """One PPSFP pass over a zoo design: fault *k* in lane ``k+1``,
+    lane 0 golden.  Divergence is accumulated with the lane-word trick
+    (XOR every lane word against the broadcast of lane 0); verdicts are
+    bit-identical to :func:`run_zoo_fault`.  Returns
+    ``(verdicts, fallbacks)`` like ``repro.fault.ppsfp._run_batch``."""
+    from ..fault.campaign import FaultVerdict
+
+    golden = campaign._rtl_golden_run()
+    sim = campaign._ppsfp_simulator(lanes)
+    sim.reset()
+    lane_map = list(range(1, len(batch) + 1))
+    injector = RtlFaultInjector(sim, batch, lane_map=lane_map)
+    injector.attach()
+    all_lanes = (1 << lanes) - 1
+    diverged = 0
+    try:
+        stim = campaign._zoo_stimulus()
+        flat = campaign._design()
+        outputs = [(path, flat.net(path).width)
+                   for path in flat.top_outputs]
+        for cycle, values in enumerate(stim):
+            for path, value in values.items():
+                sim.set_input(path, value)
+            lane0 = []
+            for path, width in outputs:
+                value0 = 0
+                for bit in range(width):
+                    word = sim.lane_word(path, bit)
+                    bit0 = word & 1
+                    diverged |= word ^ (all_lanes if bit0 else 0)
+                    value0 |= bit0 << bit
+                lane0.append(value0)
+            if tuple(lane0) != golden[cycle]:
+                raise RuntimeError(
+                    f"PPSFP golden lane diverged at cycle {cycle}")
+            sim.step("K")
+    finally:
+        injector.detach()
+    invalid = sim.conflict_lanes
+    verdicts: dict = {}
+    fallbacks: List[Fault] = []
+    for index, fault in enumerate(batch):
+        lane = lane_map[index]
+        if (invalid >> lane) & 1:
+            fallbacks.append(fault)
+            continue
+        detected_by = sim.lane_failure_names(lane)
+        if detected_by:
+            outcome, detail = "detected", ""
+        elif not injector.lane_triggered(lane):
+            outcome, detail = "masked", "fault never changed a state bit"
+        elif (diverged >> lane) & 1:
+            outcome = "silent"
+            detail = ("output log diverged from golden run with no design "
+                      "monitor firing")
+        else:
+            outcome, detail = "masked", "no observable divergence"
+        verdicts[fault.fault_id] = FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+            detail, expected_detectable=fault.expect_detectable,
+        )
+    return verdicts, fallbacks

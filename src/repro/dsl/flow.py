@@ -1,0 +1,280 @@
+"""``repro.dsl.flow`` -- the full verification flow for a zoo design.
+
+:func:`run_dsl_flow` drives one frontend design through every engine of
+the methodology, unchanged from the LA-1 stack:
+
+1. **elaborate** -- lower to the ASM / RTL / SystemC model trio;
+2. **lint** -- ``repro.lint`` over the elaborated netlist, the PSL
+   property set and the per-rule ASM view (probe and cover nets are
+   declared observation points so taps are not flagged dead; frontend
+   ``src_loc`` decoration makes any finding point at the DSL line);
+3. **conformance** -- BFS co-execution of the ASM model against the RTL
+   and SystemC lowerings, bit-identical observations required;
+4. **model checking** -- every design property through the SAT engine
+   (BMC + k-induction; definitive verdicts) or the RuleBase-style BDD
+   reachability engine;
+5. **coverage** -- the design's covergroup sampled over a seeded RTL
+   run;
+6. **campaign** -- a fault-injection smoke campaign (stuck-ats + one
+   SEU per register) that must detect at least one fault and complete
+   without engine errors.
+
+The stage results reuse :class:`repro.core.flow.StageResult`, so flow
+reports read the same either way; like the LA-1 flow, execution stops
+at the first failing stage.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.flow import StageResult
+from ..lint import LintConfig, lint_design, lint_machine, lint_properties
+from ..rtl.simulator import RtlSimulator
+from .elab import check_dsl_conformance, netlist_fingerprint
+from .zoo import build_elaborated, conformance_budget, zoo_properties
+
+__all__ = ["DslFlowReport", "run_dsl_flow"]
+
+
+@dataclass
+class DslFlowReport:
+    """All stage results of one zoo-design flow run."""
+
+    design: str
+    stages: List[StageResult] = field(default_factory=list)
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when every executed stage passed."""
+        return all(stage.ok for stage in self.stages)
+
+    def stage(self, name: str) -> Optional[StageResult]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def render(self) -> str:
+        lines = [f"dsl flow [{self.design}]"
+                 + (f" fingerprint {self.fingerprint}" if self.fingerprint
+                    else "")]
+        for stage in self.stages:
+            flag = "PASS" if stage.ok else "FAIL"
+            lines.append(
+                f"  [{flag}] {stage.name:<16} {stage.cpu_time:7.2f}s  "
+                f"{stage.detail}"
+            )
+        lines.append(f"  overall: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _lint_stage(name: str, elab, config: Optional[LintConfig],
+                semantic: bool) -> StageResult:
+    start = time.perf_counter()
+    base = config or LintConfig()
+    # probe, cover and monitor wires exist to be observed by engines the
+    # dataflow pass cannot see (PSL labels, covergroup sampling), so
+    # they are observation points, not dead logic
+    sinks = tuple(elab.probes.values()) + tuple(
+        path for path, __ in elab.covers.values())
+    rtl_config = LintConfig(
+        disabled_rules=base.disabled_rules,
+        waivers=base.waivers,
+        extra_sinks=tuple(base.extra_sinks) + sinks,
+        asm_state_cap=base.asm_state_cap,
+    )
+    report = lint_design(elab.rtl, config=rtl_config, design=elab.flat,
+                         subject=f"dsl:{name}", semantic=semantic)
+    props = [(pname, prop) for pname, prop, __ in zoo_properties(name, elab)]
+    report.extend(lint_properties(props, config=base,
+                                  subject=f"dsl:{name}:properties",
+                                  semantic=semantic))
+    report.extend(lint_machine(elab.rule_machine(), config=base,
+                               semantic=semantic))
+    counts = report.counts()
+    return StageResult(
+        "lint", report.ok,
+        f"{len(report.pass_order)} passes, {counts['error']} errors, "
+        f"{counts['warning']} warnings, {counts['waived']} waived",
+        time.perf_counter() - start,
+        data=report,
+    )
+
+
+def _conformance_stage(name: str, elab, backend: str) -> StageResult:
+    start = time.perf_counter()
+    budget = conformance_budget(name)
+    results = check_dsl_conformance(
+        elab, levels=("rtl", "sysc"), backend=backend, **budget)
+    ok = all(r.conformant for r in results.values())
+    detail = ", ".join(
+        f"{level} {'ok' if r.conformant else 'DIVERGED'} "
+        f"({r.paths_checked} paths)"
+        for level, r in results.items()
+    )
+    bad = [r.divergence for r in results.values()
+           if not r.conformant and r.divergence]
+    if bad:
+        detail += f"; {bad[0]}"
+    return StageResult("conformance", ok, detail,
+                       time.perf_counter() - start, data=results)
+
+
+def _mc_stage(name: str, elab, engine: str, max_k: int,
+              deadline_s: Optional[float]) -> StageResult:
+    start = time.perf_counter()
+    outcomes = []
+    ok = True
+    results = {}
+    for pname, prop, labels in zoo_properties(name, elab):
+        if engine == "sat":
+            from ..sat.bmc import SatModelChecker
+
+            result = SatModelChecker(
+                elab.flat, prop, labels, name=pname,
+            ).prove(max_k=max_k, deadline_s=deadline_s)
+            verdict = (f"proved k={result.k}" if result.holds is True
+                       else "FAILS" if result.holds is False
+                       else "UNDECIDED")
+        elif engine == "bdd":
+            from ..mc import SymbolicModel, SymbolicModelChecker
+
+            roots = sorted({path for path, __ in labels.values()})
+            result = SymbolicModelChecker(
+                SymbolicModel(elab.flat, coi_roots=roots)
+            ).check_property(prop, labels, name=pname,
+                             deadline_s=deadline_s)
+            verdict = (f"holds ({result.iterations} iters)"
+                       if result.holds is True
+                       else "FAILS" if result.holds is False
+                       else "UNDECIDED")
+        else:
+            raise ValueError(f"unknown mc engine {engine!r}")
+        results[pname] = result
+        ok = ok and result.holds is True
+        outcomes.append(f"{pname}: {verdict}")
+    return StageResult(
+        "model_checking", ok,
+        f"{engine} engine; " + "; ".join(outcomes),
+        time.perf_counter() - start, data=results,
+    )
+
+
+def _coverage_stage(name: str, elab, seed: int, cycles: int,
+                    backend: str, threshold: float) -> StageResult:
+    from ..cover.functional import Covergroup
+
+    start = time.perf_counter()
+    group = Covergroup(f"dsl_{name}")
+    points = {}
+    for cname, (path, width) in sorted(elab.covers.items()):
+        bins = [str(v) for v in range(1 << width)]
+        points[cname] = (group.coverpoint(cname, bins), path)
+    sim = RtlSimulator(elab.flat, backend=backend)
+    sim.reset()
+    rng = random.Random(seed)
+    inputs = [(net.path, net.width) for net in elab.flat.inputs]
+    for __ in range(cycles):
+        for path, width in inputs:
+            sim.set_input(path, rng.getrandbits(width))
+        for point, path in points.values():
+            point.sample(str(sim.read(path)))
+        sim.step("K")
+    fraction = group.coverage()
+    ok = not sim.failures and fraction >= threshold
+    return StageResult(
+        "coverage", ok,
+        f"{fraction:.0%} of {sum(len(p.bins) for p in group.points)} bins "
+        f"over {cycles} cycles"
+        + (f"; monitors fired: {[f.name for f in sim.failures[:3]]}"
+           if sim.failures else ""),
+        time.perf_counter() - start, data=group,
+    )
+
+
+def _campaign_stage(name: str, seed: int, cycles: int, backend: str,
+                    max_faults: Optional[int], lanes: int) -> StageResult:
+    from ..fault.campaign import CampaignConfig, FaultCampaign
+
+    start = time.perf_counter()
+    config = CampaignConfig(design=name, seed=seed, backend=backend,
+                            rtl_cycles=cycles, max_faults=max_faults)
+    report = FaultCampaign(config).run(lanes=lanes)
+    counts = report.counts()
+    ok = (counts.get("detected", 0) >= 1
+          and counts.get("error", 0) == 0
+          and counts.get("truncated", 0) == 0)
+    return StageResult(
+        "campaign", ok,
+        f"{len(report.verdicts)} faults: {counts['detected']} detected, "
+        f"{counts['masked']} masked, {counts['silent']} silent, "
+        f"{counts['error']} errors",
+        time.perf_counter() - start, data=report,
+    )
+
+
+def run_dsl_flow(
+    name: str,
+    seed: int = 2004,
+    mc_engine: str = "sat",
+    mc_max_k: int = 40,
+    mc_deadline_s: Optional[float] = 120.0,
+    rtl_backend: str = "interp",
+    coverage_cycles: int = 64,
+    coverage_threshold: float = 0.25,
+    campaign_cycles: int = 32,
+    campaign_max_faults: Optional[int] = 16,
+    campaign_lanes: int = 1,
+    lint_config: Optional[LintConfig] = None,
+    semantic_lint: bool = False,
+    stages: Optional[List[str]] = None,
+) -> DslFlowReport:
+    """Run the verification flow for the zoo design ``name``.
+
+    ``stages`` restricts execution to a subset (in canonical order);
+    elaboration always runs.  Execution stops at the first failing
+    stage, like the LA-1 flow."""
+    report = DslFlowReport(name)
+    wanted = set(stages) if stages is not None else {
+        "lint", "conformance", "model_checking", "coverage", "campaign"}
+
+    start = time.perf_counter()
+    elab = build_elaborated(name)
+    stats = elab.flat.stats()
+    report.fingerprint = netlist_fingerprint(elab)
+    report.stages.append(StageResult(
+        "elaborate", True,
+        f"{len(elab.design.modules)} modules, {len(elab.asm.rules)} ASM "
+        f"rules, {stats['regs']} regs, {stats['nets']} nets, "
+        f"{stats['monitors']} monitors",
+        time.perf_counter() - start, data=elab,
+    ))
+
+    runners = (
+        ("lint", lambda: _lint_stage(name, elab, lint_config,
+                                     semantic_lint)),
+        ("conformance", lambda: _conformance_stage(name, elab,
+                                                   rtl_backend)),
+        ("model_checking", lambda: _mc_stage(name, elab, mc_engine,
+                                             mc_max_k, mc_deadline_s)),
+        ("coverage", lambda: _coverage_stage(name, elab, seed,
+                                             coverage_cycles, rtl_backend,
+                                             coverage_threshold)),
+        ("campaign", lambda: _campaign_stage(name, seed, campaign_cycles,
+                                             rtl_backend,
+                                             campaign_max_faults,
+                                             campaign_lanes)),
+    )
+    for stage_name, runner in runners:
+        if stage_name not in wanted:
+            continue
+        result = runner()
+        report.stages.append(result)
+        if not result.ok:
+            break
+    return report

@@ -1,0 +1,1104 @@
+"""``repro.dsl.lang`` -- the embedded design-language frontend.
+
+An assassyn-style hardware description language embedded in Python:
+``@module`` classes declare typed ports, write-once-per-cycle registers,
+fixed-width arrays and guarded ``rule`` blocks; a :class:`Design`
+instantiates modules and wires them together with 1-deep ready/valid
+channels (``send``/``recv`` inside rules).  Every declaration captures
+its Python source location so elaboration and lint diagnostics can point
+at the frontend line rather than a generated net name.
+
+The expression AST is *dual-interpreted*: :func:`deval` evaluates it
+over a plain Python environment (the semantics shared by the ASM and
+SystemC lowerings and the reference interpreter), while
+``repro.dsl.elab`` lowers the same nodes to ``repro.rtl.hdl``
+expressions.  All values are fixed-width unsigned two-state integers;
+arithmetic wraps at the declared width.
+
+Write-once-per-cycle registers are the language's core safety contract:
+a rule statically updating one target twice is rejected at declaration
+time, and two rules dynamically driving *different* values into one
+location in the same cycle raise :class:`DslError` at runtime, citing
+both writes' source locations.  (Consistent same-value writes are
+allowed, mirroring ``repro.asm``'s update-conflict semantics; the RTL
+lowering checks the same condition with synthesized conflict monitors.)
+"""
+
+from __future__ import annotations
+
+import sys
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DslError",
+    "SrcLoc",
+    "DExpr",
+    "DConst",
+    "C",
+    "Sig",
+    "Array",
+    "ArrayRef",
+    "Channel",
+    "Rule",
+    "DslModule",
+    "Design",
+    "module",
+    "mux",
+    "cat",
+    "ult",
+    "ule",
+    "MODULE_REGISTRY",
+    "initial_state",
+    "design_step",
+    "eval_outputs",
+    "DslInterp",
+]
+
+
+class DslError(Exception):
+    """A frontend error: bad declaration, double write, width mismatch.
+
+    The message always embeds the relevant ``file:line`` source
+    locations captured when the offending construct was declared."""
+
+
+class SrcLoc:
+    """A captured frontend source location (``file:line``)."""
+
+    __slots__ = ("filename", "line")
+
+    def __init__(self, filename: str, line: int):
+        self.filename = filename
+        self.line = line
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}"
+
+    def __repr__(self) -> str:
+        return f"SrcLoc({self})"
+
+
+def here(depth: int = 1) -> SrcLoc:
+    """Capture the caller's source location ``depth`` frames up."""
+    frame = sys._getframe(depth + 1)
+    return SrcLoc(os.path.basename(frame.f_code.co_filename),
+                  frame.f_lineno)
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _check_name(name: str, what: str, loc: SrcLoc) -> None:
+    if not name.isidentifier():
+        raise DslError(f"{what} name {name!r} is not an identifier "
+                       f"(declared at {loc})")
+
+
+# ---------------------------------------------------------------------------
+# expression AST
+# ---------------------------------------------------------------------------
+
+class DExpr:
+    """Base class of DSL expressions; every node knows its bit width."""
+
+    width = 0
+
+    # -- operator sugar ---------------------------------------------------
+    def __and__(self, other): return DBin("and", self, other)
+    def __rand__(self, other): return DBin("and", other, self)
+    def __or__(self, other): return DBin("or", self, other)
+    def __ror__(self, other): return DBin("or", other, self)
+    def __xor__(self, other): return DBin("xor", self, other)
+    def __rxor__(self, other): return DBin("xor", other, self)
+    def __add__(self, other): return DBin("add", self, other)
+    def __radd__(self, other): return DBin("add", other, self)
+    def __sub__(self, other): return DBin("sub", self, other)
+    def __rsub__(self, other): return DBin("sub", other, self)
+    def __invert__(self): return DNot(self)
+
+    def eq(self, other) -> "DExpr":
+        return DBin("eq", self, other)
+
+    def ne(self, other) -> "DExpr":
+        return DNot(DBin("eq", self, other))
+
+    def bit(self, index: int) -> "DExpr":
+        return self.slice(index, index)
+
+    def slice(self, lo: int, hi: int) -> "DExpr":
+        return DSlice(self, lo, hi)
+
+    def reduce_or(self) -> "DExpr":
+        return DReduce("or", self)
+
+    def reduce_and(self) -> "DExpr":
+        return DReduce("and", self)
+
+    def reduce_xor(self) -> "DExpr":
+        return DReduce("xor", self)
+
+    # -- dual interpretation ---------------------------------------------
+    def deval(self, env: Dict[object, object]) -> int:
+        """Evaluate over ``env`` (keyed by :class:`Sig`/:class:`Array`
+        object identity)."""
+        raise NotImplementedError
+
+    def refs(self) -> Iterator[object]:
+        """Yield every :class:`Sig`/:class:`Array` the expression reads."""
+        return iter(())
+
+
+def _as_dexpr(value: Union[int, bool, DExpr], width: int,
+              loc: Optional[SrcLoc] = None) -> DExpr:
+    """Coerce a Python int/bool to a constant of ``width`` bits."""
+    if isinstance(value, DExpr):
+        return value
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        if width <= 0:
+            raise DslError(f"cannot infer a width for bare constant {value}"
+                           + (f" (at {loc})" if loc else ""))
+        if value < 0 or value > _mask(width):
+            raise DslError(f"constant {value} does not fit in {width} bits"
+                           + (f" (at {loc})" if loc else ""))
+        return DConst(value, width)
+    raise DslError(f"expected an expression or int, got {type(value).__name__}"
+                   + (f" (at {loc})" if loc else ""))
+
+
+def _pair(a, b) -> Tuple[DExpr, DExpr]:
+    """Coerce the int half of a mixed (expr, int) pair to the other's
+    width."""
+    aw = a.width if isinstance(a, DExpr) else 0
+    bw = b.width if isinstance(b, DExpr) else 0
+    ea = _as_dexpr(a, bw)
+    eb = _as_dexpr(b, aw)
+    return ea, eb
+
+
+class DConst(DExpr):
+    __slots__ = ("value", "width")
+
+    def __init__(self, value: int, width: int):
+        if width <= 0:
+            raise DslError(f"constant width must be positive, got {width}")
+        if value < 0 or value > _mask(width):
+            raise DslError(f"constant {value} does not fit in {width} bits")
+        self.value = value
+        self.width = width
+
+    def deval(self, env):
+        return self.value
+
+
+class DBin(DExpr):
+    OPS = ("and", "or", "xor", "add", "sub", "eq")
+    __slots__ = ("op", "a", "b", "width")
+
+    def __init__(self, op: str, a, b):
+        if op not in self.OPS:
+            raise DslError(f"unknown binary op {op!r}")
+        self.a, self.b = _pair(a, b)
+        if self.a.width != self.b.width:
+            raise DslError(f"width mismatch in {op}: "
+                           f"{self.a.width} vs {self.b.width}")
+        self.op = op
+        self.width = 1 if op == "eq" else self.a.width
+
+    def deval(self, env):
+        av = self.a.deval(env)
+        bv = self.b.deval(env)
+        if self.op == "and":
+            return av & bv
+        if self.op == "or":
+            return av | bv
+        if self.op == "xor":
+            return av ^ bv
+        if self.op == "add":
+            return (av + bv) & _mask(self.width)
+        if self.op == "sub":
+            return (av - bv) & _mask(self.width)
+        return int(av == bv)
+
+    def refs(self):
+        yield from self.a.refs()
+        yield from self.b.refs()
+
+
+class DNot(DExpr):
+    __slots__ = ("a", "width")
+
+    def __init__(self, a):
+        if not isinstance(a, DExpr):
+            raise DslError("~ needs an expression operand")
+        self.a = a
+        self.width = a.width
+
+    def deval(self, env):
+        return (~self.a.deval(env)) & _mask(self.width)
+
+    def refs(self):
+        yield from self.a.refs()
+
+
+class DMux(DExpr):
+    __slots__ = ("sel", "if_true", "if_false", "width")
+
+    def __init__(self, sel: DExpr, if_true, if_false):
+        if not isinstance(sel, DExpr) or sel.width != 1:
+            raise DslError("mux selector must be a 1-bit expression")
+        self.sel = sel
+        self.if_true, self.if_false = _pair(if_true, if_false)
+        if self.if_true.width != self.if_false.width:
+            raise DslError(f"mux arm width mismatch: "
+                           f"{self.if_true.width} vs {self.if_false.width}")
+        self.width = self.if_true.width
+
+    def deval(self, env):
+        if self.sel.deval(env):
+            return self.if_true.deval(env)
+        return self.if_false.deval(env)
+
+    def refs(self):
+        yield from self.sel.refs()
+        yield from self.if_true.refs()
+        yield from self.if_false.refs()
+
+
+class DSlice(DExpr):
+    __slots__ = ("a", "lo", "hi", "width")
+
+    def __init__(self, a: DExpr, lo: int, hi: int):
+        if not (0 <= lo <= hi < a.width):
+            raise DslError(f"slice [{hi}:{lo}] out of range for "
+                           f"{a.width}-bit expression")
+        self.a = a
+        self.lo = lo
+        self.hi = hi
+        self.width = hi - lo + 1
+
+    def deval(self, env):
+        return (self.a.deval(env) >> self.lo) & _mask(self.width)
+
+    def refs(self):
+        yield from self.a.refs()
+
+
+class DCat(DExpr):
+    """Concatenation; ``parts[0]`` is the least-significant part."""
+
+    __slots__ = ("parts", "width")
+
+    def __init__(self, parts: Sequence[DExpr]):
+        if not parts or not all(isinstance(p, DExpr) for p in parts):
+            raise DslError("cat() needs one or more expressions")
+        self.parts = tuple(parts)
+        self.width = sum(p.width for p in self.parts)
+
+    def deval(self, env):
+        value = 0
+        shift = 0
+        for part in self.parts:
+            value |= part.deval(env) << shift
+            shift += part.width
+        return value
+
+    def refs(self):
+        for part in self.parts:
+            yield from part.refs()
+
+
+class DReduce(DExpr):
+    __slots__ = ("op", "a", "width")
+
+    def __init__(self, op: str, a: DExpr):
+        if op not in ("or", "and", "xor"):
+            raise DslError(f"unknown reduction {op!r}")
+        self.op = op
+        self.a = a
+        self.width = 1
+
+    def deval(self, env):
+        value = self.a.deval(env)
+        if self.op == "or":
+            return int(value != 0)
+        if self.op == "xor":
+            return bin(value).count("1") & 1
+        return int(value == _mask(self.a.width))
+
+    def refs(self):
+        yield from self.a.refs()
+
+
+def C(value: int, width: int = 1) -> DConst:
+    """Shorthand constant constructor (mirrors ``repro.rtl.hdl.C``)."""
+    return DConst(value, width)
+
+
+def mux(sel: DExpr, if_true, if_false) -> DExpr:
+    """``if_true`` when ``sel`` else ``if_false`` (same widths)."""
+    return DMux(sel, if_true, if_false)
+
+
+def cat(*parts: DExpr) -> DExpr:
+    """Concatenate; first argument is the least-significant part."""
+    return DCat(parts)
+
+
+def ult(a, b) -> DExpr:
+    """Unsigned ``a < b``, built as a bitwise ripple comparator so it
+    lowers through the base op set (and/or/xor/not)."""
+    ea, eb = _pair(a, b)
+    if ea.width != eb.width:
+        raise DslError(f"ult width mismatch: {ea.width} vs {eb.width}")
+    lt: DExpr = DConst(0, 1)
+    for i in range(ea.width):
+        abit = ea.bit(i)
+        bbit = eb.bit(i)
+        lt = (~abit & bbit) | (~(abit ^ bbit) & lt)
+    return lt
+
+
+def ule(a, b) -> DExpr:
+    """Unsigned ``a <= b``."""
+    ea, eb = _pair(a, b)
+    return ~ult(eb, ea)
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+class Sig(DExpr):
+    """A named signal: an input/output port, a register, or one of a
+    channel's internal ``valid``/``data`` state bits."""
+
+    KINDS = ("in", "out", "reg", "chan")
+
+    __slots__ = ("owner", "name", "kind", "width", "init", "loc")
+
+    def __init__(self, owner: str, name: str, kind: str, width: int,
+                 init: int, loc: SrcLoc):
+        if kind not in self.KINDS:
+            raise DslError(f"unknown signal kind {kind!r}")
+        if width <= 0:
+            raise DslError(f"{owner}.{name}: width must be positive, "
+                           f"got {width} (declared at {loc})")
+        if init < 0 or init > _mask(width):
+            raise DslError(f"{owner}.{name}: initial value {init} does not "
+                           f"fit in {width} bits (declared at {loc})")
+        self.owner = owner
+        self.name = name
+        self.kind = kind
+        self.width = width
+        self.init = init
+        self.loc = loc
+
+    @property
+    def var_name(self) -> str:
+        """The ASM state-variable name."""
+        return f"{self.owner}.{self.name}"
+
+    @property
+    def rtl_name(self) -> str:
+        """The flattened RTL net name."""
+        return f"{self.owner}_{self.name}"
+
+    def deval(self, env):
+        try:
+            return env[self]
+        except KeyError:
+            raise DslError(f"signal {self.var_name} (declared at "
+                           f"{self.loc}) has no value in this context")
+
+    def refs(self):
+        yield self
+
+    def __repr__(self):
+        return f"Sig({self.kind} {self.var_name}:{self.width})"
+
+
+class Array(object):
+    """A fixed-width register array (a small memory)."""
+
+    __slots__ = ("owner", "name", "depth", "width", "init", "loc")
+
+    def __init__(self, owner: str, name: str, depth: int, width: int,
+                 init, loc: SrcLoc):
+        if depth <= 0 or width <= 0:
+            raise DslError(f"{owner}.{name}: array depth and width must be "
+                           f"positive (declared at {loc})")
+        if isinstance(init, int):
+            init = [init] * depth
+        init = tuple(int(v) for v in init)
+        if len(init) != depth:
+            raise DslError(f"{owner}.{name}: {len(init)} initial values for "
+                           f"depth {depth} (declared at {loc})")
+        for v in init:
+            if v < 0 or v > _mask(width):
+                raise DslError(f"{owner}.{name}: initial value {v} does not "
+                               f"fit in {width} bits (declared at {loc})")
+        self.owner = owner
+        self.name = name
+        self.depth = depth
+        self.width = width
+        self.init = init
+        self.loc = loc
+
+    @property
+    def var_name(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+    def entry_rtl_name(self, index: int) -> str:
+        return f"{self.owner}_{self.name}_{index}"
+
+    def __getitem__(self, index) -> "ArrayRef":
+        if isinstance(index, int):
+            if not 0 <= index < self.depth:
+                raise DslError(f"{self.var_name}[{index}]: index out of "
+                               f"range for depth {self.depth}")
+            width = max(1, (self.depth - 1).bit_length())
+            index = DConst(index, width)
+        if not isinstance(index, DExpr):
+            raise DslError(f"{self.var_name}: index must be an int or "
+                           f"expression")
+        return ArrayRef(self, index)
+
+    def __repr__(self):
+        return f"Array({self.var_name}[{self.depth}]:{self.width})"
+
+
+class ArrayRef(DExpr):
+    """``array[index]`` -- readable as an expression, writable as an
+    update target.  Out-of-range dynamic reads return entry 0;
+    out-of-range dynamic writes are dropped (zoo designs size their
+    index expressions so neither can happen)."""
+
+    __slots__ = ("array", "index", "width")
+
+    def __init__(self, array: Array, index: DExpr):
+        self.array = array
+        self.index = index
+        self.width = array.width
+
+    def deval(self, env):
+        idx = self.index.deval(env)
+        entries = env[self.array]
+        if 0 <= idx < self.array.depth:
+            return entries[idx]
+        return entries[0]
+
+    def refs(self):
+        yield self.array
+        yield from self.index.refs()
+
+    def __repr__(self):
+        return f"ArrayRef({self.array.var_name}[...])"
+
+
+class Channel:
+    """A 1-deep ready/valid channel between modules.
+
+    ``send`` enqueues when the slot is empty (the sending rule's guard
+    is conjoined with ``~valid``); ``recv`` dequeues when it is full
+    (guard conjoined with ``valid``).  Back-to-back full throughput is
+    *not* supported (ready is ``~valid``, not ``~valid | deq``) -- the
+    simple semantics keep all three lowerings trivially in lock-step."""
+
+    __slots__ = ("design", "name", "width", "loc", "valid_sig", "data_sig",
+                 "sender", "receiver")
+
+    def __init__(self, design: "Design", name: str, width: int, loc: SrcLoc):
+        _check_name(name, "channel", loc)
+        self.design = design
+        self.name = name
+        self.width = width
+        self.loc = loc
+        self.valid_sig = Sig(name, "valid", "chan", 1, 0, loc)
+        self.data_sig = Sig(name, "data", "chan", width, 0, loc)
+        self.sender: Optional[str] = None    # module name that sends
+        self.receiver: Optional[str] = None  # module name that receives
+
+    @property
+    def valid(self) -> DExpr:
+        """Full flag (readable from any module)."""
+        return self.valid_sig
+
+    @property
+    def ready(self) -> DExpr:
+        """Space available for a send this cycle."""
+        return ~self.valid_sig
+
+    @property
+    def data(self) -> DExpr:
+        """Buffered payload (meaningful only while ``valid``)."""
+        return self.data_sig
+
+    def __repr__(self):
+        return f"Channel({self.name}:{self.width})"
+
+
+class Update:
+    __slots__ = ("target", "value", "loc")
+
+    def __init__(self, target, value: DExpr, loc: SrcLoc):
+        self.target = target
+        self.value = value
+        self.loc = loc
+
+
+class Rule:
+    """A guarded atomic action: when the guard (conjoined with channel
+    readiness) holds, all updates/sends/recvs apply at the clock edge."""
+
+    def __init__(self, module: "DslModule", name: str,
+                 when: Optional[DExpr], loc: SrcLoc):
+        _check_name(name, "rule", loc)
+        self.module = module
+        self.name = name
+        self.when = when if when is not None else DConst(1, 1)
+        if self.when.width != 1:
+            raise DslError(f"rule {module.name}.{name}: guard must be 1-bit "
+                           f"(declared at {loc})")
+        self.loc = loc
+        self.updates: List[Update] = []
+        self.sends: List[Tuple[Channel, DExpr, SrcLoc]] = []
+        self.recvs: List[Tuple[Channel, SrcLoc]] = []
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.module.name}.{self.name}"
+
+    # -- statements -------------------------------------------------------
+    def update(self, target, value) -> "Rule":
+        """Schedule ``target <= value`` for cycles where this rule fires."""
+        loc = here()
+        if isinstance(target, Sig):
+            if target.kind != "reg":
+                raise DslError(f"rule {self.full_name}: cannot update "
+                               f"{target.kind}-signal {target.var_name} "
+                               f"(at {loc}); only registers are writable")
+            if target.owner != self.module.name:
+                raise DslError(f"rule {self.full_name}: register "
+                               f"{target.var_name} belongs to another module "
+                               f"(at {loc}); communicate over a channel")
+            width = target.width
+        elif isinstance(target, ArrayRef):
+            if target.array.owner != self.module.name:
+                raise DslError(f"rule {self.full_name}: array "
+                               f"{target.array.var_name} belongs to another "
+                               f"module (at {loc})")
+            width = target.array.width
+        else:
+            raise DslError(f"rule {self.full_name}: update target must be a "
+                           f"register or array element (at {loc})")
+        value = _as_dexpr(value, width, loc)
+        if value.width != width:
+            raise DslError(f"rule {self.full_name}: update value is "
+                           f"{value.width} bits, target is {width} "
+                           f"(at {loc})")
+        for prev in self.updates:
+            if self._same_static_target(prev.target, target):
+                raise DslError(f"rule {self.full_name}: double write to "
+                               f"{self._target_name(target)} (first at "
+                               f"{prev.loc}, again at {loc})")
+        self.updates.append(Update(target, value, loc))
+        return self
+
+    def send(self, chan: Channel, value) -> "Rule":
+        """Enqueue ``value`` into ``chan`` (implies ``chan.ready``)."""
+        loc = here()
+        if not isinstance(chan, Channel):
+            raise DslError(f"rule {self.full_name}: send target must be a "
+                           f"Channel (at {loc})")
+        for other, rloc in self.recvs:
+            if other is chan:
+                raise DslError(f"rule {self.full_name}: cannot send and "
+                               f"recv on channel {chan.name} in one rule "
+                               f"(recv at {rloc}, send at {loc})")
+        for other, _, sloc in self.sends:
+            if other is chan:
+                raise DslError(f"rule {self.full_name}: double send on "
+                               f"channel {chan.name} (first at {sloc}, "
+                               f"again at {loc})")
+        if chan.sender is not None and chan.sender != self.module.name:
+            raise DslError(f"channel {chan.name}: modules {chan.sender} and "
+                           f"{self.module.name} both send (second sender at "
+                           f"{loc}); a channel has one sending module")
+        chan.sender = self.module.name
+        value = _as_dexpr(value, chan.width, loc)
+        if value.width != chan.width:
+            raise DslError(f"rule {self.full_name}: send value is "
+                           f"{value.width} bits, channel {chan.name} is "
+                           f"{chan.width} (at {loc})")
+        self.sends.append((chan, value, loc))
+        return self
+
+    def recv(self, chan: Channel) -> "Rule":
+        """Dequeue from ``chan`` (implies ``chan.valid``); read the
+        payload with ``chan.data`` in the same rule."""
+        loc = here()
+        if not isinstance(chan, Channel):
+            raise DslError(f"rule {self.full_name}: recv target must be a "
+                           f"Channel (at {loc})")
+        for other, _, sloc in self.sends:
+            if other is chan:
+                raise DslError(f"rule {self.full_name}: cannot send and "
+                               f"recv on channel {chan.name} in one rule "
+                               f"(send at {sloc}, recv at {loc})")
+        for other, rloc in self.recvs:
+            if other is chan:
+                raise DslError(f"rule {self.full_name}: double recv on "
+                               f"channel {chan.name} (first at {rloc}, "
+                               f"again at {loc})")
+        if chan.receiver is not None and chan.receiver != self.module.name:
+            raise DslError(f"channel {chan.name}: modules {chan.receiver} "
+                           f"and {self.module.name} both recv (second "
+                           f"receiver at {loc})")
+        chan.receiver = self.module.name
+        self.recvs.append((chan, loc))
+        return self
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def _same_static_target(a, b) -> bool:
+        if isinstance(a, Sig) and isinstance(b, Sig):
+            return a is b
+        if isinstance(a, ArrayRef) and isinstance(b, ArrayRef):
+            if a.array is not b.array:
+                return False
+            if isinstance(a.index, DConst) and isinstance(b.index, DConst):
+                return a.index.value == b.index.value
+            return False
+        return False
+
+    @staticmethod
+    def _target_name(target) -> str:
+        if isinstance(target, Sig):
+            return target.var_name
+        return f"{target.array.var_name}[...]"
+
+    def fire_expr(self) -> DExpr:
+        """The effective guard: ``when`` conjoined with channel
+        readiness for every send and recv."""
+        fire = self.when
+        for chan, _, _ in self.sends:
+            fire = fire & ~chan.valid_sig
+        for chan, _ in self.recvs:
+            fire = fire & chan.valid_sig
+        return fire
+
+    def input_refs(self) -> List[Sig]:
+        """The input ports this rule's expressions read (for ASM domain
+        restriction)."""
+        seen: List[Sig] = []
+        exprs: List[DExpr] = [self.fire_expr()]
+        for upd in self.updates:
+            exprs.append(upd.value)
+            if isinstance(upd.target, ArrayRef):
+                exprs.append(upd.target.index)
+        for _, value, _ in self.sends:
+            exprs.append(value)
+        for expr in exprs:
+            for ref in expr.refs():
+                if isinstance(ref, Sig) and ref.kind == "in":
+                    if ref not in seen:
+                        seen.append(ref)
+        return seen
+
+
+class Probe:
+    __slots__ = ("name", "expr", "loc")
+
+    def __init__(self, name: str, expr: DExpr, loc: SrcLoc):
+        self.name = name
+        self.expr = expr
+        self.loc = loc
+
+
+class MonitorDecl:
+    __slots__ = ("name", "expr", "message", "loc")
+
+    def __init__(self, name: str, expr: DExpr, message: str, loc: SrcLoc):
+        self.name = name
+        self.expr = expr
+        self.message = message
+        self.loc = loc
+
+
+class DslModule:
+    """Base class of ``@module`` design units.  Subclasses implement
+    :meth:`build` and declare everything through the ``self.*``
+    factories; instantiate through :meth:`Design.instantiate`."""
+
+    def __init__(self, design: "Design", name: str, **params):
+        _check_name(name, "module", here())
+        self.design = design
+        self.name = name
+        self.params = dict(params)
+        self.inputs: List[Sig] = []
+        self.outputs: List[Sig] = []
+        self.regs: List[Sig] = []
+        self.arrays: List[Array] = []
+        self.rules: List[Rule] = []
+        self.drives: Dict[Sig, Tuple[DExpr, SrcLoc]] = {}
+        self.probes: List[Probe] = []
+        self.covers: List[Probe] = []
+        self.monitors: List[MonitorDecl] = []
+        self.waivers: List[Tuple[str, str, str]] = []
+        self._names: Dict[str, SrcLoc] = {}
+        self.loc = here()
+        self.build(**params)
+
+    # -- declaration factories -------------------------------------------
+    def _claim(self, name: str, what: str, loc: SrcLoc) -> None:
+        _check_name(name, what, loc)
+        if name in self._names:
+            raise DslError(f"module {self.name}: duplicate declaration "
+                           f"{name!r} (first at {self._names[name]}, again "
+                           f"at {loc})")
+        self._names[name] = loc
+
+    def input(self, name: str, width: int = 1) -> Sig:
+        loc = here()
+        self._claim(name, "input", loc)
+        sig = Sig(self.name, name, "in", width, 0, loc)
+        self.inputs.append(sig)
+        return sig
+
+    def output(self, name: str, width: int = 1) -> Sig:
+        loc = here()
+        self._claim(name, "output", loc)
+        sig = Sig(self.name, name, "out", width, 0, loc)
+        self.outputs.append(sig)
+        return sig
+
+    def reg(self, name: str, width: int = 1, init: int = 0) -> Sig:
+        loc = here()
+        self._claim(name, "reg", loc)
+        sig = Sig(self.name, name, "reg", width, init, loc)
+        self.regs.append(sig)
+        return sig
+
+    def array(self, name: str, depth: int, width: int, init=0) -> Array:
+        loc = here()
+        self._claim(name, "array", loc)
+        arr = Array(self.name, name, depth, width, init, loc)
+        self.arrays.append(arr)
+        return arr
+
+    def rule(self, name: str, when: Optional[DExpr] = None) -> Rule:
+        loc = here()
+        self._claim(name, "rule", loc)
+        r = Rule(self, name, when, loc)
+        self.rules.append(r)
+        return r
+
+    def drive(self, out_sig: Sig, expr) -> None:
+        """Combinationally drive an output port."""
+        loc = here()
+        if not isinstance(out_sig, Sig) or out_sig.kind != "out":
+            raise DslError(f"module {self.name}: drive target must be an "
+                           f"output port (at {loc})")
+        if out_sig.owner != self.name:
+            raise DslError(f"module {self.name}: output "
+                           f"{out_sig.var_name} belongs to another module "
+                           f"(at {loc})")
+        if out_sig in self.drives:
+            raise DslError(f"module {self.name}: output {out_sig.name} "
+                           f"driven twice (first at "
+                           f"{self.drives[out_sig][1]}, again at {loc})")
+        expr = _as_dexpr(expr, out_sig.width, loc)
+        if expr.width != out_sig.width:
+            raise DslError(f"module {self.name}: output {out_sig.name} is "
+                           f"{out_sig.width} bits, driver is {expr.width} "
+                           f"(at {loc})")
+        self.drives[out_sig] = (expr, loc)
+
+    def probe(self, name: str, expr: DExpr) -> None:
+        """Expose a 1-bit expression as a named observation net -- the
+        atom label for PSL properties and the MC engines."""
+        loc = here()
+        self._claim(name, "probe", loc)
+        expr = _as_dexpr(expr, 1, loc)
+        if expr.width != 1:
+            raise DslError(f"module {self.name}: probe {name} must be "
+                           f"1-bit, got {expr.width} (at {loc})")
+        self.probes.append(Probe(name, expr, loc))
+
+    def cover(self, name: str, expr: DExpr) -> None:
+        """Declare a functional-coverage point sampled every cycle."""
+        loc = here()
+        # covers get a "cov_" RTL prefix, so they have their own
+        # namespace and may share a name with the rule they observe
+        _check_name(name, "cover", loc)
+        self._claim(f"cov_{name}", "cover", loc)
+        if not isinstance(expr, DExpr):
+            raise DslError(f"module {self.name}: cover {name} needs an "
+                           f"expression (at {loc})")
+        if expr.width > 4:
+            raise DslError(f"module {self.name}: cover {name} is "
+                           f"{expr.width} bits; keep coverpoints <= 4 bits "
+                           f"(at {loc})")
+        self.covers.append(Probe(name, expr, loc))
+
+    def waive(self, rule: str, pattern: str, reason: str) -> None:
+        """Declare a justified lint waiver for this module's RTL nets.
+
+        ``pattern`` is an fnmatch glob over the module-local declaration
+        name (e.g. ``"mem_*"``); elaboration prefixes it into the flat
+        namespace.  A reason is mandatory -- unexplained suppressions
+        are exactly what inline waivers exist to prevent."""
+        loc = here()
+        if not reason.strip():
+            raise DslError(f"module {self.name}: waiver for {rule!r} "
+                           f"needs a justification (at {loc})")
+        self.waivers.append((rule, pattern, reason))
+
+    def monitor(self, name: str, expr: DExpr, message: str = "") -> None:
+        """Declare an error monitor: firing (value 1) at a clock edge is
+        a checker failure at every lowered level."""
+        loc = here()
+        self._claim(name, "monitor", loc)
+        expr = _as_dexpr(expr, 1, loc)
+        if expr.width != 1:
+            raise DslError(f"module {self.name}: monitor {name} must be "
+                           f"1-bit, got {expr.width} (at {loc})")
+        self.monitors.append(MonitorDecl(
+            name, expr, message or f"{self.name}.{name} fired", loc))
+
+    # -- subclass hook ----------------------------------------------------
+    def build(self, **params):  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement build()")
+
+
+MODULE_REGISTRY: Dict[str, type] = {}
+
+
+def module(cls: type) -> type:
+    """Class decorator registering a :class:`DslModule` subclass."""
+    if not (isinstance(cls, type) and issubclass(cls, DslModule)):
+        raise DslError(f"@module needs a DslModule subclass, got {cls!r}")
+    MODULE_REGISTRY[cls.__name__] = cls
+    return cls
+
+
+class Design:
+    """A closed composition of module instances and channels."""
+
+    def __init__(self, name: str):
+        _check_name(name, "design", here())
+        self.name = name
+        self.loc = here()
+        self.modules: List[DslModule] = []
+        self.channels: List[Channel] = []
+        self._names: Dict[str, SrcLoc] = {}
+
+    def _claim(self, name: str, what: str, loc: SrcLoc) -> None:
+        if name in self._names:
+            raise DslError(f"design {self.name}: duplicate {what} name "
+                           f"{name!r} (first at {self._names[name]}, again "
+                           f"at {loc})")
+        self._names[name] = loc
+
+    def instantiate(self, cls: type, name: str, **params) -> DslModule:
+        loc = here()
+        self._claim(name, "module", loc)
+        if not (isinstance(cls, type) and issubclass(cls, DslModule)):
+            raise DslError(f"design {self.name}: instantiate needs a "
+                           f"DslModule subclass (at {loc})")
+        inst = cls(self, name, **params)
+        self.modules.append(inst)
+        return inst
+
+    def channel(self, name: str, width: int) -> Channel:
+        loc = here()
+        self._claim(name, "channel", loc)
+        chan = Channel(self, name, width, loc)
+        self.channels.append(chan)
+        return chan
+
+    # -- enumeration helpers ---------------------------------------------
+    def state_sigs(self) -> List[Sig]:
+        """Registers and channel state, in declaration order."""
+        sigs: List[Sig] = []
+        for mod in self.modules:
+            sigs.extend(mod.regs)
+        for chan in self.channels:
+            sigs.append(chan.valid_sig)
+            sigs.append(chan.data_sig)
+        return sigs
+
+    def state_arrays(self) -> List[Array]:
+        arrays: List[Array] = []
+        for mod in self.modules:
+            arrays.extend(mod.arrays)
+        return arrays
+
+    def input_ports(self) -> List[Tuple[str, Sig]]:
+        """``(flat_name, sig)`` pairs for every module input port."""
+        ports = []
+        for mod in self.modules:
+            for sig in mod.inputs:
+                ports.append((sig.rtl_name, sig))
+        return ports
+
+    def output_ports(self) -> List[Tuple[str, Sig]]:
+        ports = []
+        for mod in self.modules:
+            for sig in mod.outputs:
+                ports.append((sig.rtl_name, sig))
+        return ports
+
+    def all_rules(self) -> List[Rule]:
+        """Every rule in module-declaration order (= write priority)."""
+        rules: List[Rule] = []
+        for mod in self.modules:
+            rules.extend(mod.rules)
+        return rules
+
+
+# ---------------------------------------------------------------------------
+# shared cycle semantics
+# ---------------------------------------------------------------------------
+
+def initial_state(design: Design) -> Dict[object, object]:
+    """The reset state: register inits, empty channels, array inits."""
+    state: Dict[object, object] = {}
+    for sig in design.state_sigs():
+        state[sig] = sig.init
+    for arr in design.state_arrays():
+        state[arr] = tuple(arr.init)
+    return state
+
+
+def _record_write(writes, key, value, loc: SrcLoc, rule_name: str,
+                  name: str) -> None:
+    prev = writes.get(key)
+    if prev is not None and prev[0] != value:
+        raise DslError(
+            f"write-once violation on {name}: rule {prev[2]} wrote "
+            f"{prev[0]} (at {prev[1]}) and rule {rule_name} wrote {value} "
+            f"(at {loc}) in the same cycle")
+    writes[key] = (value, loc, rule_name)
+
+
+def rule_writes(rule: Rule, env: Dict[object, object], writes) -> None:
+    """Accumulate one firing rule's writes into ``writes`` (keyed by
+    :class:`Sig` or ``(Array, index)``), raising :class:`DslError` on a
+    conflicting double write."""
+    for upd in rule.updates:
+        value = upd.value.deval(env)
+        if isinstance(upd.target, Sig):
+            _record_write(writes, upd.target, value, upd.loc,
+                          rule.full_name, upd.target.var_name)
+        else:
+            idx = upd.target.index.deval(env)
+            if 0 <= idx < upd.target.array.depth:
+                _record_write(writes, (upd.target.array, idx), value,
+                              upd.loc, rule.full_name,
+                              f"{upd.target.array.var_name}[{idx}]")
+    for chan, value, loc in rule.sends:
+        _record_write(writes, chan.valid_sig, 1, loc, rule.full_name,
+                      f"{chan.name}.valid")
+        _record_write(writes, chan.data_sig, value.deval(env), loc,
+                      rule.full_name, f"{chan.name}.data")
+    for chan, loc in rule.recvs:
+        _record_write(writes, chan.valid_sig, 0, loc, rule.full_name,
+                      f"{chan.name}.valid")
+
+
+def design_step(design: Design, state: Dict[object, object],
+                inputs: Dict[Sig, int],
+                modules: Optional[Sequence[DslModule]] = None):
+    """One synchronous step: evaluate every rule's guard over the
+    *current* state, accumulate writes, return
+    ``(new_state, fired_rule_names, monitor_failures)``.
+
+    ``modules`` restricts evaluation to a subset (the per-module SystemC
+    processes); the default covers the whole design."""
+    env = dict(state)
+    env.update(inputs)
+    writes: Dict[object, Tuple[int, SrcLoc, str]] = {}
+    fired: List[str] = []
+    mods = list(modules) if modules is not None else design.modules
+    for mod in mods:
+        for rule in mod.rules:
+            if rule.fire_expr().deval(env):
+                fired.append(rule.full_name)
+                rule_writes(rule, env, writes)
+    failures: List[str] = []
+    for mod in mods:
+        for mon in mod.monitors:
+            if mon.expr.deval(env):
+                failures.append(f"{mod.name}_{mon.name}")
+    new_state = dict(state)
+    array_updates: Dict[Array, Dict[int, int]] = {}
+    for key, (value, _, _) in writes.items():
+        if isinstance(key, Sig):
+            new_state[key] = value
+        else:
+            arr, idx = key
+            array_updates.setdefault(arr, {})[idx] = value
+    for arr, entries in array_updates.items():
+        current = list(new_state[arr])
+        for idx, value in entries.items():
+            current[idx] = value
+        new_state[arr] = tuple(current)
+    return new_state, fired, failures
+
+
+def eval_outputs(design: Design, state: Dict[object, object],
+                 inputs: Dict[Sig, int]) -> Dict[str, int]:
+    """Evaluate every driven output port over the given state+inputs."""
+    env = dict(state)
+    env.update(inputs)
+    outs: Dict[str, int] = {}
+    for mod in design.modules:
+        for sig, (expr, _) in mod.drives.items():
+            outs[sig.rtl_name] = expr.deval(env)
+    return outs
+
+
+class DslInterp:
+    """The reference interpreter: the executable semantics all three
+    lowerings are checked against."""
+
+    def __init__(self, design: Design):
+        self.design = design
+        self._by_name = {name: sig for name, sig in design.input_ports()}
+        self.reset()
+
+    def reset(self) -> None:
+        self.state = initial_state(self.design)
+        self.failures: List[str] = []
+
+    def _inputs(self, values: Dict[str, int]) -> Dict[Sig, int]:
+        inputs: Dict[Sig, int] = {}
+        for name, sig in self._by_name.items():
+            inputs[sig] = int(values.get(name, 0)) & _mask(sig.width)
+        for name in values:
+            if name not in self._by_name:
+                raise DslError(f"unknown input port {name!r}")
+        return inputs
+
+    def step(self, **values) -> List[str]:
+        """Advance one cycle; returns the fired rule names."""
+        inputs = self._inputs(values)
+        self.state, fired, failures = design_step(
+            self.design, self.state, inputs)
+        self.failures.extend(failures)
+        return fired
+
+    def outputs(self, **values) -> Dict[str, int]:
+        """Combinational outputs for the current state and the given
+        input values."""
+        return eval_outputs(self.design, self.state, self._inputs(values))
+
+    def peek(self, sig) -> object:
+        """Read a register/array/channel-state value."""
+        return self.state[sig]

@@ -1,0 +1,94 @@
+"""Zoo design: a 4-way round-robin arbiter.
+
+Combinational grant generation rotates priority from the last granted
+requester; the ``last`` pointer advances whenever any request is
+granted.  The property set checks the two arbiter invariants -- the
+grant vector is one-hot-or-zero and never grants an idle requester --
+both combinational consequences of the mux tree, so the SAT engine
+proves them at depth 1."""
+
+from __future__ import annotations
+
+from ...psl.builder import always, atom, never
+from ..lang import DConst, Design, DslModule, module, mux
+
+NAME = "arbiter"
+
+PARAMS = {"n": 4}
+
+CONFORMANCE = {"max_depth": 3, "max_paths": 6000}
+
+
+@module
+class RoundRobin(DslModule):
+    """Rotating-priority arbiter over ``n`` requesters (n power of 2)."""
+
+    def build(self, n: int = 4):
+        iw = max(1, (n - 1).bit_length())
+        req = self.input("req", n)
+        last = self.reg("last", iw)
+
+        # grant vector for a *known* rotation start: first asserted
+        # request scanning from ``start`` cyclically
+        def grant_from(start: int):
+            vec: object = DConst(0, n)
+            for k in reversed(range(n)):
+                idx = (start + k) % n
+                vec = mux(req.bit(idx), DConst(1 << idx, n), vec)
+            return vec
+
+        # select the rotation by the registered last-grant pointer
+        grant = grant_from(1 % n)
+        for value in range(1, n):
+            grant = mux(last.eq(value), grant_from((value + 1) % n), grant)
+
+        # binary index of the winner (0 when idle)
+        widx: object = DConst(0, iw)
+        for k in range(1, n):
+            widx = mux(grant.bit(k), DConst(k, iw), widx)
+
+        any_req = req.reduce_or()
+        # the pointer's parity shadow: written in the same rule, so any
+        # later single-bit corruption of either register (stuck-at, SEU)
+        # breaks the pair and trips ptr_corrupt -- the detection net a
+        # fault campaign needs for pointer state
+        lpar = self.reg("lpar", 1)
+        self.rule("advance", when=any_req) \
+            .update(last, widx) \
+            .update(lpar, widx.reduce_xor())
+
+        self.drive(self.output("grant", n), grant)
+        self.drive(self.output("busy", 1), any_req)
+
+        self.probe("multi_grant", (grant & (grant - 1)).reduce_or())
+        self.probe("spurious", (grant & ~req).reduce_or())
+        self.probe("starved", any_req & ~grant.reduce_or())
+        self.monitor("bad_grant",
+                     (grant & ~req).reduce_or()
+                     | (any_req & ~grant.reduce_or()),
+                     "arbiter granted an idle requester or starved all")
+        self.probe("ptr_ok", ~(last.reduce_xor() ^ lpar))
+        self.monitor("ptr_corrupt", last.reduce_xor() ^ lpar,
+                     "rotation pointer disagrees with its parity shadow")
+        self.cover("winner", widx)
+        self.cover("busy", any_req)
+
+
+def build(n: int = 4) -> Design:
+    design = Design("arbiter")
+    design.instantiate(RoundRobin, "core", n=n)
+    return design
+
+
+def properties(elab):
+    return [
+        ("arb_onehot", never(atom("core_multi_grant")),
+         elab.probe_labels("core_multi_grant")),
+        ("arb_no_spurious", never(atom("core_spurious")),
+         elab.probe_labels("core_spurious")),
+        ("arb_no_starve", never(atom("core_starved")),
+         elab.probe_labels("core_starved")),
+        # pointer/shadow agreement: written as a pair, so 1-inductive
+        ("arb_ptr_parity", always(atom("core_ptr_ok")),
+         elab.probe_labels("core_ptr_ok")),
+    ]

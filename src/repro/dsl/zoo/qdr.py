@@ -1,0 +1,101 @@
+"""Zoo design: a QDR-II-style burst read/write controller.
+
+The paper's target domain: independent read and write ports, each
+request transferring a burst of two words over two cycles (the DDR
+data rate of a QDR-II SRAM, modelled at one word per cycle).  Writes
+stream ``wr_data`` into the word pair addressed by ``wr_addr``; reads
+stream the pair out on ``rd_data`` while ``rd_valid`` is high.  Port
+state machines are one-hot guarded rule pairs, so acceptance,
+completion and the burst phase are all write-once by construction."""
+
+from __future__ import annotations
+
+from ...psl.builder import always, atom, implies, never, next_
+from ..lang import C, Design, DslModule, cat, module
+
+NAME = "qdr"
+
+#: one address bit selects the burst pair; 1-bit words keep the
+#: conformance branching at 2^5 input valuations per step
+PARAMS = {"aw": 1, "width": 1}
+
+CONFORMANCE = {"max_depth": 2, "max_paths": 6000}
+
+
+@module
+class QdrController(DslModule):
+    """Burst-of-2 controller with independent read and write ports."""
+
+    def build(self, aw: int = 1, width: int = 1):
+        depth = 2 << aw  # word pairs x burst length
+        rd_req = self.input("rd_req", 1)
+        rd_addr = self.input("rd_addr", aw)
+        wr_req = self.input("wr_req", 1)
+        wr_addr = self.input("wr_addr", aw)
+        wr_data = self.input("wr_data", width)
+
+        wr_busy = self.reg("wr_busy", 1)
+        wr_a = self.reg("wr_a", aw)
+        rd_busy = self.reg("rd_busy", 1)
+        rd_a = self.reg("rd_a", aw)
+        rd_ph = self.reg("rd_ph", 1)
+        mem = self.array("mem", depth, width)
+
+        # write port: beat 0 on acceptance, beat 1 the next cycle
+        self.rule("wr_start", when=wr_req & ~wr_busy) \
+            .update(wr_busy, 1) \
+            .update(wr_a, wr_addr) \
+            .update(mem[cat(C(0, 1), wr_addr)], wr_data)
+        self.rule("wr_finish", when=wr_busy) \
+            .update(wr_busy, 0) \
+            .update(mem[cat(C(1, 1), wr_a)], wr_data)
+
+        # read port: two-beat burst tracked by the phase bit
+        self.rule("rd_start", when=rd_req & ~rd_busy) \
+            .update(rd_busy, 1) \
+            .update(rd_a, rd_addr) \
+            .update(rd_ph, 0)
+        self.rule("rd_next", when=rd_busy & ~rd_ph) \
+            .update(rd_ph, 1)
+        self.rule("rd_done", when=rd_busy & rd_ph) \
+            .update(rd_busy, 0) \
+            .update(rd_ph, 0)
+
+        self.drive(self.output("rd_data", width), mem[cat(rd_ph, rd_a)])
+        self.drive(self.output("rd_valid", 1), rd_busy)
+        self.drive(self.output("rd_rdy", 1), ~rd_busy)
+        self.drive(self.output("wr_rdy", 1), ~wr_busy)
+
+        self.probe("ph_err", rd_ph & ~rd_busy)
+        self.probe("wr_start_p", wr_req & ~wr_busy)
+        self.probe("wr_busy_p", wr_busy)
+        self.monitor("phase_orphan", rd_ph & ~rd_busy,
+                     "read burst phase advanced with no burst in flight")
+        self.cover("ports", cat(wr_busy, rd_busy, rd_ph))
+        self.cover("wr_beat", wr_busy)
+
+        # the phase monitor watches burst control only; address and data
+        # state is observed through rd_data output-log differencing
+        self.waive("unobservable-reg", "rd_a",
+                   "read address observed through the rd_data output log")
+        self.waive("unobservable-reg", "mem_*",
+                   "data store observed through the rd_data output log")
+
+
+def build(aw: int = 1, width: int = 1) -> Design:
+    design = Design("qdr")
+    design.instantiate(QdrController, "core", aw=aw, width=width)
+    return design
+
+
+def properties(elab):
+    return [
+        # the burst phase bit only advances inside a burst: 1-inductive
+        # because rd_done clears both bits together
+        ("qdr_phase_in_burst", never(atom("core_ph_err")),
+         elab.probe_labels("core_ph_err")),
+        ("qdr_accept_busy",
+         always(implies(atom("core_wr_start_p"),
+                        next_(atom("core_wr_busy_p")))),
+         elab.probe_labels("core_wr_start_p", "core_wr_busy_p")),
+    ]

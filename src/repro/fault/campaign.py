@@ -95,7 +95,12 @@ class CampaignConfig:
         journal_path: Optional[str] = None,
         chaos_kill_marker: Optional[str] = None,
         chaos_hang_marker: Optional[str] = None,
+        design: Optional[str] = None,
     ):
+        #: a ``repro.dsl.zoo`` design name switches the campaign from
+        #: the LA-1 transaction workload to the open-loop DSL workload
+        #: (same engines, ladders, checkpoints and report format)
+        self.design = design
         self.banks = banks
         self.traffic = traffic
         self.seed = seed
@@ -128,13 +133,18 @@ class CampaignConfig:
         """The workload identity a checkpoint must match to be resumed
         (budgets and paths excluded: they may differ between the killed
         and the resuming invocation without changing any verdict)."""
-        return {
+        fingerprint = {
             "banks": self.banks,
             "traffic": self.traffic,
             "seed": self.seed,
             "backend": self.backend,
             "rtl_cycles": self.rtl_cycles,
         }
+        # only zoo campaigns carry the key, so LA-1 checkpoints written
+        # before the DSL existed stay resume-compatible
+        if self.design:
+            fingerprint["design"] = self.design
+        return fingerprint
 
 
 class FaultVerdict:
@@ -423,6 +433,7 @@ class FaultCampaign:
         self._ppsfp_sims: dict = {}
         self._rtl_golden: Optional[tuple] = None
         self._sysc_golden: Optional[tuple] = None
+        self._zoo_stim: Optional[list] = None
 
     # -- workload ------------------------------------------------------
     def _queue_traffic(self, host) -> None:
@@ -503,9 +514,35 @@ class FaultCampaign:
         """The flattened LA-1-with-OVL netlist every RTL engine of this
         campaign shares (elaborated once; backends compile lazily)."""
         if self._flat_design is None:
-            self._flat_design = elaborate(
-                build_la1_top_with_ovl(self.config.la1()))
+            if self.config.design:
+                from ..dsl.zoo import build_elaborated
+
+                self._flat_design = build_elaborated(
+                    self.config.design).flat
+            else:
+                self._flat_design = elaborate(
+                    build_la1_top_with_ovl(self.config.la1()))
         return self._flat_design
+
+    def _zoo_stimulus(self):
+        """The open-loop per-cycle input vectors of a zoo campaign."""
+        if self._zoo_stim is None:
+            from ..dsl.faults import zoo_stimulus
+
+            self._zoo_stim = zoo_stimulus(
+                self._design(), self.config.seed, self.config.rtl_cycles)
+        return self._zoo_stim
+
+    def _ppsfp_batch(self, batch, lanes: int) -> tuple:
+        """One lane-parallel pass, routed by workload kind (the hook
+        :func:`repro.fault.ppsfp.run_ppsfp_batches` dispatches through)."""
+        if self.config.design:
+            from ..dsl.faults import run_zoo_batch
+
+            return run_zoo_batch(self, batch, lanes)
+        from .ppsfp import _run_batch
+
+        return _run_batch(self, batch, lanes)
 
     def _rtl_simulator(self) -> RtlSimulator:
         if self._rtl_sim is None:
@@ -526,6 +563,10 @@ class FaultCampaign:
         return sim
 
     def _rtl_golden_run(self) -> tuple:
+        if self._rtl_golden is None and self.config.design:
+            from ..dsl.faults import zoo_golden_run
+
+            self._rtl_golden = zoo_golden_run(self)
         if self._rtl_golden is None:
             sim = self._rtl_simulator()
             sim.reset()
@@ -540,6 +581,10 @@ class FaultCampaign:
         return self._rtl_golden
 
     def _run_rtl(self, fault: Fault) -> FaultVerdict:
+        if self.config.design:
+            from ..dsl.faults import run_zoo_fault
+
+            return run_zoo_fault(self, fault)
         from ..cover.functional import La1FunctionalCoverage
 
         golden = self._rtl_golden_run()
@@ -935,7 +980,12 @@ class FaultCampaign:
         """
         config = self.config
         if faults is None:
-            faults = default_fault_list(config.banks)
+            if config.design:
+                from ..dsl.faults import zoo_fault_list
+
+                faults = zoo_fault_list(self._design())
+            else:
+                faults = default_fault_list(config.banks)
         if config.max_faults is not None:
             faults = faults[: config.max_faults]
         collapse = self._collapse(faults)

@@ -211,7 +211,10 @@ def run_ppsfp_batches(
         batch = faults[index:index + width]
         batch_start = time.perf_counter()
         try:
-            verdicts, fallbacks = _run_batch(campaign, batch, lanes)
+            # the campaign routes by workload kind (LA-1 transaction
+            # host vs open-loop DSL stimulus); this module's _run_batch
+            # is the LA-1 arm
+            verdicts, fallbacks = campaign._ppsfp_batch(batch, lanes)
         except Exception:
             # degradation ladder: anything wrong with the pass itself
             # (not a fault outcome) re-runs the whole batch per-fault

@@ -107,9 +107,19 @@ class LintContext:
         message: str,
         fix_hint: str = "",
     ) -> Optional[Diagnostic]:
-        """File a diagnostic, applying disabled-rule and waiver filters."""
+        """File a diagnostic, applying disabled-rule and waiver filters.
+
+        When the located net carries a frontend source location (a
+        design-language elaboration), the message is suffixed with it so
+        the diagnostic points at the frontend line, not just the
+        generated net name."""
         if self.config.is_disabled(rule):
             return None
+        if self.design is not None:
+            flat = self.design.nets.get(location)
+            src_loc = getattr(flat, "src_loc", None)
+            if src_loc:
+                message = f"{message} [from {src_loc}]"
         diag = Diagnostic(rule, severity, location, message, fix_hint)
         for waiver in self._waivers:
             if waiver.matches(rule, location):

@@ -153,6 +153,7 @@ def _campaign(config):
             backend=config.backend,
             rtl_cycles=config.rtl_cycles,
             fault_deadline_s=config.fault_deadline_s,
+            design=getattr(config, "design", None),
         )
         _CAMPAIGN_CACHE[key] = FaultCampaign(local)
     return _CAMPAIGN_CACHE[key]

@@ -345,6 +345,10 @@ class Net:
         self.module = module
         self.name = name
         self.width = width
+        #: optional frontend source location ("file:line") when this
+        #: net was generated from a design-language declaration
+        #: (repro.dsl); carried through flattening into lint diagnostics
+        self.src_loc: Optional[str] = None
 
     @property
     def path(self) -> str:

@@ -48,6 +48,7 @@ class FlatNet:
         "init",
         "tristate",
         "slot",
+        "src_loc",
     )
 
     def __init__(self, path: str, width: int, kind: str):
@@ -61,6 +62,9 @@ class FlatNet:
         self.init = 0
         self.tristate: Optional[list[TristateDriver]] = None
         self.slot = -1
+        #: frontend source location ("file:line") carried over from the
+        #: originating hdl.Net when a design-language frontend set one
+        self.src_loc: Optional[str] = None
 
     def __repr__(self):
         return f"FlatNet({self.path!r}, {self.kind}, w={self.width})"
@@ -163,6 +167,7 @@ def elaborate(top: RtlModule, top_path: Optional[str] = None) -> FlatDesign:
                     design.inputs.append(flat)
             else:
                 flat = FlatNet(flat_path, net.width, "comb")
+            flat.src_loc = net.src_loc
             design.nets[flat_path] = flat
             scope[net] = flat
         # 2. wire up drivers

@@ -87,11 +87,17 @@ class CampaignJob(Job):
 
     def __init__(self, spec: dict):
         super().__init__(spec)
+        # a repro.dsl.zoo design name switches the campaign workload
+        # from the LA-1 transaction host to the open-loop DSL stimulus
+        self.design = _get(spec, "design", None, (str,))
         self.banks = int(_get(spec, "banks", 2, (int,)))
         self.traffic = int(_get(spec, "traffic", 24, (int,)))
         self.seed = int(_get(spec, "seed", 2004, (int,)))
-        self.backend = str(_get(spec, "backend", "compiled", (str,)))
-        self.rtl_cycles = int(_get(spec, "rtl_cycles", 160, (int,)))
+        self.backend = str(_get(spec, "backend",
+                                "interp" if self.design else "compiled",
+                                (str,)))
+        self.rtl_cycles = int(_get(spec, "rtl_cycles",
+                                   32 if self.design else 160, (int,)))
         self.max_faults = _get(spec, "max_faults", None, (int,))
         self.deadline_s = _get(spec, "deadline_s", None, (int, float))
         # chaos markers ride the spec (smoke/bench only) but are
@@ -102,7 +108,7 @@ class CampaignJob(Job):
             spec, "chaos_hang_marker", None, (str,))
 
     def fingerprint(self) -> dict:
-        return {
+        fingerprint = {
             "banks": self.banks,
             "traffic": self.traffic,
             "seed": self.seed,
@@ -110,11 +116,23 @@ class CampaignJob(Job):
             "rtl_cycles": self.rtl_cycles,
             "max_faults": self.max_faults,
         }
+        if self.design:
+            # content identity of the *elaborated netlist*, not of the
+            # Python frontend source: an edit that lowers identically
+            # (comments, names of locals) dedupes onto the same work
+            from ..dsl.elab import netlist_fingerprint
+            from ..dsl.zoo import build_elaborated
+
+            fingerprint["design"] = self.design
+            fingerprint["netlist"] = netlist_fingerprint(
+                build_elaborated(self.design))
+        return fingerprint
 
     def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
         from ..fault.campaign import CampaignConfig, FaultCampaign
 
         config = CampaignConfig(
+            design=self.design,
             banks=self.banks,
             traffic=self.traffic,
             seed=self.seed,
@@ -252,13 +270,28 @@ class FlowJob(Job):
 
     def __init__(self, spec: dict):
         super().__init__(spec)
+        # a repro.dsl.zoo design name runs the DSL flow
+        # (repro.dsl.flow.run_dsl_flow) instead of the LA-1 Figure-2 flow
+        self.design = _get(spec, "design", None, (str,))
         self.banks = int(_get(spec, "banks", 2, (int,)))
         self.traffic = int(_get(spec, "traffic", 40, (int,)))
         self.seed = int(_get(spec, "seed", 2004, (int,)))
         self.rtl_mc = _get(spec, "rtl_mc", "control", (str,))
+        self.mc_engine = str(_get(spec, "mc_engine", "sat", (str,)))
         self.coverage = bool(_get(spec, "coverage", True, (bool, int)))
 
     def fingerprint(self) -> dict:
+        if self.design:
+            from ..dsl.elab import netlist_fingerprint
+            from ..dsl.zoo import build_elaborated
+
+            return {
+                "design": self.design,
+                "netlist": netlist_fingerprint(
+                    build_elaborated(self.design)),
+                "seed": self.seed,
+                "mc_engine": self.mc_engine,
+            }
         return {
             "banks": self.banks,
             "traffic": self.traffic,
@@ -268,6 +301,26 @@ class FlowJob(Job):
         }
 
     def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
+        if self.design:
+            from ..dsl.flow import run_dsl_flow
+
+            report = run_dsl_flow(self.design, seed=self.seed,
+                                  mc_engine=self.mc_engine)
+            stages = []
+            for stage in report.stages:
+                emit({"type": "stage", "name": stage.name, "ok": stage.ok})
+                stages.append({
+                    "name": stage.name,
+                    "ok": stage.ok,
+                    "detail": stage.detail,
+                    "cpu_time": round(stage.cpu_time, 4),
+                })
+            return {
+                "ok": report.ok,
+                "design": self.design,
+                "fingerprint": report.fingerprint,
+                "stages": stages,
+            }
         from ..core.flow import FlowConfig, run_flow
 
         report = run_flow(FlowConfig(

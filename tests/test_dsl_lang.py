@@ -1,0 +1,291 @@
+"""Frontend language semantics: expression evaluation, the
+write-once-per-cycle register discipline (static and runtime, with
+source locations in the errors), channel single-endpoint rules, and the
+namespace discipline that lets a cover share a name with the rule it
+observes."""
+
+import pytest
+
+from repro.dsl import (
+    C,
+    Design,
+    DslError,
+    DslInterp,
+    DslModule,
+    cat,
+    module,
+    mux,
+    ule,
+    ult,
+)
+
+
+@module
+class Counter(DslModule):
+    """Saturating 3-bit up/down counter with an XOR-parity mirror."""
+
+    def build(self):
+        up = self.input("up", 1)
+        dn = self.input("dn", 1)
+        cnt = self.reg("cnt", 3)
+        par = self.reg("par", 1)
+        nxt = mux(up & ~dn & ult(cnt, 7), cnt + 1,
+                  mux(dn & ~up & ult(C(0, 3), cnt), cnt - 1, cnt))
+        self.rule("move", when=up ^ dn) \
+            .update(cnt, nxt) \
+            .update(par, nxt.reduce_xor())
+        self.drive(self.output("count", 3), cnt)
+        self.drive(self.output("parity", 1), par)
+        self.drive(self.output("sat", 1), ule(C(7, 3), cnt))
+
+
+def _counter():
+    design = Design("counter")
+    design.instantiate(Counter, "c")
+    return design
+
+
+class TestInterp:
+    def test_counts_up_and_saturates(self):
+        interp = DslInterp(_counter())
+        for _ in range(9):
+            interp.step(c_up=1)
+        assert interp.outputs()["c_count"] == 7
+        assert interp.outputs()["c_sat"] == 1
+
+    def test_counts_down_and_floors(self):
+        interp = DslInterp(_counter())
+        interp.step(c_up=1)
+        interp.step(c_up=1)
+        for _ in range(5):
+            interp.step(c_dn=1)
+        assert interp.outputs()["c_count"] == 0
+
+    def test_parity_mirror_tracks_count(self):
+        interp = DslInterp(_counter())
+        for _ in range(3):
+            interp.step(c_up=1)
+        outs = interp.outputs()
+        assert outs["c_parity"] == bin(outs["c_count"]).count("1") & 1
+
+    def test_simultaneous_up_dn_holds(self):
+        interp = DslInterp(_counter())
+        fired = interp.step(c_up=1, c_dn=1)
+        assert fired == []
+        assert interp.outputs()["c_count"] == 0
+
+    def test_unknown_input_rejected(self):
+        interp = DslInterp(_counter())
+        with pytest.raises(DslError, match="unknown input port"):
+            interp.step(bogus=1)
+
+
+class TestExpressions:
+    def test_deval_algebra(self):
+        env = {}
+        assert (C(5, 4) + C(3, 4)).deval(env) == 8
+        assert (C(1, 4) - C(2, 4)).deval(env) == 15  # wraps at width
+        assert (~C(0, 4)).deval(env) == 15
+        assert C(6, 4).eq(6).deval(env) == 1
+        assert C(6, 4).ne(6).deval(env) == 0
+        assert mux(C(1, 1), C(2, 4), C(9, 4)).deval(env) == 2
+        # first part occupies the low bits
+        assert cat(C(1, 1), C(2, 2)).deval(env) == 0b101
+        assert cat(C(1, 1), C(2, 2)).width == 3
+        assert C(0b1101, 4).bit(2).deval(env) == 1
+        assert C(0b1101, 4).slice(1, 3).deval(env) == 0b110
+
+    def test_reductions(self):
+        env = {}
+        assert C(0b0100, 4).reduce_or().deval(env) == 1
+        assert C(0, 4).reduce_or().deval(env) == 0
+        assert C(0b1111, 4).reduce_and().deval(env) == 1
+        assert C(0b0111, 4).reduce_xor().deval(env) == 1
+        assert C(0b0110, 4).reduce_xor().deval(env) == 0
+
+    def test_unsigned_compares(self):
+        env = {}
+        assert ult(C(3, 4), C(5, 4)).deval(env) == 1
+        assert ult(C(5, 4), C(5, 4)).deval(env) == 0
+        assert ule(C(5, 4), C(5, 4)).deval(env) == 1
+
+
+class TestWriteOnce:
+    def test_static_double_write_same_rule(self):
+        @module
+        class Bad(DslModule):
+            def build(self):
+                r = self.reg("r", 1)
+                self.rule("go").update(r, 1).update(r, 0)
+
+        design = Design("bad")
+        with pytest.raises(DslError, match=r"double write to m\.r"):
+            design.instantiate(Bad, "m")
+
+    def test_static_error_carries_both_locations(self):
+        @module
+        class Bad(DslModule):
+            def build(self):
+                r = self.reg("r", 1)
+                self.rule("go").update(r, 1).update(r, 0)
+
+        design = Design("bad")
+        with pytest.raises(DslError, match=r"test_dsl_lang\.py:\d+"):
+            design.instantiate(Bad, "m")
+
+    def test_runtime_conflicting_writes_raise(self):
+        @module
+        class Clash(DslModule):
+            def build(self):
+                r = self.reg("r", 2)
+                self.rule("a").update(r, 1)
+                self.rule("b").update(r, 2)
+
+        design = Design("clash")
+        design.instantiate(Clash, "m")
+        interp = DslInterp(design)
+        with pytest.raises(DslError, match=r"write-once violation on m\.r"):
+            interp.step()
+
+    def test_runtime_agreeing_writes_allowed(self):
+        @module
+        class Agree(DslModule):
+            def build(self):
+                r = self.reg("r", 2)
+                self.rule("a").update(r, 3)
+                self.rule("b").update(r, 3)
+
+        design = Design("agree")
+        design.instantiate(Agree, "m")
+        interp = DslInterp(design)
+        interp.step()
+        assert interp.peek(design.state_sigs()[0]) == 3
+
+    def test_guarded_exclusive_writes_never_clash(self):
+        @module
+        class Excl(DslModule):
+            def build(self):
+                sel = self.input("sel", 1)
+                r = self.reg("r", 2)
+                self.rule("lo", when=~sel).update(r, 1)
+                self.rule("hi", when=sel).update(r, 2)
+
+        design = Design("excl")
+        design.instantiate(Excl, "m")
+        interp = DslInterp(design)
+        interp.step(m_sel=0)
+        interp.step(m_sel=1)
+
+    def test_width_mismatch_rejected(self):
+        @module
+        class Wide(DslModule):
+            def build(self):
+                r = self.reg("r", 2)
+                self.rule("go").update(r, C(1, 4))
+
+        design = Design("wide")
+        with pytest.raises(DslError, match="4 bits, target is 2"):
+            design.instantiate(Wide, "m")
+
+    def test_only_own_registers_writable(self):
+        @module
+        class Owner(DslModule):
+            def build(self):
+                self.r = self.reg("r", 1)
+
+        @module
+        class Thief(DslModule):
+            def build(self, victim=None):
+                self.rule("steal").update(victim.r, 1)
+
+        design = Design("theft")
+        owner = design.instantiate(Owner, "o")
+        with pytest.raises(DslError, match="belongs to another module"):
+            design.instantiate(Thief, "t", victim=owner)
+
+
+class TestChannels:
+    def test_single_sender_enforced(self):
+        @module
+        class Tx(DslModule):
+            def build(self, chan=None):
+                self.rule("tx").send(chan, C(1, 2))
+
+        design = Design("chan")
+        c = design.channel("c", 2)
+        design.instantiate(Tx, "a", chan=c)
+        with pytest.raises(DslError, match="both send"):
+            design.instantiate(Tx, "b", chan=c)
+
+    def test_send_and_recv_same_rule_rejected(self):
+        @module
+        class Loop(DslModule):
+            def build(self, chan=None):
+                self.rule("spin").send(chan, C(0, 2)).recv(chan)
+
+        design = Design("loop")
+        c = design.channel("c", 2)
+        with pytest.raises(DslError, match="cannot send and recv"):
+            design.instantiate(Loop, "m", chan=c)
+
+    def test_ready_valid_backpressure(self):
+        @module
+        class Tx(DslModule):
+            def build(self, chan=None):
+                go = self.input("go", 1)
+                self.rule("tx", when=go).send(chan, C(3, 2))
+
+        @module
+        class Rx(DslModule):
+            def build(self, chan=None):
+                take = self.input("take", 1)
+                last = self.reg("last", 2)
+                self.rule("rx", when=take).recv(chan).update(last, chan.data)
+                self.drive(self.output("got", 2), last)
+
+        design = Design("rv")
+        c = design.channel("c", 2)
+        design.instantiate(Tx, "tx", chan=c)
+        design.instantiate(Rx, "rx", chan=c)
+        interp = DslInterp(design)
+        # send fills the slot; a second send stalls while it is full
+        assert interp.step(tx_go=1) == ["tx.tx"]
+        assert interp.step(tx_go=1) == []
+        assert interp.step(rx_take=1) == ["rx.rx"]
+        assert interp.outputs()["rx_got"] == 3
+
+
+class TestNamespace:
+    def test_cover_may_share_rule_name(self):
+        @module
+        class Cov(DslModule):
+            def build(self):
+                go = self.input("go", 1)
+                r = self.reg("r", 1)
+                self.rule("enq", when=go).update(r, 1)
+                self.cover("enq", go)  # observes the rule of that name
+                self.drive(self.output("o", 1), r)
+
+        design = Design("cov")
+        design.instantiate(Cov, "m")  # must not raise
+
+    def test_duplicate_declaration_rejected(self):
+        @module
+        class Dup(DslModule):
+            def build(self):
+                self.reg("x", 1)
+                self.input("x", 1)
+
+        design = Design("dup")
+        with pytest.raises(DslError, match="duplicate declaration"):
+            design.instantiate(Dup, "m")
+
+    def test_waiver_requires_justification(self):
+        @module
+        class Hush(DslModule):
+            def build(self):
+                self.waive("unobservable-reg", "r", "   ")
+
+        design = Design("hush")
+        with pytest.raises(DslError, match="needs a justification"):
+            design.instantiate(Hush, "m")
