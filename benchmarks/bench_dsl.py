@@ -27,7 +27,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -139,14 +138,15 @@ def main(argv=None) -> int:
         print(f"[{name}] flow PASS in {point['flow_s']}s | "
               f"lint {point['lint']} | campaign {point['campaign']}")
 
-    payload = {
-        "bench": "dsl",
-        "smoke": bool(args.smoke),
-        "points": points,
-    }
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    from bench_schema import write_bench
+
+    write_bench(
+        args.json, "dsl",
+        config={"smoke": bool(args.smoke)},
+        metrics={"points": {p["design"]: p for p in points}},
+        gates={"flow_pass": all(
+            stage["ok"] for p in points for stage in p["flow"].values())},
+    )
     print(f"wrote {args.json}")
     return 0
 

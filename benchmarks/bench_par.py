@@ -25,7 +25,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -95,11 +94,15 @@ def main(argv=None) -> int:
         "deterministic": deterministic,
         "points": points,
     }
-    os.makedirs(os.path.dirname(os.path.abspath(args.json_path)),
-                exist_ok=True)
-    with open(args.json_path, "w") as fh:
-        json.dump({f"par banks={banks}": result}, fh, indent=2,
-                  sort_keys=True)
+    from bench_schema import write_bench
+
+    write_bench(
+        args.json_path, "par",
+        config={"banks": banks, "traffic": traffic, "cpus": cpus,
+                "jobs_axis": jobs_axis, "smoke": bool(args.smoke)},
+        metrics={f"par banks={banks}": result},
+        gates={"deterministic": deterministic},
+    )
     print(f"wrote {args.json_path} (cpus={cpus}, "
           f"deterministic={deterministic})")
     if not deterministic:

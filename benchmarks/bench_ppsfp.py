@@ -1,25 +1,33 @@
-"""Throughput curve of PPSFP fault batching (repro.fault.ppsfp).
+"""Throughput curves of dual-axis PPSFP fault batching (repro.fault.ppsfp).
 
-A plain script (not a pytest benchmark): sweeps the same datapath
-stuck-at campaign at ``--lanes 1, 8, 32, 64`` and records, per point,
-faults/sec and the speedup over the lanes=1 per-fault compiled
-baseline.  The fault list is generated, not the shipped smoke list: one
-stuck-at per sampled bit of the per-bank datapath state (SRAM array
-words, fetched-word / beat / address / byte-enable registers), which is
-the PPSFP-friendly population -- datapath corruption rides the lanes
-without perturbing the control handshake, so batches stay full.  (A
-control-stage fault that changes the polled status bits invalidates its
-lane and falls back to the per-fault path; that ladder is exercised by
-the shipped smoke list and pinned in ``tests/test_fault_ppsfp.py``.)
+A plain script (not a pytest benchmark) with three scenarios:
 
-The determinism contract is asserted on every run: every lanes setting
-must produce the identical campaign signature.  The full (4-bank)
-profile additionally gates on the ISSUE acceptance criterion --
-lanes=64 must reach >= 8x the baseline faults/sec.
+* **sweep** -- the PR6 fault-axis curve: the same datapath stuck-at
+  campaign at ``--lanes 1, 8, 32, 64``, faults/sec and speedup over the
+  lanes=1 per-fault compiled baseline.  The fault list is generated,
+  not the shipped smoke list: one stuck-at per sampled bit of the
+  per-bank datapath state (SRAM array words, fetched-word / beat /
+  address / byte-enable registers), which is the PPSFP-friendly
+  population -- datapath corruption rides the lanes without perturbing
+  the control handshake, so batches stay full.  (A control-stage fault
+  that changes the polled status bits invalidates its lane and falls
+  back to the per-fault path; that ladder is exercised by the shipped
+  smoke list and pinned in ``tests/test_fault_ppsfp.py``.)
+* **short_session** -- the pattern axis: an 8-fault session (far below
+  the 64-lane budget) under 64 stimulus patterns.  The pattern-serial
+  baseline (``patterns_per_pass=1``) burns one bitpar pass per pattern
+  with 55 of 64 lanes idle; auto pattern packing tiles 7 pattern
+  groups per pass and must reach >= 2x the baseline faults/sec.
+* **stim** -- lane-encoded stimulus faults: a population of protocol
+  stimulus mutations (``STIM_KINDS`` x banks x occurrences) run
+  lane-encoded at lanes=64 against the per-fault lanes=1 path, gated
+  at >= 4x.
 
-``--smoke`` (CI) uses the 2-bank model with a small fault list and
-lanes 1 and 64 only; it checks determinism, not the speedup floor
-(CI runners are too noisy to gate on wall-clock ratios).
+The determinism contract is asserted on every run: within each
+scenario every execution shape must produce the identical campaign
+signature.  ``--smoke`` (CI) uses 2-bank models with small fault
+lists; it checks determinism, not the speedup floors (CI runners are
+too noisy to gate on wall-clock ratios).
 
 Usage::
 
@@ -29,7 +37,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -37,10 +44,16 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.fault.campaign import CampaignConfig, FaultCampaign  # noqa: E402
-from repro.fault.models import RtlStuckAt  # noqa: E402
+from repro.fault.models import STIM_KINDS, RtlStuckAt, StimulusMutation  # noqa: E402
 
 #: ISSUE acceptance: lanes=64 faults/sec over the per-fault baseline
 SPEEDUP_GATE = 8.0
+#: ISSUE acceptance: auto pattern packing over the patterns_per_pass=1
+#: baseline on a short (<= 16 fault) session
+PACKED_GATE = 2.0
+#: ISSUE acceptance: lane-encoded stimulus mutations over the per-fault
+#: scalar path
+STIM_GATE = 4.0
 
 #: per-bank datapath state sampled by the generated fault list:
 #: (register tail, bits per bank).  SRAM bits are spread across the
@@ -76,6 +89,17 @@ def datapath_fault_list(banks: int, scale: int = 1):
     return faults
 
 
+def stim_fault_list(banks: int, occurrences: int = 3):
+    """Lane-encodable stimulus mutations: every kind on every bank at
+    ``occurrences`` different points of the transaction stream."""
+    return [
+        StimulusMutation(kind, bank, occurrence)
+        for bank in range(banks)
+        for kind in STIM_KINDS
+        for occurrence in range(1, occurrences + 1)
+    ]
+
+
 def _width(tail: str) -> int:
     return {
         "sram.mem": 512,
@@ -87,10 +111,15 @@ def _width(tail: str) -> int:
     }[tail]
 
 
-def run_point(banks: int, traffic: int, faults, lanes: int) -> dict:
-    config = CampaignConfig(banks=banks, traffic=traffic)
+def run_point(banks: int, traffic: int, faults, lanes: int,
+              patterns: int = 1, patterns_per_pass=None,
+              rtl_cycles: int = 160) -> dict:
+    config = CampaignConfig(banks=banks, traffic=traffic,
+                            rtl_cycles=rtl_cycles, patterns=patterns)
     start = time.perf_counter()
-    report = FaultCampaign(config).run(faults=list(faults), lanes=lanes)
+    report = FaultCampaign(config).run(
+        faults=list(faults), lanes=lanes,
+        patterns_per_pass=patterns_per_pass)
     wall = time.perf_counter() - start
     point = {
         "lanes": lanes,
@@ -100,71 +129,173 @@ def run_point(banks: int, traffic: int, faults, lanes: int) -> dict:
         "signature": hash(report.signature()) & 0xFFFFFFFF,
         "counts": report.counts(),
     }
+    if patterns != 1:
+        point["patterns"] = patterns
+    if patterns_per_pass is not None:
+        point["patterns_per_pass"] = patterns_per_pass
     ppsfp = report.engine_stats.get("ppsfp", {}).get(str(lanes))
     if ppsfp:
         point["lane_passes"] = ppsfp["lane_passes"]
         point["words_evaluated"] = ppsfp["words_evaluated"]
+        point["lane_utilization"] = ppsfp["lane_utilization"]
     return point
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--smoke", action="store_true",
-                        help="CI shape: 2 banks, quarter fault list, "
-                             "lanes 1 and 64, no speedup gate")
-    parser.add_argument("--json", dest="json_path",
-                        default=os.path.join(os.path.dirname(__file__),
-                                             "BENCH_ppsfp.json"))
-    args = parser.parse_args(argv)
-
-    banks = 2 if args.smoke else 4
+def sweep_scenario(smoke: bool) -> dict:
+    banks = 2 if smoke else 4
     traffic = 24
-    lanes_axis = [1, 64] if args.smoke else [1, 8, 32, 64]
-    faults = datapath_fault_list(banks, scale=1 if args.smoke else 16)
+    lanes_axis = [1, 64] if smoke else [1, 8, 32, 64]
+    faults = datapath_fault_list(banks, scale=1 if smoke else 16)
 
     points = []
     for lanes in lanes_axis:
-        print(f"campaign: banks={banks} faults={len(faults)} "
+        print(f"sweep: banks={banks} faults={len(faults)} "
               f"lanes={lanes} ...", flush=True)
         point = run_point(banks, traffic, faults, lanes)
         print(f"  wall={point['wall_s']}s  "
               f"faults/s={point['faults_per_s']}")
         points.append(point)
 
-    signatures = {p["signature"] for p in points}
-    deterministic = len(signatures) == 1
     baseline = points[0]["faults_per_s"]
     for p in points[1:]:
         p["speedup"] = round(p["faults_per_s"] / baseline, 3)
-
-    result = {
+    return {
         "banks": banks,
         "traffic": traffic,
         "fault_list": "datapath stuck-ats (generated)",
         "faults": len(faults),
-        "deterministic": deterministic,
-        "speedup_gate": None if args.smoke else SPEEDUP_GATE,
+        "deterministic": len({p["signature"] for p in points}) == 1,
+        "speedup": points[-1].get("speedup"),
         "points": points,
     }
-    os.makedirs(os.path.dirname(os.path.abspath(args.json_path)),
-                exist_ok=True)
-    with open(args.json_path, "w") as fh:
-        json.dump({f"ppsfp banks={banks}": result}, fh, indent=2,
-                  sort_keys=True)
+
+
+def short_session_scenario(smoke: bool) -> dict:
+    banks = 2
+    traffic = 24 if smoke else 96
+    rtl_cycles = 160 if smoke else 640
+    patterns = 4 if smoke else 64
+    faults = datapath_fault_list(banks, scale=1)[:12 if smoke else 8]
+
+    points = []
+    for label, lanes, ppp in (
+        ("per-fault", 1, None),
+        ("lanes, pattern-serial", 64, 1),
+        ("lanes, pattern-packed", 64, None),
+    ):
+        print(f"short session: faults={len(faults)} patterns={patterns} "
+              f"lanes={lanes} patterns_per_pass={ppp} ...", flush=True)
+        point = run_point(banks, traffic, faults, lanes,
+                          patterns=patterns, patterns_per_pass=ppp,
+                          rtl_cycles=rtl_cycles)
+        point["shape"] = label
+        print(f"  wall={point['wall_s']}s  "
+              f"faults/s={point['faults_per_s']}  "
+              f"util={point.get('lane_utilization', 'n/a')}")
+        points.append(point)
+
+    serial, packed = points[1], points[2]
+    return {
+        "banks": banks,
+        "traffic": traffic,
+        "rtl_cycles": rtl_cycles,
+        "patterns": patterns,
+        "fault_list": "short-session datapath stuck-ats",
+        "faults": len(faults),
+        "deterministic": len({p["signature"] for p in points}) == 1,
+        "packed_speedup": round(
+            packed["faults_per_s"] / serial["faults_per_s"], 3),
+        "points": points,
+    }
+
+
+def stim_scenario(smoke: bool) -> dict:
+    banks = 2
+    traffic = 24 if smoke else 96
+    rtl_cycles = 160 if smoke else 640
+    faults = stim_fault_list(banks, occurrences=1 if smoke else 12)
+
+    points = []
+    for label, lanes in (("per-fault", 1), ("lane-encoded", 64)):
+        print(f"stim: faults={len(faults)} lanes={lanes} ...", flush=True)
+        point = run_point(banks, traffic, faults, lanes,
+                          rtl_cycles=rtl_cycles)
+        point["shape"] = label
+        print(f"  wall={point['wall_s']}s  "
+              f"faults/s={point['faults_per_s']}")
+        points.append(point)
+
+    return {
+        "banks": banks,
+        "traffic": traffic,
+        "rtl_cycles": rtl_cycles,
+        "fault_list": "protocol stimulus mutations (STIM_KINDS)",
+        "faults": len(faults),
+        "deterministic": len({p["signature"] for p in points}) == 1,
+        "stim_speedup": round(
+            points[1]["faults_per_s"] / points[0]["faults_per_s"], 3),
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI shape: 2 banks, small fault lists, "
+                             "determinism gates only (no speedup floors)")
+    parser.add_argument("--json", dest="json_path",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "BENCH_ppsfp.json"))
+    args = parser.parse_args(argv)
+
+    sweep = sweep_scenario(args.smoke)
+    short = short_session_scenario(args.smoke)
+    stim = stim_scenario(args.smoke)
+
+    deterministic = (sweep["deterministic"] and short["deterministic"]
+                     and stim["deterministic"])
+    gates = {
+        "deterministic": deterministic,
+        "sweep_speedup": sweep["speedup"],
+        "sweep_gate": None if args.smoke else SPEEDUP_GATE,
+        "packed_speedup": short["packed_speedup"],
+        "packed_gate": None if args.smoke else PACKED_GATE,
+        "stim_speedup": stim["stim_speedup"],
+        "stim_gate": None if args.smoke else STIM_GATE,
+    }
+
+    from bench_schema import write_bench
+
+    write_bench(
+        args.json_path, "ppsfp",
+        config={"smoke": bool(args.smoke), "traffic": 24,
+                "sweep_banks": sweep["banks"],
+                "short_session_patterns": short["patterns"],
+                "stim_faults": stim["faults"]},
+        metrics={"sweep": sweep, "short_session": short, "stim": stim},
+        gates=gates,
+    )
     print(f"wrote {args.json_path} (deterministic={deterministic})")
 
     if not deterministic:
-        print("FAIL: lanes settings disagree on the campaign signature",
+        print("FAIL: execution shapes disagree on a campaign signature",
               file=sys.stderr)
         return 1
     if not args.smoke:
-        top = points[-1]
-        if top["speedup"] < SPEEDUP_GATE:
-            print(f"FAIL: lanes={top['lanes']} speedup x{top['speedup']} "
-                  f"below the x{SPEEDUP_GATE} gate", file=sys.stderr)
+        failed = False
+        for label, speedup, gate in (
+            ("sweep lanes=64", sweep["speedup"], SPEEDUP_GATE),
+            ("pattern packing", short["packed_speedup"], PACKED_GATE),
+            ("lane-encoded stim", stim["stim_speedup"], STIM_GATE),
+        ):
+            if speedup < gate:
+                print(f"FAIL: {label} speedup x{speedup} below the "
+                      f"x{gate} gate", file=sys.stderr)
+                failed = True
+            else:
+                print(f"PASS: {label} speedup x{speedup} >= x{gate}")
+        if failed:
             return 1
-        print(f"PASS: lanes={top['lanes']} speedup x{top['speedup']} >= "
-              f"x{SPEEDUP_GATE}")
     return 0
 
 

@@ -28,7 +28,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -205,10 +204,16 @@ def main(argv=None) -> int:
     result["past_the_wall"] = bool(
         sat_wall["all_proved"] and wall["exploded"])
 
-    os.makedirs(os.path.dirname(os.path.abspath(args.json_path)),
-                exist_ok=True)
-    with open(args.json_path, "w") as fh:
-        json.dump({"sat": result}, fh, indent=2, sort_keys=True)
+    from bench_schema import write_bench
+
+    write_bench(
+        args.json_path, "sat",
+        config={"banks_axis": banks_axis, "depths": depths,
+                "smoke": bool(args.smoke)},
+        metrics={"sat": result},
+        gates={"all_proved": ok,
+               "past_the_wall": result["past_the_wall"]},
+    )
     print(f"wrote {args.json_path} "
           f"(past_the_wall={result['past_the_wall']})")
     if not ok:

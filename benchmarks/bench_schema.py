@@ -1,0 +1,107 @@
+"""Envelope schema for the committed ``benchmarks/BENCH_*.json`` files.
+
+Every benchmark artifact carries the same four top-level keys so perf
+trends stay machine-comparable across PRs without knowing each bench's
+private payload shape:
+
+* ``name``    -- which benchmark produced the file (string)
+* ``config``  -- the knobs of the run (banks, axes, smoke/full, ...)
+* ``metrics`` -- the measured payload (each bench's own shape)
+* ``gates``   -- the pass/fail criteria the run was held to, with the
+  observed values (empty when a bench is purely informational)
+
+``python benchmarks/bench_schema.py`` is the CI check: it scans every
+``BENCH_*.json`` next to this file (or the paths given on the command
+line), validates the envelope, and exits 1 listing the offenders.
+Writers use :func:`envelope` / :func:`write_bench` so the shape cannot
+drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import List, Optional
+
+REQUIRED_KEYS = ("name", "config", "metrics", "gates")
+
+
+def envelope(name: str, config: Optional[dict] = None,
+             metrics: Optional[dict] = None,
+             gates: Optional[dict] = None) -> dict:
+    """The canonical artifact shape."""
+    return {
+        "name": str(name),
+        "config": dict(config or {}),
+        "metrics": dict(metrics or {}),
+        "gates": dict(gates or {}),
+    }
+
+
+def write_bench(path: str, name: str, config: Optional[dict] = None,
+                metrics: Optional[dict] = None,
+                gates: Optional[dict] = None) -> None:
+    """Write one enveloped benchmark artifact."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(envelope(name, config, metrics, gates), fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")
+
+
+def check_file(path: str) -> List[str]:
+    """Problems with one artifact (empty list when it conforms)."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    problems = [
+        f"missing key {key!r}" for key in REQUIRED_KEYS if key not in data
+    ]
+    if not isinstance(data.get("name", ""), str):
+        problems.append("'name' must be a string")
+    for key in ("config", "metrics", "gates"):
+        if key in data and not isinstance(data[key], dict):
+            problems.append(f"{key!r} must be an object")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate the BENCH_*.json envelope schema")
+    parser.add_argument("paths", nargs="*",
+                        help="artifacts to check (default: every "
+                             "BENCH_*.json next to this script)")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or sorted(glob.glob(os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    offenders = 0
+    for path in paths:
+        problems = check_file(path)
+        if problems:
+            offenders += 1
+            for problem in problems:
+                print(f"FAIL {os.path.basename(path)}: {problem}",
+                      file=sys.stderr)
+        else:
+            print(f"ok   {os.path.basename(path)}")
+    if offenders:
+        print(f"FAIL: {offenders}/{len(paths)} artifacts violate the "
+              f"envelope schema {REQUIRED_KEYS}", file=sys.stderr)
+        return 1
+    print(f"PASS: {len(paths)} artifacts carry the envelope schema")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -181,8 +180,15 @@ def main(argv=None) -> int:
                 hang_deadline_s=None)
             result["testgen banks=2"] = testgen_parity(2, jobs=4)
 
-    with open(args.json_path, "w") as fh:
-        json.dump(result, fh, indent=2, sort_keys=True)
+    from bench_schema import write_bench
+
+    write_bench(
+        args.json_path, "serve_chaos",
+        config={"smoke": bool(args.smoke)},
+        metrics=result,
+        gates={"identical": all(
+            scenario.get("identical", True) for scenario in result.values())},
+    )
     print(f"wrote {args.json_path} -- every chaos scenario reproduced "
           "the jobs=1 verdicts bit-identically")
     return 0

@@ -6,7 +6,6 @@ benchmarks/ --benchmark-only -s`` to see them inline; rows are also
 echoed at teardown).
 """
 
-import json
 import os
 
 import pytest
@@ -30,10 +29,11 @@ def record_row(table: str, row: str) -> None:
 def record_bench(filename: str, key: str, data) -> None:
     """Record a machine-readable datapoint.
 
-    All datapoints for ``filename`` are merged into one JSON object
-    (key -> data) written next to the benchmarks at session end, so perf
-    trends (e.g. ``BENCH_rtl_sim.json`` cycles/sec per backend per bank
-    count) stay comparable across PRs.
+    All datapoints for ``filename`` land under the ``metrics`` key of
+    one enveloped artifact (see ``bench_schema.py``) written next to
+    the benchmarks at session end, so perf trends (e.g.
+    ``BENCH_rtl_sim.json`` cycles/sec per backend per bank count) stay
+    comparable across PRs.
     """
     _bench_files.setdefault(filename, {})[key] = data
 
@@ -46,8 +46,13 @@ def _print_tables():
         for row in _rows[table]:
             print(row)
     here = os.path.dirname(os.path.abspath(__file__))
+    from bench_schema import write_bench
+
     for filename, data in sorted(_bench_files.items()):
         path = os.path.join(here, filename)
-        with open(path, "w") as fh:
-            json.dump(data, fh, indent=2, sort_keys=True)
+        name = filename
+        if name.startswith("BENCH_"):
+            name = name[len("BENCH_"):]
+        name = name.rsplit(".", 1)[0]
+        write_bench(path, name, config={"full": FULL}, metrics=data)
         print(f"wrote {path}")

@@ -1,0 +1,29 @@
+"""Shared command-line helpers for the ``python -m repro.*`` drivers."""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["bounded_int"]
+
+
+def bounded_int(name: str, lo: int, hi: int):
+    """An ``argparse`` type validating an integer in ``[lo, hi]``.
+
+    Out-of-range or non-integer values fail argument parsing -- a
+    one-line ``error: argument --x: ...`` message and exit status 2 --
+    instead of surfacing later as a deep engine traceback (a negative
+    lane count would otherwise die inside the bitpar codegen)."""
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{name} must be an integer, got {text!r}") from None
+        if not (lo <= value <= hi):
+            raise argparse.ArgumentTypeError(
+                f"{name} must be between {lo} and {hi}, got {value}")
+        return value
+
+    return parse

@@ -106,6 +106,14 @@ class FlowConfig:
     #: observation -- stage results and harvested coverage are
     #: identical to lanes=1
     lanes: int = 1
+    #: stimulus patterns for the OVL stage: with lanes > 1 and
+    #: patterns > 1, lane p drives pattern p of the traffic workload
+    #: (shared command schedule, re-drawn addresses/data -- the PPSFP
+    #: pattern axis, repro.core.traffic), so one pass sweeps
+    #: min(patterns, lanes) OVL-checked stimulus variants; every driven
+    #: lane's monitors must stay clean for the stage to pass.  Harvested
+    #: coverage stays the lane-0 (pattern-0) view
+    patterns: int = 1
 
     def resolved_la1(self) -> La1Config:
         return self.la1_config or La1Config(banks=self.banks, beat_bits=16,
@@ -403,23 +411,56 @@ def run_flow(config: Optional[FlowConfig] = None) -> FlowReport:
 
         toggle_cov = ToggleCollector(ovl_sim)
         ovl_cov = OvlAssertionCoverage(ovl_sim)
-    _traffic(ovl_host, la1, config.traffic, config.seed)
+    patterns_used = 1
+    if config.lanes > 1 and config.patterns > 1:
+        # pattern-packed OVL: lane p drives stimulus pattern p (shared
+        # command schedule, per-lane addr/data), spare lanes replay
+        # pattern 0
+        from .rtl_testbench import LaneVec
+        from .traffic import schedule_values, traffic_schedule
+
+        patterns_used = min(config.patterns, config.lanes)
+        pad = config.lanes - patterns_used
+        schedule = traffic_schedule(la1, config.traffic, config.seed)
+        values = [schedule_values(la1, schedule, config.seed, p)
+                  for p in range(patterns_used)]
+        for t, (is_read, bank, __a, __w) in enumerate(schedule):
+            addr = [v[t][0] for v in values]
+            addr = LaneVec(addr + addr[:1] * pad)
+            if is_read:
+                ovl_host.read(bank, addr)
+            else:
+                word = [v[t][1] for v in values]
+                ovl_host.write(bank, addr,
+                               LaneVec(word + word[:1] * pad))
+    else:
+        _traffic(ovl_host, la1, config.traffic, config.seed)
     ovl_host.run_until_idle()
     if toggle_cov is not None:
         toggle_cov.detach()
         ovl_cov.detach()
         toggle_cov.harvest(cover_db)
         ovl_cov.harvest(cover_db)
+    lane_failures = {
+        lane: names
+        for lane in range(1, patterns_used)
+        if (names := ovl_sim.lane_failure_names(lane))
+    }
+    ovl_ok = ovl_sim.ok and not lane_failures
     report.stages.append(StageResult(
-        "rtl_ovl_simulation", ovl_sim.ok,
+        "rtl_ovl_simulation", ovl_ok,
         f"{ovl_sim.backend} backend, "
-        f"{len(ovl_sim.design.monitors)} OVL monitors, "
+        + (f"{patterns_used} stimulus patterns, "
+           if patterns_used > 1 else "")
+        + f"{len(ovl_sim.design.monitors)} OVL monitors, "
         f"{ovl_sim.edge_count} edges, {len(ovl_host.results)} reads"
-        + ("" if ovl_sim.ok else f"; failures: {ovl_sim.failures[:3]}"),
+        + ("" if ovl_sim.ok else f"; failures: {ovl_sim.failures[:3]}")
+        + ("" if not lane_failures
+           else f"; pattern-lane failures: {sorted(lane_failures)[:3]}"),
         time.perf_counter() - start,
         data=ovl_sim.stats(),
     ))
-    if not ovl_sim.ok:
+    if not ovl_ok:
         return report
 
     # ------------------------------------------------ 8. coverage closure

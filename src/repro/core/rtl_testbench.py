@@ -19,7 +19,59 @@ from ..rtl.simulator import RtlSimulator
 from .spec import BEATS_PER_WORD, La1Config
 from .sysc_model import ReadResult
 
-__all__ = ["RtlHost"]
+__all__ = ["LaneVec", "RtlHost"]
+
+
+class LaneVec:
+    """Per-lane input values for one transaction field.
+
+    Queue a read/write with a ``LaneVec`` instead of an int and
+    :class:`RtlHost` drives the field through
+    :meth:`~repro.rtl.simulator.RtlSimulator.set_input_lanes`, so lane
+    *i* of a bitpar simulator sees ``values[i]`` while the shared
+    command schedule (selects, ordering) stays identical across lanes.
+    The handful of int operators the host applies to transaction fields
+    (beat slicing, byte-enable masking) work elementwise.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def lane(self, index: int) -> int:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __rshift__(self, n: int) -> "LaneVec":
+        return LaneVec([v >> n for v in self.values])
+
+    def __lshift__(self, n: int) -> "LaneVec":
+        return LaneVec([v << n for v in self.values])
+
+    def __and__(self, mask: int) -> "LaneVec":
+        return LaneVec([v & mask for v in self.values])
+
+    def __or__(self, other) -> "LaneVec":
+        if isinstance(other, LaneVec):
+            return LaneVec([a | b for a, b in zip(self.values, other.values)])
+        return LaneVec([v | other for v in self.values])
+
+    def __xor__(self, mask: int) -> "LaneVec":
+        return LaneVec([v ^ mask for v in self.values])
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, LaneVec) and self.values == other.values
+
+    def __repr__(self) -> str:
+        return f"LaneVec({self.values!r})"
+
+
+def _lane0(value) -> int:
+    """Scalar (lane-0) view of a transaction field."""
+    return value.lane(0) if isinstance(value, LaneVec) else value
 
 
 class RtlHost:
@@ -82,8 +134,11 @@ class RtlHost:
         )
 
     # -- helpers -----------------------------------------------------------
-    def _in(self, name: str, value: int) -> None:
-        self.sim.set_input(self._in_paths[name], value)
+    def _in(self, name: str, value) -> None:
+        if isinstance(value, LaneVec):
+            self.sim.set_input_lanes(self._in_paths[name], value.values)
+        else:
+            self.sim.set_input(self._in_paths[name], value)
 
     def _stat(self, bank: int, name: str) -> int:
         return self.sim.read(self._stat_paths[bank, name])
@@ -109,7 +164,7 @@ class RtlHost:
         beat1, par1 = sample1
         word = beat0 | (beat1 << self.config.beat_bits)
         self.results.append(
-            ReadResult(bank, addr, word, (beat0, beat1),
+            ReadResult(bank, _lane0(addr), word, (beat0, beat1),
                        (par0, par1), issued, self.half_cycles)
         )
 

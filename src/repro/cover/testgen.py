@@ -136,23 +136,56 @@ def _score_round(
     """Score one round's candidate walks: newly covered points on top of
     the accumulated ``db``, in candidate order.
 
-    A machine with a ``score_walks`` hook scores all candidates itself
+    A machine with a ``score_walks`` hook scores candidates itself
     (lane-parallel vehicles pack ``lanes`` of them per simulation
-    pass).  Otherwise, with ``jobs > 1`` and a ``model_spec`` the
-    candidates fan out over the supervised process pool
-    (:func:`repro.par.run_supervised` running
-    :func:`repro.par.workers.testgen_score_shard`); each worker
-    regenerates its walks from the per-walk seeds and replays them
-    against a snapshot of the DB, so only ``(index, gain)`` pairs cross
-    the pipe.  A worker that crashes or hangs is retried; a shard
-    quarantined after its attempt budget is re-scored inline, so the
-    selected suite is bit-identical to ``jobs=1`` under any fault the
-    supervisor can contain.  The inline path replays against clones
-    with identical arithmetic, which is what the determinism tests
-    check.
+    pass); with ``jobs > 1`` and a ``model_spec`` its candidates are
+    additionally sharded over the supervised process pool
+    (:func:`repro.par.workers.testgen_lane_score_shard` -- each worker
+    rebuilds the vehicle and scores its shard lane-parallel, so process
+    fan-out multiplies with lane fan-out).  Machines without the hook
+    fan out through :func:`repro.par.workers.testgen_score_shard`; each
+    worker regenerates its walks from the per-walk seeds and replays
+    them against a snapshot of the DB, so only ``(index, gain)`` pairs
+    cross the pipe.  Either way, a worker that crashes or hangs is
+    retried; a shard quarantined after its attempt budget is re-scored
+    inline, so the selected suite is bit-identical to ``jobs=1`` under
+    any fault the supervisor can contain.  The inline paths score
+    against clones with identical arithmetic, which is what the
+    determinism tests check.
     """
     score_walks = getattr(machine, "score_walks", None)
     if score_walks is not None:
+        if jobs > 1 and model_spec is not None and len(walk_seeds) > 1:
+            from ..par import ShardError, plan_shards, run_supervised
+            from ..par.workers import testgen_init, testgen_lane_score_shard
+
+            candidates = list(enumerate(walk_seeds))
+            shards = plan_shards(candidates, jobs)
+            db_dict = db.to_dict()
+            results, __ = run_supervised(
+                testgen_lane_score_shard,
+                [(model_spec, db_dict, shard, walk_steps, lanes)
+                 for shard in shards],
+                jobs=jobs,
+                initializer=testgen_init,
+                initargs=(model_spec,),
+            )
+            gains = [0] * len(walk_seeds)
+            for shard, pairs in zip(shards, results):
+                if pairs is None or isinstance(pairs, ShardError):
+                    # quarantined or abandoned shard: re-score on the
+                    # local machine (per-walk DBs are lane-position and
+                    # chunking independent, so gains match the worker's)
+                    pairs = [
+                        (index, gain) for (index, __), gain in zip(
+                            shard,
+                            score_walks([s for __, s in shard],
+                                        walk_steps, db, lanes=lanes),
+                        )
+                    ]
+                for index, gain in pairs:
+                    gains[index] = gain
+            return gains
         return score_walks(walk_seeds, walk_steps, db, lanes=lanes)
     if jobs > 1 and model_spec is not None and len(walk_seeds) > 1:
         from ..par import ShardError, plan_shards, run_supervised

@@ -1,0 +1,283 @@
+"""Lane-parallel LA-1 *transaction-level* stimulus walks for testgen.
+
+:class:`~repro.cover.rtl_walk.RtlWalkModel` scores raw free-input
+vectors; this module is its transaction-level sibling: a candidate walk
+is ``walk_steps`` protocol-legal LA-1 transactions driven through the
+ordinary :class:`~repro.core.rtl_testbench.RtlHost`.  All candidates of
+a round share one *command schedule* (which command goes to which bank,
+in which order -- drawn from the model seed via
+:func:`~repro.core.traffic.traffic_schedule`) and differ only in their
+datapath fields (addresses, write data -- re-drawn per candidate from
+its walk seed via :func:`~repro.core.traffic.pattern_values`).  That is
+exactly the control-invariance PPSFP pattern packing rests on, and it
+is what lets :meth:`La1TrafficModel.score_walks` pack up to ``lanes``
+candidates into ONE bit-parallel simulation pass: per-lane address and
+data words in (:class:`~repro.core.rtl_testbench.LaneVec`), per-lane
+toggle masks and monitor fire words out.
+
+A walk's coverage DB merges three sources: per-lane toggle coverage
+(:class:`~repro.cover.rtl_cov.ToggleCollector`), per-lane OVL fire
+points, and the LA-1 functional covergroup
+(:mod:`repro.cover.functional`) -- the latter samples only
+``(kind, bank)`` at queue time, so it is schedule-shared: computed once
+per ``walk_steps`` from a replay against a null host and merged into
+every walk DB unchanged.
+
+Determinism contract: a walk's DB is a function of ``(walk_seed,
+walk_steps)`` alone -- independent of lane count, lane position and
+pass chunking (``tests/test_cover_traffic_walk.py`` pins lane-N scoring
+bit-identical to scalar replays).  The model exposes the same
+duck-typed testgen hooks as :class:`RtlWalkModel` (``walk_case`` /
+``score_walks`` / ``walk_dbs`` / ``admit_walk``), so
+:func:`repro.cover.testgen.coverage_driven_suite` drives it unchanged
+-- including sharded through the process pool via
+:func:`repro.par.workers.la1_traffic_model_spec`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.ovl_bindings import build_la1_top_with_ovl
+from ..core.rtl_testbench import LaneVec, RtlHost
+from ..core.spec import La1Config
+from ..core.traffic import pattern_values, traffic_schedule
+from ..par.seeds import derive_seed
+from ..rtl import RtlSimulator, elaborate
+from .db import CoverageDB
+from .rtl_cov import ToggleCollector
+
+__all__ = ["TrafficWalkCase", "La1TrafficModel"]
+
+
+class TrafficWalkCase:
+    """One selected traffic walk, reproducible from its seed."""
+
+    __slots__ = ("walk_seed", "walk_steps")
+
+    def __init__(self, walk_seed: int, walk_steps: int):
+        self.walk_seed = walk_seed
+        self.walk_steps = walk_steps
+
+    def __eq__(self, other):
+        return (isinstance(other, TrafficWalkCase)
+                and other.walk_seed == self.walk_seed
+                and other.walk_steps == self.walk_steps)
+
+    def __hash__(self):
+        return hash((self.walk_seed, self.walk_steps))
+
+    def __repr__(self):
+        return (f"TrafficWalkCase(seed={self.walk_seed}, "
+                f"steps={self.walk_steps})")
+
+
+class _NullHost:
+    """Transaction sink for the schedule-shared functional replay."""
+
+    def __init__(self, config: La1Config):
+        self.config = config
+
+    def read(self, bank: int, addr) -> None:
+        pass
+
+    def write(self, bank: int, addr, word, byte_enables=None) -> None:
+        pass
+
+
+class La1TrafficModel:
+    """The OVL-instrumented LA-1 top as a transaction-walk vehicle.
+
+    Parameters
+    ----------
+    banks:
+        LA-1 bank count of the model.
+    seed:
+        Model seed the shared command schedule derives from (every
+        candidate of a round replays it; walk seeds vary only the
+        datapath fields).
+    lanes:
+        Default lane width of one scoring pass; callers override per
+        call.
+    addr_bits:
+        Address width (4 matches the campaign scale).
+
+    The traffic is protocol-legal host discipline, so -- unlike the
+    free-input walks -- bus-conflict detection stays on; a lane that
+    could conflict would be a real finding, not stimulus noise.
+    """
+
+    def __init__(self, banks: int = 2, seed: int = 7, lanes: int = 64,
+                 addr_bits: int = 4, namespace: str = "rtl.traffic"):
+        self.config = La1Config(banks=banks, beat_bits=16,
+                                addr_bits=addr_bits)
+        self.seed = seed
+        self.lanes = lanes
+        self.namespace = namespace
+        self.design = elaborate(build_la1_top_with_ovl(self.config))
+        self._sims: dict = {}
+        self._collectors: dict = {}
+        self._schedules: dict = {}
+        self._functional: dict = {}
+
+    # -- the shared round structure ------------------------------------
+    def _schedule(self, walk_steps: int):
+        """The command schedule every candidate of a ``walk_steps``
+        round shares (cached; derived from the model seed so it is
+        identical in every worker process)."""
+        schedule = self._schedules.get(walk_steps)
+        if schedule is None:
+            schedule = traffic_schedule(
+                self.config, walk_steps,
+                derive_seed(self.seed, "traffic_walk", walk_steps))
+            self._schedules[walk_steps] = schedule
+        return schedule
+
+    def _functional_db(self, walk_steps: int) -> CoverageDB:
+        """The LA-1 functional coverage of the shared schedule.
+
+        The covergroup samples only ``(kind, bank)`` at queue time, so
+        it is identical for every candidate: one replay against a null
+        host per ``walk_steps`` value, merged into each walk DB."""
+        db = self._functional.get(walk_steps)
+        if db is None:
+            from .functional import La1FunctionalCoverage
+
+            host = _NullHost(self.config)
+            functional = La1FunctionalCoverage(host)
+            for is_read, bank, addr, word in self._schedule(walk_steps):
+                if is_read:
+                    host.read(bank, addr)
+                else:
+                    host.write(bank, addr, word)
+            functional.detach()
+            db = functional.harvest()
+            self._functional[walk_steps] = db
+        return db
+
+    def _cycles(self, walk_steps: int) -> int:
+        """Fixed drain budget: lane-count independent by construction
+        (a data-dependent ``run_until_idle`` could run different cycle
+        counts per pass and break the chunking-independence contract).
+        Reads and writes both retire well within 6 periods."""
+        return walk_steps * 6 + 16
+
+    # -- engines -------------------------------------------------------
+    def _sim(self, lanes: int) -> RtlSimulator:
+        sim = self._sims.get(lanes)
+        if sim is None:
+            if lanes > 1:
+                sim = RtlSimulator(self.design, backend="bitpar",
+                                   lanes=lanes)
+            else:
+                sim = RtlSimulator(self.design, backend="compiled")
+            self._sims[lanes] = sim
+            self._collectors[lanes] = ToggleCollector(
+                sim, namespace=self.namespace)
+        return sim
+
+    # -- one pass ------------------------------------------------------
+    def _run_pass(self, seeds: List[int], walk_steps: int,
+                  lanes: int) -> List[CoverageDB]:
+        """Run ``len(seeds)`` walks (at most ``lanes``) in one pass and
+        return their per-walk coverage DBs in seed order."""
+        sim = self._sim(lanes)
+        collector = self._collectors[lanes]
+        sim.reset()
+        collector.reset()
+        host = RtlHost(sim, self.config)
+        schedule = self._schedule(walk_steps)
+        values = [pattern_values(self.config, schedule, seed)
+                  for seed in seeds]
+        pad = lanes - len(seeds)
+        for t, (is_read, bank, __a, __w) in enumerate(schedule):
+            if lanes > 1:
+                # unused lanes replay the last real walk: no extra rng
+                # draws, nothing harvested from them
+                addr = [v[t][0] for v in values]
+                addr = LaneVec(addr + addr[-1:] * pad)
+                if is_read:
+                    host.read(bank, addr)
+                else:
+                    word = [v[t][1] for v in values]
+                    host.write(bank, addr, LaneVec(word + word[-1:] * pad))
+            elif is_read:
+                host.read(bank, values[0][t][0])
+            else:
+                host.write(bank, values[0][t][0], values[0][t][1])
+        host.run_cycles(self._cycles(walk_steps))
+        fired = self._fired_words(sim, lanes)
+        functional = self._functional_db(walk_steps)
+        return [
+            self._walk_db(collector, fired, lane, functional)
+            for lane in range(len(seeds))
+        ]
+
+    @staticmethod
+    def _fired_words(sim: RtlSimulator, lanes: int) -> dict:
+        """Per-monitor fired lane words (scalar: bit 0 from the record
+        list, same convention as the free-input walks)."""
+        if lanes > 1:
+            return {
+                index: sim.monitor_lane_word(index)
+                for index in range(len(sim.design.monitors))
+            }
+        names = {record.name for record in sim.firings}
+        return {
+            index: int(monitor.name in names)
+            for index, monitor in enumerate(sim.design.monitors)
+        }
+
+    def _walk_db(self, collector: ToggleCollector, fired: dict,
+                 lane: int, functional: CoverageDB) -> CoverageDB:
+        db = collector.harvest(lane=lane)
+        sel = 1 << lane
+        for index, monitor in enumerate(self.design.monitors):
+            key = f"assert.ovl.{monitor.name}.fired"
+            db.declare(key, goal=0)
+            if fired.get(index, 0) & sel:
+                db.hit(key, goal=0)
+        db.merge(functional)
+        return db
+
+    # -- the testgen protocol ------------------------------------------
+    def walk_case(self, walk_seed: int, walk_steps: int) -> TrafficWalkCase:
+        """The reproducible handle testgen stores in its suite."""
+        return TrafficWalkCase(walk_seed, walk_steps)
+
+    def walk_dbs(self, walk_seeds: List[int], walk_steps: int,
+                 lanes: Optional[int] = None) -> List[CoverageDB]:
+        """Per-walk coverage DBs in seed order, ``lanes`` walks per
+        simulation pass (default: the model's lane width)."""
+        lanes = lanes if lanes is not None else self.lanes
+        lanes = max(1, lanes)
+        out: List[CoverageDB] = []
+        for index in range(0, len(walk_seeds), lanes):
+            chunk = walk_seeds[index:index + lanes]
+            out.extend(self._run_pass(chunk, walk_steps, lanes))
+        return out
+
+    def score_walks(self, walk_seeds: List[int], walk_steps: int,
+                    db: CoverageDB,
+                    lanes: Optional[int] = None) -> List[int]:
+        """Newly-covered-point gain of each candidate walk on top of
+        the accumulated ``db`` -- one bit-parallel pass per ``lanes``
+        candidates."""
+        base = db.counts()[0]
+        return [
+            db.clone().merge(walk_db).counts()[0] - base
+            for walk_db in self.walk_dbs(walk_seeds, walk_steps, lanes)
+        ]
+
+    def admit_walk(self, case: TrafficWalkCase,
+                   db: CoverageDB) -> CoverageDB:
+        """Re-run one selected walk and merge its coverage into ``db``
+        (the scalar engine suffices: one walk, one lane)."""
+        walk_db = self.walk_dbs([case.walk_seed], case.walk_steps,
+                                lanes=1)[0]
+        db.merge(walk_db)
+        return db
+
+    def __repr__(self):
+        return (f"La1TrafficModel(banks={self.config.banks}, "
+                f"seed={self.seed}, lanes={self.lanes})")

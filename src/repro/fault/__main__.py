@@ -13,6 +13,7 @@ import json
 import os
 import sys
 
+from ..cli import bounded_int
 from .campaign import CampaignConfig, FaultCampaign
 
 #: CI gate: fraction of expected-detectable protocol mutations that must
@@ -37,14 +38,29 @@ def main(argv=None) -> int:
     parser.add_argument("--checkpoint", default=None,
                         help="JSON state file for kill/resume")
     parser.add_argument("--max-faults", type=int, default=None)
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=bounded_int("--jobs", 1, 128),
+                        default=1,
                         help="process-pool width (repro.par); the merged "
                              "report is identical to --jobs 1")
-    parser.add_argument("--lanes", type=int, default=1,
-                        help="PPSFP lane width: batch compatible RTL "
-                             "faults into bit-parallel passes (repro."
-                             "fault.ppsfp); verdicts are identical to "
+    parser.add_argument("--lanes", type=bounded_int("--lanes", 1, 4096),
+                        default=1,
+                        help="PPSFP lane width: batch compatible faults "
+                             "into bit-parallel passes (repro.fault."
+                             "ppsfp); verdicts are identical to "
                              "--lanes 1 and multiply with --jobs")
+    parser.add_argument("--patterns",
+                        type=bounded_int("--patterns", 1, 1024), default=1,
+                        help="stimulus patterns per fault (PPSFP's "
+                             "second axis: shared command schedule, "
+                             "re-drawn addr/data); verdicts merge across "
+                             "patterns and are identical at any lane "
+                             "count")
+    parser.add_argument("--patterns-per-pass",
+                        type=bounded_int("--patterns-per-pass", 1, 1024),
+                        default=None,
+                        help="cap pattern groups tiled per bitpar pass "
+                             "(default: auto-fit the lane budget; "
+                             "execution knob, never changes verdicts)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the report JSON here "
                              "(default: benchmarks/BENCH_fault_campaign.json)")
@@ -58,6 +74,7 @@ def main(argv=None) -> int:
         campaign_deadline_s=args.deadline,
         checkpoint_path=args.checkpoint,
         max_faults=args.max_faults,
+        patterns=args.patterns,
     )
     report = FaultCampaign(config).run(
         on_verdict=lambda v: print(f"  [{v.outcome:>9}] {v.fault_id}"
@@ -65,6 +82,7 @@ def main(argv=None) -> int:
                                       if v.detected_by else "")),
         jobs=args.jobs,
         lanes=args.lanes,
+        patterns_per_pass=args.patterns_per_pass,
     )
     print(report.render())
     par = report.engine_stats.get("par")
@@ -80,11 +98,23 @@ def main(argv=None) -> int:
         json_path = os.path.join(here, "benchmarks",
                                  "BENCH_fault_campaign.json")
     os.makedirs(os.path.dirname(json_path), exist_ok=True)
-    # same keyed shape as benchmarks/conftest.record_bench, so the CLI
-    # and the benchmark suite produce interchangeable files
+    # same envelope shape as benchmarks/bench_schema.py, so the CLI and
+    # the benchmark suite produce interchangeable files
+    payload = {
+        "name": "fault_campaign",
+        "config": {
+            "banks": config.banks, "traffic": config.traffic,
+            "seed": config.seed, "backend": config.backend,
+            "patterns": config.patterns, "jobs": args.jobs,
+            "lanes": args.lanes, "smoke": bool(args.smoke),
+        },
+        "metrics": {f"banks={config.banks}": report.to_dict()},
+        "gates": {"errors": report.counts()["error"],
+                  "protocol_coverage": round(report.coverage("sysc"), 4),
+                  "coverage_gate": COVERAGE_GATE},
+    }
     with open(json_path, "w") as fh:
-        json.dump({f"banks={config.banks}": report.to_dict()}, fh,
-                  indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True)
     print(f"wrote {json_path}")
 
     errors = report.counts()["error"]

@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import json
 import os
-import random
 import time
 import traceback
 import warnings
@@ -60,6 +59,7 @@ from .models import (
     ProtocolMutation,
     RtlBitFlip,
     RtlStuckAt,
+    StimulusMutation,
 )
 from .rtl_inject import RtlFaultInjector, collapse_faults
 from .sysc_inject import ProtocolSaboteur
@@ -70,6 +70,7 @@ __all__ = [
     "CampaignReport",
     "FaultCampaign",
     "default_fault_list",
+    "merge_pattern_verdicts",
 ]
 
 OUTCOMES = ("detected", "silent", "masked", "truncated", "error")
@@ -96,6 +97,7 @@ class CampaignConfig:
         chaos_kill_marker: Optional[str] = None,
         chaos_hang_marker: Optional[str] = None,
         design: Optional[str] = None,
+        patterns: int = 1,
     ):
         #: a ``repro.dsl.zoo`` design name switches the campaign from
         #: the LA-1 transaction workload to the open-loop DSL workload
@@ -124,6 +126,20 @@ class CampaignConfig:
         #: the first worker to claim one dies / hangs exactly once
         self.chaos_kill_marker = chaos_kill_marker
         self.chaos_hang_marker = chaos_hang_marker
+        #: PPSFP's second axis: sweep each stimulus-sensitive fault
+        #: (RTL state faults, stimulus mutations) under this many
+        #: stimulus patterns -- pattern 0 is the base stream, pattern
+        #: p > 0 keeps the command schedule and re-draws addr/data from
+        #: a derived seed.  A *workload* knob: the merged per-fault
+        #: verdict is part of the campaign identity.
+        if patterns < 1:
+            raise ValueError("patterns must be >= 1")
+        if design and patterns > 1:
+            raise ValueError(
+                "pattern packing applies to the LA-1 transaction "
+                "workload; zoo campaigns drive open-loop stimulus"
+            )
+        self.patterns = patterns
 
     def la1(self) -> La1Config:
         """The concrete simulation-scale config (the flow's shape)."""
@@ -144,6 +160,10 @@ class CampaignConfig:
         # before the DSL existed stay resume-compatible
         if self.design:
             fingerprint["design"] = self.design
+        # same back-compat pattern: single-pattern campaigns (the only
+        # kind older checkpoints hold) carry no key
+        if self.patterns > 1:
+            fingerprint["patterns"] = self.patterns
         return fingerprint
 
 
@@ -200,6 +220,61 @@ class FaultVerdict:
     def __repr__(self):
         by = f" by {','.join(self.detected_by)}" if self.detected_by else ""
         return f"FaultVerdict({self.fault_id}: {self.outcome}{by})"
+
+
+#: pattern-merge precedence: the strongest observation across the
+#: pattern sweep wins (a fault detected under any stimulus variant is
+#: detected; an engine error anywhere must surface; etc.)
+_PATTERN_PRECEDENCE = ("detected", "error", "truncated", "silent")
+
+
+def merge_pattern_verdicts(fault: Fault,
+                           verdicts: List[FaultVerdict]) -> FaultVerdict:
+    """Fold the per-pattern verdicts of one fault into its campaign
+    verdict.
+
+    Deterministic by construction -- precedence over outcomes, sorted
+    unions over detection/coverage sets, details resolved in pattern
+    order -- so the lane-tiled sweep and the per-fault pattern loop
+    produce bit-identical results.  With one pattern this is the
+    identity (modulo ``cpu_time``, which always sums).
+    """
+    if not verdicts:
+        raise ValueError(f"no pattern verdicts for {fault.fault_id}")
+    cpu_time = sum(v.cpu_time for v in verdicts)
+    chosen = None
+    for outcome in _PATTERN_PRECEDENCE:
+        matching = [v for v in verdicts if v.outcome == outcome]
+        if matching:
+            chosen = matching[0]
+            break
+    if chosen is None:  # every pattern masked
+        chosen = next(
+            (v for v in verdicts if v.detail == "no observable divergence"),
+            verdicts[0],
+        )
+        return FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, "masked",
+            detail=chosen.detail, cpu_time=cpu_time,
+            expected_detectable=fault.expect_detectable,
+        )
+    detected_by = chosen.detected_by
+    coverage_points = chosen.coverage_points
+    if chosen.outcome == "detected":
+        detected_by = sorted({
+            name for v in verdicts if v.outcome == "detected"
+            for name in v.detected_by
+        })
+        coverage_points = sorted({
+            point for v in verdicts if v.outcome == "detected"
+            for point in v.coverage_points
+        })
+    return FaultVerdict(
+        fault.fault_id, fault.layer, fault.kind, chosen.outcome,
+        detected_by, chosen.detail, cpu_time,
+        expected_detectable=fault.expect_detectable,
+        coverage_points=coverage_points,
+    )
 
 
 def _merge_numeric_stats(a: dict, b: dict) -> dict:
@@ -332,6 +407,7 @@ class CampaignReport:
                 "rtl": round(self.coverage("rtl"), 4),
                 "sysc": round(self.coverage("sysc"), 4),
                 "asm": round(self.coverage("asm"), 4),
+                "stim": round(self.coverage("stim"), 4),
             },
             "faults": [v.to_dict() for v in self.verdicts],
         }
@@ -431,25 +507,29 @@ class FaultCampaign:
         self._rtl_sim: Optional[RtlSimulator] = None
         self._flat_design = None
         self._ppsfp_sims: dict = {}
-        self._rtl_golden: Optional[tuple] = None
+        self._rtl_goldens: dict = {}  # pattern -> golden log signature
+        self._rtl_lane_goldens: dict = {}  # pattern -> golden-pass log
         self._sysc_golden: Optional[tuple] = None
         self._zoo_stim: Optional[list] = None
 
     # -- workload ------------------------------------------------------
-    def _queue_traffic(self, host) -> None:
-        """The flow's Table-3 workload shape: seeded random read/write
-        mix over all banks (identical at both simulation layers)."""
+    def _schedule(self):
+        """The base command schedule (and pattern-0 values)."""
+        from ..core.traffic import traffic_schedule
+
         config = self.config
-        la1 = config.la1()
-        rng = random.Random(config.seed)
-        word_max = (1 << la1.word_bits) - 1
-        for __ in range(config.traffic):
-            bank = rng.randrange(la1.banks)
-            addr = rng.randrange(la1.mem_words)
-            if rng.random() < 0.5:
-                host.read(bank, addr)
-            else:
-                host.write(bank, addr, rng.randint(0, word_max))
+        return traffic_schedule(config.la1(), config.traffic, config.seed)
+
+    def _queue_traffic(self, host, pattern: int = 0) -> None:
+        """The flow's Table-3 workload shape: seeded random read/write
+        mix over all banks (identical at both simulation layers).
+        ``pattern > 0`` keeps the command schedule and re-draws the
+        addr/data fields from a derived seed (PPSFP's second axis)."""
+        from ..core.traffic import queue_traffic
+
+        config = self.config
+        queue_traffic(host, config.la1(), config.traffic, config.seed,
+                      pattern)
 
     @staticmethod
     def _log_signature(host) -> tuple:
@@ -533,7 +613,8 @@ class FaultCampaign:
                 self._design(), self.config.seed, self.config.rtl_cycles)
         return self._zoo_stim
 
-    def _ppsfp_batch(self, batch, lanes: int) -> tuple:
+    def _ppsfp_batch(self, batch, lanes: int,
+                     patterns_per_pass: Optional[int] = None) -> tuple:
         """One lane-parallel pass, routed by workload kind (the hook
         :func:`repro.fault.ppsfp.run_ppsfp_batches` dispatches through)."""
         if self.config.design:
@@ -542,7 +623,7 @@ class FaultCampaign:
             return run_zoo_batch(self, batch, lanes)
         from .ppsfp import _run_batch
 
-        return _run_batch(self, batch, lanes)
+        return _run_batch(self, batch, lanes, patterns_per_pass)
 
     def _rtl_simulator(self) -> RtlSimulator:
         if self._rtl_sim is None:
@@ -562,32 +643,37 @@ class FaultCampaign:
             self._ppsfp_sims[lanes] = sim
         return sim
 
-    def _rtl_golden_run(self) -> tuple:
-        if self._rtl_golden is None and self.config.design:
+    def _rtl_golden_run(self, pattern: int = 0) -> tuple:
+        golden = self._rtl_goldens.get(pattern)
+        if golden is not None:
+            return golden
+        if self.config.design:
             from ..dsl.faults import zoo_golden_run
 
-            self._rtl_golden = zoo_golden_run(self)
-        if self._rtl_golden is None:
+            golden = zoo_golden_run(self)
+        else:
             sim = self._rtl_simulator()
             sim.reset()
             host = RtlHost(sim, self.config.la1())
-            self._queue_traffic(host)
+            self._queue_traffic(host, pattern)
             host.run_cycles(self.config.rtl_cycles)
             if sim.failures:
                 raise RuntimeError(
-                    f"golden RTL run fails OVL checks {sim.failures[:3]}"
+                    f"golden RTL run (pattern {pattern}) fails OVL "
+                    f"checks {sim.failures[:3]}"
                 )
-            self._rtl_golden = self._log_signature(host)
-        return self._rtl_golden
+            golden = self._log_signature(host)
+        self._rtl_goldens[pattern] = golden
+        return golden
 
-    def _run_rtl(self, fault: Fault) -> FaultVerdict:
+    def _run_rtl(self, fault: Fault, pattern: int = 0) -> FaultVerdict:
         if self.config.design:
             from ..dsl.faults import run_zoo_fault
 
             return run_zoo_fault(self, fault)
         from ..cover.functional import La1FunctionalCoverage
 
-        golden = self._rtl_golden_run()
+        golden = self._rtl_golden_run(pattern)
         sim = self._rtl_simulator()
         sim.reset()
         injector = RtlFaultInjector(sim, [fault])
@@ -595,7 +681,7 @@ class FaultCampaign:
         try:
             host = RtlHost(sim, self.config.la1())
             functional = La1FunctionalCoverage(host)
-            self._queue_traffic(host)
+            self._queue_traffic(host, pattern)
             functional.detach()
             host.run_cycles(self.config.rtl_cycles)
         finally:
@@ -606,6 +692,56 @@ class FaultCampaign:
         elif not injector.triggered:
             outcome, detail = "masked", "fault never changed a state bit"
         elif self._log_signature(host) != golden:
+            outcome = "silent"
+            detail = ("transaction log diverged from golden run with no "
+                      "OVL checker firing")
+        else:
+            outcome, detail = "masked", "no observable divergence"
+        return FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome, detected_by,
+            detail, expected_detectable=fault.expect_detectable,
+            coverage_points=(functional.harvest().covered_keys()
+                             if detected_by else None),
+        )
+
+    # -- stimulus layer ------------------------------------------------
+    def _run_stim(self, fault: StimulusMutation,
+                  pattern: int = 0) -> FaultVerdict:
+        """Per-fault scalar path for a host-side stimulus mutation: one
+        compiled run driving the mutated stream, diffed against the
+        pattern's golden run with the issued address excluded (the
+        mutation corrupts the issued fields themselves; see
+        :mod:`repro.fault.stim_inject`)."""
+        from ..core.traffic import schedule_values
+        from ..cover.functional import La1FunctionalCoverage
+        from .stim_inject import (
+            queue_mutated_traffic,
+            reduce_log_signature,
+            stim_log_signature,
+        )
+
+        if self.config.design:
+            raise RuntimeError(
+                "stimulus mutations target the LA-1 transaction workload"
+            )
+        config = self.config
+        la1 = config.la1()
+        golden = reduce_log_signature(self._rtl_golden_run(pattern))
+        sim = self._rtl_simulator()
+        sim.reset()
+        host = RtlHost(sim, la1)
+        functional = La1FunctionalCoverage(host)
+        schedule = self._schedule()
+        values = schedule_values(la1, schedule, config.seed, pattern)
+        triggered = queue_mutated_traffic(host, la1, schedule, values, fault)
+        functional.detach()
+        host.run_cycles(config.rtl_cycles)
+        detected_by = sorted({record.name for record in sim.failures})
+        if detected_by:
+            outcome, detail = "detected", ""
+        elif not triggered:
+            outcome, detail = "masked", "mutation window never reached"
+        elif stim_log_signature(host) != golden:
             outcome = "silent"
             detail = ("transaction log diverged from golden run with no "
                       "OVL checker firing")
@@ -737,14 +873,32 @@ class FaultCampaign:
             os.close(fd)
 
     # -- the sweep -----------------------------------------------------
+    def _pattern_count(self, fault: Fault) -> int:
+        """How many stimulus patterns ``fault`` is swept under.  Only
+        stimulus-sensitive faults of the LA-1 transaction workload see
+        the pattern axis; protocol/ASM mutations run the base stream."""
+        if self.config.design:
+            return 1
+        if isinstance(fault, (RtlStuckAt, RtlBitFlip, StimulusMutation)):
+            return self.config.patterns
+        return 1
+
     def _dispatch(self, fault: Fault) -> FaultVerdict:
         if isinstance(fault, ProtocolMutation):
             return self._run_sysc(fault)
         if isinstance(fault, AsmPerturbation):
             return self._run_asm(fault)
-        if isinstance(fault, (RtlStuckAt, RtlBitFlip)):
-            return self._run_rtl(fault)
-        raise TypeError(f"no runner for {fault!r}")
+        if isinstance(fault, StimulusMutation):
+            runner = self._run_stim
+        elif isinstance(fault, (RtlStuckAt, RtlBitFlip)):
+            runner = self._run_rtl
+        else:
+            raise TypeError(f"no runner for {fault!r}")
+        patterns = self._pattern_count(fault)
+        if patterns == 1:
+            return runner(fault)
+        return merge_pattern_verdicts(
+            fault, [runner(fault, p) for p in range(patterns)])
 
     def execute_fault(self, fault: Fault) -> FaultVerdict:
         """Run one fault with exception containment and timing -- the
@@ -762,25 +916,35 @@ class FaultCampaign:
         verdict.cpu_time = time.perf_counter() - fault_start
         return verdict
 
-    def execute_faults(self, faults: List[Fault],
-                       lanes: int = 1) -> List[FaultVerdict]:
+    def execute_faults(self, faults: List[Fault], lanes: int = 1,
+                       patterns_per_pass: Optional[int] = None,
+                       ) -> List[FaultVerdict]:
         """Verdicts for ``faults`` in order.
 
-        With ``lanes > 1`` the PPSFP-compatible RTL faults are swept in
+        With ``lanes > 1`` the PPSFP-compatible faults (RTL state
+        faults, lane-encodable stimulus mutations) are swept in
         lane-parallel batches (:mod:`repro.fault.ppsfp`) and everything
         else -- plus any lane the degradation ladder rejects -- runs
         through the ordinary per-fault :meth:`execute_fault`.  Verdicts
-        are bit-identical either way (only ``cpu_time`` differs)."""
+        are bit-identical either way (only ``cpu_time`` differs).
+        ``patterns_per_pass`` caps how many stimulus-pattern groups one
+        pass tiles (an execution knob; None auto-fits the lane budget).
+        """
         batched: dict = {}
         if lanes > 1:
             from .ppsfp import ppsfp_compatible, run_ppsfp_batches
 
-            rtl = [f for f in faults
-                   if isinstance(f, (RtlStuckAt, RtlBitFlip))]
-            if rtl:
+            encodable = [
+                f for f in faults
+                if isinstance(f, (RtlStuckAt, RtlBitFlip, StimulusMutation))
+            ]
+            if encodable:
                 design = self._design()
-                compatible = [f for f in rtl if ppsfp_compatible(design, f)]
-                batched = run_ppsfp_batches(self, compatible, lanes)
+                compatible = [f for f in encodable
+                              if ppsfp_compatible(design, f)]
+                batched = run_ppsfp_batches(
+                    self, compatible, lanes,
+                    patterns_per_pass=patterns_per_pass)
         return [
             batched.get(fault.fault_id) or self.execute_fault(fault)
             for fault in faults
@@ -832,11 +996,12 @@ class FaultCampaign:
     #: planner: the ASM perturbations each re-model-check a property
     #: suite and dominate a campaign (about 90% of the 4-bank wall
     #: clock), so spreading them across shards is what makes jobs=N scale
-    LAYER_WEIGHTS = {"asm": 60.0, "sysc": 2.0, "rtl": 1.0}
+    LAYER_WEIGHTS = {"asm": 60.0, "sysc": 2.0, "rtl": 1.0, "stim": 1.0}
 
     def _run_parallel(self, pending: List[Fault], completed: dict,
                       on_verdict, jobs: int, start: float,
-                      lanes: int = 1) -> dict:
+                      lanes: int = 1,
+                      patterns_per_pass: Optional[int] = None) -> dict:
         """Fan the pending faults out over the *supervised* process pool
         (one shard per weight-balanced fault group,
         :func:`repro.par.run_supervised`).  Fills ``completed``
@@ -879,10 +1044,20 @@ class FaultCampaign:
                 for verdict in shard_report.verdicts:
                     on_verdict(verdict)
 
+        journal_fingerprint = {
+            "campaign": config.fingerprint(),
+            "lanes": lanes,
+            "plan": [[f.fault_id for f in shard] for shard in shards],
+        }
+        # execution knob, journaled only when set so pre-existing
+        # journals (and the default) keep their fingerprint
+        if patterns_per_pass is not None:
+            journal_fingerprint["patterns_per_pass"] = patterns_per_pass
         try:
             results, stats = run_supervised(
                 campaign_shard,
-                [(config, shard, lanes) for shard in shards],
+                [(config, shard, lanes, patterns_per_pass)
+                 for shard in shards],
                 jobs=jobs,
                 initializer=campaign_init,
                 initargs=(config,),
@@ -893,12 +1068,7 @@ class FaultCampaign:
                 seed=config.seed,
                 on_result=collect,
                 journal=journal,
-                journal_fingerprint={
-                    "campaign": config.fingerprint(),
-                    "lanes": lanes,
-                    "plan": [[f.fault_id for f in shard]
-                             for shard in shards],
-                },
+                journal_fingerprint=journal_fingerprint,
             )
         finally:
             if journal is not None:
@@ -954,6 +1124,7 @@ class FaultCampaign:
             on_verdict: Optional[Callable[[FaultVerdict], None]] = None,
             jobs: int = 1,
             lanes: int = 1,
+            patterns_per_pass: Optional[int] = None,
             ) -> CampaignReport:
         """Sweep ``faults`` (default: :func:`default_fault_list`).
 
@@ -972,11 +1143,14 @@ class FaultCampaign:
         ``lanes > 1`` additionally batches the PPSFP-compatible RTL
         faults into lane-parallel bitpar passes inside each worker (and
         inline when ``jobs == 1``), multiplying with the process fan-out.
-        The determinism contract holds for both knobs: verdicts are
-        identical to a ``jobs=1, lanes=1`` sweep (only timing fields
-        differ), the checkpoint file stays resume-compatible in every
-        direction, and pool/batch failure degrades to inline per-fault
-        execution.
+        With ``config.patterns > 1`` those passes additionally tile the
+        lane word as patterns x faults (golden lane per pattern group);
+        ``patterns_per_pass`` caps the tiling (None auto-fits, 1
+        emulates the single-pattern-per-pass layout).  The determinism
+        contract holds for every knob: verdicts are identical to a
+        ``jobs=1, lanes=1`` sweep (only timing fields differ), the
+        checkpoint file stays resume-compatible in every direction, and
+        pool/batch failure degrades to inline per-fault execution.
         """
         config = self.config
         if faults is None:
@@ -996,11 +1170,13 @@ class FaultCampaign:
 
         if jobs > 1 and len(pending) > 1:
             engine_stats = self._run_parallel(
-                pending, completed, on_verdict, jobs, start, lanes)
+                pending, completed, on_verdict, jobs, start, lanes,
+                patterns_per_pass)
         else:
             if lanes > 1 and pending:
                 self._run_ppsfp_inline(
-                    pending, completed, on_verdict, start, lanes)
+                    pending, completed, on_verdict, start, lanes,
+                    patterns_per_pass)
                 pending = [f for f in pending
                            if f.fault_id not in completed]
             for fault in pending:
@@ -1034,19 +1210,23 @@ class FaultCampaign:
         )
 
     def _run_ppsfp_inline(self, pending: List[Fault], completed: dict,
-                          on_verdict, start: float, lanes: int) -> None:
-        """The serial sweep's PPSFP pre-pass: batch every compatible RTL
+                          on_verdict, start: float, lanes: int,
+                          patterns_per_pass: Optional[int] = None) -> None:
+        """The serial sweep's PPSFP pre-pass: batch every compatible
         fault, checkpointing and reporting after each batch.  Remaining
         faults (and batches skipped by the campaign deadline) flow into
         the ordinary per-fault loop."""
         from .ppsfp import ppsfp_compatible, run_ppsfp_batches
 
         config = self.config
-        rtl = [f for f in pending if isinstance(f, (RtlStuckAt, RtlBitFlip))]
-        if not rtl:
+        encodable = [
+            f for f in pending
+            if isinstance(f, (RtlStuckAt, RtlBitFlip, StimulusMutation))
+        ]
+        if not encodable:
             return
         design = self._design()
-        compatible = [f for f in rtl if ppsfp_compatible(design, f)]
+        compatible = [f for f in encodable if ppsfp_compatible(design, f)]
 
         def expired() -> bool:
             return (config.campaign_deadline_s is not None
@@ -1061,4 +1241,5 @@ class FaultCampaign:
                     on_verdict(verdict)
 
         run_ppsfp_batches(self, compatible, lanes,
-                          should_stop=expired, on_batch=collect)
+                          should_stop=expired, on_batch=collect,
+                          patterns_per_pass=patterns_per_pass)

@@ -34,10 +34,13 @@ __all__ = [
     "RtlStuckAt",
     "RtlBitFlip",
     "ProtocolMutation",
+    "StimulusMutation",
     "AsmPerturbation",
     "PROTOCOL_KINDS",
     "PROTOCOL_GAP_KINDS",
     "ASM_KINDS",
+    "STIM_KINDS",
+    "STIM_LADDER_KINDS",
 ]
 
 #: protocol mutation kinds covered by the PSL monitor suite
@@ -57,6 +60,26 @@ PROTOCOL_GAP_KINDS = (
 
 #: ASM guarded-rule perturbation kinds
 ASM_KINDS = ("stall_read", "drop_commit", "spurious_data")
+
+#: host-side stimulus mutation kinds that are *lane-encodable*: they
+#: corrupt only datapath fields (address, write data, byte enables) of
+#: one transaction, so the mutated stream keeps the base command
+#: schedule and can ride a PPSFP lane as per-lane divergent input drives
+STIM_KINDS = (
+    "corrupt_read_address",   # the occurrence-th read fetches addr^1
+    "corrupt_write_address",  # the occurrence-th write lands at addr^1
+    "corrupt_write_data",     # bit 0 of the written word flipped
+    "corrupt_byte_enable",    # byte-enable bit 0 flipped
+    "swap_write_beats",       # the two DDR beats driven in reverse order
+)
+
+#: stimulus mutation kinds that change the *command schedule* (a
+#: transaction appears or disappears), so lane-encoding is impossible --
+#: they exercise the degradation ladder and always run per-fault
+STIM_LADDER_KINDS = (
+    "drop_read",       # the occurrence-th read is silently not issued
+    "duplicate_read",  # the occurrence-th read is issued twice
+)
 
 
 class Fault:
@@ -149,6 +172,37 @@ class ProtocolMutation(Fault):
 
     def describe(self) -> str:
         return f"{self.kind} on bank {self.bank} (occurrence {self.occurrence})"
+
+
+class StimulusMutation(Fault):
+    """One-shot mutation of the *host's* transaction stream at the RTL
+    transactor: the ``occurrence``-th read (or write, by kind) to
+    ``bank`` is issued with a corrupted datapath field -- or, for the
+    ladder kinds, dropped/duplicated outright.
+
+    These are deliberate coverage-gap probes (``expect_detectable`` is
+    always False): the mutated stream is still protocol-legal traffic,
+    so no OVL/PSL monitor can fire -- only golden-run differencing sees
+    the divergence.  The lane-encodable kinds (:data:`STIM_KINDS`) ride
+    PPSFP lanes as per-lane divergent input drives; the schedule-changing
+    kinds (:data:`STIM_LADDER_KINDS`) always take the per-fault path.
+    """
+
+    layer = "stim"
+
+    def __init__(self, kind: str, bank: int, occurrence: int = 1):
+        if kind not in STIM_KINDS + STIM_LADDER_KINDS:
+            raise ValueError(f"unknown stimulus mutation kind {kind!r}")
+        super().__init__(kind, expect_detectable=False)
+        self.bank = bank
+        self.occurrence = occurrence
+
+    def _target(self) -> str:
+        return f"bank{self.bank}#{self.occurrence}"
+
+    def describe(self) -> str:
+        return (f"stimulus mutation {self.kind} on bank {self.bank} "
+                f"(occurrence {self.occurrence})")
 
 
 class AsmPerturbation(Fault):

@@ -91,13 +91,16 @@ class RtlFaultInjector:
     onto that support (see :func:`resolve_state_bit`).
 
     ``lane_map`` (bitpar backend only) confines fault *k* to simulation
-    lane ``lane_map[k]``; lane 0 is reserved for the golden machine.
-    :attr:`triggered_lanes` then accumulates, per lane, whether an
-    application actually changed that lane's state bit.
+    lane ``lane_map[k]`` -- or, when the entry is a *list* of lanes, to
+    all of them at once (pattern packing runs the same fault against
+    several stimulus variants, one lane per pattern group); lane 0 is
+    reserved for the golden machine.  :attr:`triggered_lanes` then
+    accumulates, per lane, whether an application actually changed that
+    lane's state bit.
     """
 
     def __init__(self, sim: RtlSimulator, faults: List[Fault],
-                 lane_map: Optional[List[int]] = None):
+                 lane_map: Optional[List] = None):
         self.sim = sim
         self.faults = list(faults)
         self._attached = False
@@ -109,6 +112,7 @@ class RtlFaultInjector:
         #: changed a state bit (the per-lane ``triggered``)
         self.triggered_lanes = 0
         bitpar = sim.backend == "bitpar"
+        lane_masks: Optional[List[int]] = None
         if lane_map is not None:
             if not bitpar:
                 raise HdlError("lane_map requires backend='bitpar'")
@@ -117,12 +121,20 @@ class RtlFaultInjector:
                     f"lane_map holds {len(lane_map)} lanes for "
                     f"{len(self.faults)} faults"
                 )
-            for lane in lane_map:
-                if not (1 <= lane < sim.lanes):
-                    raise HdlError(
-                        f"lane {lane} out of range (lane 0 is golden, "
-                        f"{sim.lanes} lanes)"
-                    )
+            lane_masks = []
+            for entry in lane_map:
+                lanes = [entry] if isinstance(entry, int) else list(entry)
+                mask = 0
+                for lane in lanes:
+                    if not (1 <= lane < sim.lanes):
+                        raise HdlError(
+                            f"lane {lane} out of range (lane 0 is golden, "
+                            f"{sim.lanes} lanes)"
+                        )
+                    mask |= 1 << lane
+                if not mask:
+                    raise HdlError("empty lane list in lane_map")
+                lane_masks.append(mask)
         self._bitpar = bitpar
         self._plan = []  # (fault, slot, mask) over the backend state array
         for index, fault in enumerate(self.faults):
@@ -135,7 +147,7 @@ class RtlFaultInjector:
                 # one lane word per net bit: select the fault's lane(s);
                 # flags are the activity guards watching the forced net
                 slot = sim._bitpar.bit_slots[flat.path][bit]
-                mask = (1 << lane_map[index] if lane_map is not None
+                mask = (lane_masks[index] if lane_masks is not None
                         else sim.lane_mask)
                 flags = sim._bitpar.state_guards.get(flat.path, ())
             else:

@@ -29,10 +29,13 @@ __all__ = [
     "apply_chaos",
     "la1_model_spec",
     "build_la1_testgen_model",
+    "la1_traffic_model_spec",
+    "build_la1_traffic_model",
     "campaign_init",
     "campaign_shard",
     "testgen_init",
     "testgen_score_shard",
+    "testgen_lane_score_shard",
     "testgen_replay_shard",
     "cover_collect_shard",
     "mc_sweep_init",
@@ -88,6 +91,26 @@ def la1_model_spec(banks: int = 2) -> ModelSpec:
     LA-1 models."""
     return ModelSpec("repro.par.workers:build_la1_testgen_model",
                      {"banks": banks})
+
+
+def build_la1_traffic_model(banks: int = 2, seed: int = 7,
+                            lanes: int = 1):
+    """The RTL traffic-walk testgen target: an
+    :class:`~repro.cover.traffic_walk.La1TrafficModel` whose
+    ``score_walks`` hook scores a whole candidate batch lane-parallel
+    (one candidate per lane), plus its (empty) predicate placeholder."""
+    from ..cover.traffic_walk import La1TrafficModel
+
+    return La1TrafficModel(banks=banks, seed=seed, lanes=lanes), None
+
+
+def la1_traffic_model_spec(banks: int = 2, seed: int = 7,
+                           lanes: int = 1) -> ModelSpec:
+    """Spec for :func:`build_la1_traffic_model` -- what lane-parallel
+    ``coverage_driven_suite(..., jobs=N)`` callers pass so each worker
+    rebuilds the traffic model (and its bitpar simulator) locally."""
+    return ModelSpec("repro.par.workers:build_la1_traffic_model",
+                     {"banks": banks, "seed": seed, "lanes": lanes})
 
 
 _MODEL_CACHE: dict = {}
@@ -154,6 +177,7 @@ def _campaign(config):
             rtl_cycles=config.rtl_cycles,
             fault_deadline_s=config.fault_deadline_s,
             design=getattr(config, "design", None),
+            patterns=getattr(config, "patterns", 1),
         )
         _CAMPAIGN_CACHE[key] = FaultCampaign(local)
     return _CAMPAIGN_CACHE[key]
@@ -165,17 +189,20 @@ def campaign_init(config) -> None:
     _campaign(config)
 
 
-def campaign_shard(config, faults, lanes: int = 1) -> dict:
+def campaign_shard(config, faults, lanes: int = 1,
+                   patterns_per_pass: Optional[int] = None) -> dict:
     """Sweep one shard of faults; returns a mergeable mini
     :class:`~repro.fault.campaign.CampaignReport` as a dict.  With
-    ``lanes > 1`` the compatible RTL faults of the shard run as PPSFP
-    batches on the bitpar backend (verdicts unchanged), so lane
-    parallelism multiplies with the process fan-out."""
+    ``lanes > 1`` the compatible (lane-encodable) faults of the shard
+    run as PPSFP batches on the bitpar backend (verdicts unchanged), so
+    lane parallelism multiplies with the process fan-out;
+    ``patterns_per_pass`` caps the pattern-group tiling per pass."""
     from ..fault.campaign import CampaignReport
 
     apply_chaos(config)
     campaign = _campaign(config)
-    verdicts = campaign.execute_faults(faults, lanes=lanes)
+    verdicts = campaign.execute_faults(
+        faults, lanes=lanes, patterns_per_pass=patterns_per_pass)
     engine_stats = {}
     if campaign._rtl_sim is not None:
         engine_stats["rtl_sim"] = campaign._rtl_sim.stats()
@@ -219,6 +246,30 @@ def testgen_score_shard(spec: ModelSpec, db_dict: dict, candidates,
         trial = replay_coverage(machine, case, predicates, base.clone())
         scores.append((index, trial.counts()[0] - base_covered))
     return scores
+
+
+def testgen_lane_score_shard(spec: ModelSpec, db_dict: dict, candidates,
+                             walk_steps: int, lanes: int) -> list:
+    """Score one shard of candidate walks lane-parallel.
+
+    Same contract as :func:`testgen_score_shard` (``(index, gain)``
+    pairs against a DB snapshot), but the worker hands its whole shard
+    to the rebuilt machine's ``score_walks`` hook, which packs up to
+    ``lanes`` candidates per bit-parallel simulation pass -- so process
+    fan-out multiplies with lane fan-out.  A spec that rebuilds a
+    machine without the hook falls back to the per-walk replay path,
+    keeping the returned gains identical either way.
+    """
+    from ..cover.db import CoverageDB
+
+    machine, __predicates = _model(spec)
+    score_walks = getattr(machine, "score_walks", None)
+    if score_walks is None:
+        return testgen_score_shard(spec, db_dict, candidates, walk_steps)
+    base = CoverageDB.from_dict(db_dict)
+    gains = score_walks([s for __, s in candidates], walk_steps, base,
+                        lanes=lanes)
+    return [(index, gain) for (index, __), gain in zip(candidates, gains)]
 
 
 def testgen_replay_shard(spec: ModelSpec, candidates,

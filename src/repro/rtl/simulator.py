@@ -174,6 +174,8 @@ class RtlSimulator:
         # coverage counters below)
         self._lane_passes = 0
         self._words_evaluated = 0
+        self._occupied_lanes = 0
+        self._occupancy_passes = 0
         self.edge_count = 0
         self.failures: list[MonitorRecord] = []
         self.firings: list[MonitorRecord] = []
@@ -375,8 +377,19 @@ class RtlSimulator:
         "nets", "inputs", "comb", "regs", "state_bits", "monitors",
         "backend", "edges", "firings", "failures",
         "cover_probe_calls", "cover_tracked_nets", "cover_collectors",
-        "lanes", "lane_passes", "words_evaluated",
+        "lanes", "lane_passes", "words_evaluated", "lane_utilization",
     )
+
+    def note_pass_occupancy(self, occupied: int) -> None:
+        """Record how many lanes of one campaign-level pass carried live
+        work (golden + fault/pattern lanes); feeds ``lane_utilization``.
+
+        The simulator cannot see occupancy itself -- every lane word is
+        always evaluated -- so the batching layer reports it per pass.
+        """
+        budget = self.lanes or 1
+        self._occupied_lanes += max(0, min(occupied, budget))
+        self._occupancy_passes += 1
 
     def stats(self) -> dict:
         """Design-size and run accounting for flow/campaign reports.
@@ -403,6 +416,15 @@ class RtlSimulator:
             lanes=self.lanes,
             lane_passes=self._lane_passes,
             words_evaluated=self._words_evaluated,
+            lane_utilization=(
+                round(
+                    self._occupied_lanes
+                    / ((self.lanes or 1) * self._occupancy_passes),
+                    4,
+                )
+                if self._occupancy_passes
+                else 0.0
+            ),
         )
         assert set(stats) == set(self.STATS_KEYS)
         return stats

@@ -99,6 +99,11 @@ class CampaignJob(Job):
         self.rtl_cycles = int(_get(spec, "rtl_cycles",
                                    32 if self.design else 160, (int,)))
         self.max_faults = _get(spec, "max_faults", None, (int,))
+        # stimulus patterns per fault are workload content (verdicts
+        # merge across patterns); the per-pass tiling cap is not
+        self.patterns = int(_get(spec, "patterns", 1, (int,)))
+        self.patterns_per_pass = _get(spec, "patterns_per_pass", None,
+                                      (int,))
         self.deadline_s = _get(spec, "deadline_s", None, (int, float))
         # chaos markers ride the spec (smoke/bench only) but are
         # execution-side: they must not perturb the content identity
@@ -116,6 +121,10 @@ class CampaignJob(Job):
             "rtl_cycles": self.rtl_cycles,
             "max_faults": self.max_faults,
         }
+        if self.patterns > 1:
+            # conditional key: single-pattern submissions keep their
+            # pre-pattern content identity (and store entries)
+            fingerprint["patterns"] = self.patterns
         if self.design:
             # content identity of the *elaborated netlist*, not of the
             # Python frontend source: an edit that lowers identically
@@ -139,6 +148,7 @@ class CampaignJob(Job):
             backend=self.backend,
             rtl_cycles=self.rtl_cycles,
             max_faults=self.max_faults,
+            patterns=self.patterns,
             campaign_deadline_s=self.deadline_s,
             checkpoint_path=self._spool(workdir, "ckpt.json"),
             journal_path=self._spool(workdir, "wal.jsonl"),
@@ -150,6 +160,7 @@ class CampaignJob(Job):
         report = FaultCampaign(config).run(
             jobs=self.jobs,
             lanes=self.lanes,
+            patterns_per_pass=self.patterns_per_pass,
             on_verdict=lambda v: emit({
                 "type": "verdict",
                 "fault_id": v.fault_id,
@@ -161,7 +172,15 @@ class CampaignJob(Job):
 
 
 class CoverJob(Job):
-    """Coverage-driven (or undirected) ASM test generation."""
+    """Coverage-driven (or undirected) test generation.
+
+    ``vehicle`` selects the stimulus model: ``"asm"`` (default) walks
+    the abstract machine; ``"traffic"`` drives seeded LA-1 transaction
+    streams through the RTL netlist
+    (:class:`repro.cover.traffic_walk.La1TrafficModel`), where the
+    ``lanes`` execution knob packs that many candidates per
+    bit-parallel scoring pass.
+    """
 
     kind = "cover"
 
@@ -171,6 +190,9 @@ class CoverJob(Job):
         self.mode = str(_get(spec, "mode", "directed", (str,)))
         if self.mode not in ("directed", "undirected"):
             raise ValueError(f"unknown cover mode {self.mode!r}")
+        self.vehicle = str(_get(spec, "vehicle", "asm", (str,)))
+        if self.vehicle not in ("asm", "traffic"):
+            raise ValueError(f"unknown cover vehicle {self.vehicle!r}")
         self.seed = int(_get(spec, "seed", 0, (int,)))
         self.max_tests = int(_get(spec, "max_tests", 8, (int,)))
         self.walk_steps = int(_get(spec, "walk_steps", 16, (int,)))
@@ -180,7 +202,7 @@ class CoverJob(Job):
         self.plateau_rounds = int(_get(spec, "plateau_rounds", 3, (int,)))
 
     def fingerprint(self) -> dict:
-        return {
+        fingerprint = {
             "banks": self.banks,
             "mode": self.mode,
             "seed": self.seed,
@@ -190,12 +212,21 @@ class CoverJob(Job):
             "target": self.target,
             "plateau_rounds": self.plateau_rounds,
         }
+        if self.vehicle != "asm":
+            # conditional key: ASM submissions keep their pre-vehicle
+            # content identity (and store entries)
+            fingerprint["vehicle"] = self.vehicle
+        return fingerprint
 
     def run(self, emit: Emit, workdir: Optional[str] = None) -> dict:
         from ..cover.testgen import coverage_driven_suite, undirected_suite
-        from ..par.workers import la1_model_spec
+        from ..par.workers import la1_model_spec, la1_traffic_model_spec
 
-        spec = la1_model_spec(self.banks)
+        if self.vehicle == "traffic":
+            spec = la1_traffic_model_spec(
+                self.banks, seed=self.seed, lanes=self.lanes)
+        else:
+            spec = la1_model_spec(self.banks)
         machine, predicates = spec.build()
         if self.mode == "directed":
             result = coverage_driven_suite(
@@ -208,6 +239,7 @@ class CoverJob(Job):
                 plateau_rounds=self.plateau_rounds,
                 jobs=self.jobs,
                 model_spec=spec,
+                lanes=self.lanes,
             )
         else:
             result = undirected_suite(
@@ -217,6 +249,7 @@ class CoverJob(Job):
                 seed=self.seed,
                 jobs=self.jobs,
                 model_spec=spec,
+                lanes=self.lanes,
             )
         for index, coverage in enumerate(result.history):
             emit({"type": "round", "test": index,

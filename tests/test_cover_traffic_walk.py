@@ -1,0 +1,100 @@
+"""The traffic-walk testgen vehicle: lane-parallel candidate scoring
+must change nothing but the wall clock.
+
+``La1TrafficModel`` scores random-stimulus candidates one-per-lane in
+bit-parallel RTL passes; the per-walk coverage DBs, the suites testgen
+builds from them, and the sharded ``jobs x lanes`` path must all be
+bit-identical to the scalar one-walk-at-a-time sweep.
+"""
+
+from repro.cover.testgen import coverage_driven_suite, undirected_suite
+from repro.cover.traffic_walk import La1TrafficModel, TrafficWalkCase
+from repro.par.workers import la1_traffic_model_spec
+
+WALK_STEPS = 8
+SEEDS = [3, 11, 19, 27, 35, 43]
+
+
+def _model(lanes=64):
+    return La1TrafficModel(banks=1, seed=7, lanes=lanes)
+
+
+class TestWalkDbs:
+    def test_lane_parallel_matches_scalar(self):
+        lane_dbs = _model(64).walk_dbs(SEEDS, WALK_STEPS)
+        scalar_dbs = _model(1).walk_dbs(SEEDS, WALK_STEPS, lanes=1)
+        assert [db.to_dict() for db in lane_dbs] == \
+            [db.to_dict() for db in scalar_dbs]
+
+    def test_chunking_is_invisible(self):
+        model = _model(64)
+        whole = model.walk_dbs(SEEDS, WALK_STEPS)
+        chunked = model.walk_dbs(SEEDS, WALK_STEPS, lanes=2)
+        assert [db.to_dict() for db in whole] == \
+            [db.to_dict() for db in chunked]
+
+    def test_score_walks_gain_matches_manual_merge(self):
+        model = _model(64)
+        dbs = model.walk_dbs(SEEDS, WALK_STEPS)
+        base = dbs[0].clone()
+        gains = model.score_walks(SEEDS[1:], WALK_STEPS, base)
+        want = [base.clone().merge(db).counts()[0] - base.counts()[0]
+                for db in dbs[1:]]
+        assert gains == want
+
+    def test_admit_walk_merges_the_selected_walk(self):
+        model = _model(64)
+        case = model.walk_case(SEEDS[0], WALK_STEPS)
+        assert case == TrafficWalkCase(SEEDS[0], WALK_STEPS)
+        db = model.walk_dbs([SEEDS[1]], WALK_STEPS, lanes=1)[0]
+        before = db.counts()[0]
+        model.admit_walk(case, db)
+        assert db.counts()[0] >= before
+
+
+class TestSuites:
+    def test_lane_suite_matches_scalar_suite(self):
+        lanes = undirected_suite(_model(8), {}, num_tests=4,
+                                 walk_steps=WALK_STEPS, seed=5, lanes=8)
+        scalar = undirected_suite(_model(1), {}, num_tests=4,
+                                  walk_steps=WALK_STEPS, seed=5, lanes=1)
+        assert lanes.history == scalar.history
+        assert lanes.db.to_dict() == scalar.db.to_dict()
+
+    def test_coverage_driven_matches_scalar(self):
+        lanes = coverage_driven_suite(
+            _model(8), {}, max_tests=3, candidates_per_round=4,
+            walk_steps=WALK_STEPS, seed=5, plateau_rounds=2, lanes=8)
+        scalar = coverage_driven_suite(
+            _model(1), {}, max_tests=3, candidates_per_round=4,
+            walk_steps=WALK_STEPS, seed=5, plateau_rounds=2, lanes=1)
+        assert lanes.history == scalar.history
+        assert lanes.db.to_dict() == scalar.db.to_dict()
+
+    def test_jobs_sharded_scoring_matches_inline(self):
+        spec = la1_traffic_model_spec(banks=1, seed=7, lanes=8)
+        inline = coverage_driven_suite(
+            _model(8), {}, max_tests=3, candidates_per_round=4,
+            walk_steps=WALK_STEPS, seed=5, plateau_rounds=2, lanes=8)
+        sharded = coverage_driven_suite(
+            _model(8), {}, max_tests=3, candidates_per_round=4,
+            walk_steps=WALK_STEPS, seed=5, plateau_rounds=2,
+            jobs=2, model_spec=spec, lanes=8)
+        assert sharded.history == inline.history
+        assert sharded.db.to_dict() == inline.db.to_dict()
+
+
+class TestModelSpec:
+    def test_spec_round_trips(self):
+        spec = la1_traffic_model_spec(banks=1, seed=7, lanes=8)
+        machine, predicates = spec.build()
+        assert isinstance(machine, La1TrafficModel)
+        assert machine.lanes == 8
+        assert predicates is None
+
+    def test_walk_case_round_trip(self):
+        case = TrafficWalkCase(9, WALK_STEPS)
+        assert case == TrafficWalkCase(9, WALK_STEPS)
+        assert case != TrafficWalkCase(10, WALK_STEPS)
+        assert hash(case) == hash(TrafficWalkCase(9, WALK_STEPS))
+        assert "9" in repr(case)

@@ -15,11 +15,24 @@ out through ``collapsed_from``.
 import pytest
 
 from repro.core import La1Config, build_la1_top_with_ovl
-from repro.fault.campaign import CampaignConfig, FaultCampaign
-from repro.fault.models import ProtocolMutation, RtlBitFlip, RtlStuckAt
+from repro.fault.campaign import (
+    CampaignConfig,
+    FaultCampaign,
+    FaultVerdict,
+    merge_pattern_verdicts,
+)
+from repro.fault.models import (
+    STIM_KINDS,
+    STIM_LADDER_KINDS,
+    ProtocolMutation,
+    RtlBitFlip,
+    RtlStuckAt,
+    StimulusMutation,
+)
 from repro.fault.ppsfp import ppsfp_compatible
 from repro.fault.rtl_inject import collapse_faults
 from repro.rtl import elaborate
+from repro.rtl.simulator import RtlSimulator
 
 
 def _tiny_config(**overrides):
@@ -126,6 +139,152 @@ class TestDegradationLadder:
         assert by_id[bad.fault_id].outcome == "error"
         assert "no.such.net" in by_id[bad.fault_id].detail
         assert by_id[good.fault_id].outcome != "error"
+
+
+def _dual_fault_list():
+    """RTL faults plus every flavour of stimulus mutation: the
+    lane-encodable kinds and both ladder kinds (which must take the
+    per-fault path under any lane count)."""
+    return [
+        RtlStuckAt("la1_top.bank0.read_port.st_out0", 0, 0),
+        RtlStuckAt("la1_top.bank0.read_port.st_fetch", 0, 1),
+        RtlBitFlip("la1_top.bank0.read_port.st_out1", 0, at_edge=6),
+        StimulusMutation("corrupt_read_address", 0),
+        StimulusMutation("corrupt_write_data", 0),
+        StimulusMutation("swap_write_beats", 0),
+        StimulusMutation("drop_read", 0),
+        StimulusMutation("duplicate_read", 0),
+    ]
+
+
+class TestDualAxis:
+    """The pattern axis and lane-encoded stimulus faults: every
+    execution shape of ``(jobs, lanes, patterns_per_pass)`` must
+    reproduce the per-fault single-lane sweep bit-identically."""
+
+    @pytest.fixture(scope="class")
+    def pattern_reference(self):
+        return FaultCampaign(_tiny_config(patterns=3)).run(
+            faults=_dual_fault_list(), lanes=1)
+
+    @pytest.mark.parametrize("jobs,lanes,ppp", [
+        (1, 8, None),
+        (1, 64, 1),     # pattern-serial: one pattern group per pass
+        (1, 64, 2),     # capped tiling
+        (1, 64, None),  # auto-packed
+        (2, 64, None),  # process fan-out on top
+    ])
+    def test_pattern_matrix(self, pattern_reference, jobs, lanes, ppp):
+        report = FaultCampaign(_tiny_config(patterns=3)).run(
+            faults=_dual_fault_list(), jobs=jobs, lanes=lanes,
+            patterns_per_pass=ppp)
+        assert report.signature() == pattern_reference.signature()
+        assert _timeless(report) == _timeless(pattern_reference)
+
+    def test_stim_kind_classification(self, la1_design):
+        for kind in STIM_KINDS:
+            assert ppsfp_compatible(
+                la1_design, StimulusMutation(kind, 0)), kind
+        for kind in STIM_LADDER_KINDS:
+            assert not ppsfp_compatible(
+                la1_design, StimulusMutation(kind, 0)), kind
+
+    def test_checkpoint_resumes_mid_campaign(self, pattern_reference,
+                                             tmp_path):
+        # half the session swept per-fault at lanes=1, the rest resumed
+        # pattern-packed at lanes=64: the report must not notice
+        state = str(tmp_path / "campaign.json")
+        first = FaultCampaign(_tiny_config(
+            patterns=3, checkpoint_path=state, max_faults=4)).run(
+            faults=_dual_fault_list(), lanes=1)
+        assert len(first.verdicts) == 4
+        resumed = FaultCampaign(_tiny_config(
+            patterns=3, checkpoint_path=state)).run(
+            faults=_dual_fault_list(), lanes=64)
+        assert resumed.signature() == pattern_reference.signature()
+
+    def test_forced_degradation_matches(self, pattern_reference,
+                                        monkeypatch):
+        # every pass raising degrades the whole batch to the per-fault
+        # ladder, which must still produce the identical report
+        campaign = FaultCampaign(_tiny_config(patterns=3))
+
+        def boom(batch, lanes, patterns_per_pass=None):
+            raise RuntimeError("forced lane degradation")
+
+        monkeypatch.setattr(campaign, "_ppsfp_batch", boom)
+        report = campaign.run(faults=_dual_fault_list(), lanes=64)
+        assert report.signature() == pattern_reference.signature()
+        assert _timeless(report) == _timeless(pattern_reference)
+
+    def test_lane_utilization_reported(self):
+        assert "lane_utilization" in RtlSimulator.STATS_KEYS
+        report = FaultCampaign(_tiny_config(patterns=2)).run(
+            faults=_dual_fault_list(), lanes=64)
+        ppsfp = report.engine_stats["ppsfp"]["64"]
+        assert 0.0 < ppsfp["lane_utilization"] <= 1.0
+
+
+class TestMergePatternVerdicts:
+    def _verdict(self, outcome, detected_by=(), coverage=(), detail=""):
+        fault = RtlStuckAt("la1_top.r_sel", 0, 0)
+        return fault, FaultVerdict(
+            fault.fault_id, fault.layer, fault.kind, outcome,
+            detected_by=list(detected_by), detail=detail,
+            coverage_points=list(coverage), cpu_time=0.25)
+
+    def test_single_pattern_is_identity(self):
+        fault, verdict = self._verdict("silent", detail="diverged")
+        merged = merge_pattern_verdicts(fault, [verdict])
+        assert merged.outcome == "silent"
+        assert merged.detail == "diverged"
+        assert merged.cpu_time == verdict.cpu_time
+
+    def test_detected_wins_and_unions(self):
+        fault, silent = self._verdict("silent")
+        __, hit_a = self._verdict("detected", ["ovl_b"], ["p2"])
+        __, hit_b = self._verdict("detected", ["ovl_a"], ["p1"])
+        merged = merge_pattern_verdicts(fault, [silent, hit_a, hit_b])
+        assert merged.outcome == "detected"
+        assert merged.detected_by == ["ovl_a", "ovl_b"]
+        assert merged.coverage_points == ["p1", "p2"]
+        assert merged.cpu_time == pytest.approx(0.75)
+
+    def test_error_outranks_silent(self):
+        fault, silent = self._verdict("silent")
+        __, error = self._verdict("error", detail="crashed")
+        merged = merge_pattern_verdicts(fault, [silent, error])
+        assert merged.outcome == "error"
+
+
+class TestCliValidation:
+    @pytest.mark.parametrize("argv", [
+        ["--lanes", "0"],
+        ["--lanes", "9999"],
+        ["--jobs", "0"],
+        ["--jobs", "banana"],
+        ["--patterns", "0"],
+        ["--patterns-per-pass", "0"],
+    ])
+    def test_fault_cli_rejects_bad_bounds(self, argv, capsys):
+        from repro.fault.__main__ import main
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--smoke", *argv])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert argv[0] in err
+
+    @pytest.mark.parametrize("argv", [
+        ["--lanes", "0"],
+        ["--jobs", "129"],
+    ])
+    def test_cover_cli_rejects_bad_bounds(self, argv, capsys):
+        from repro.cover.__main__ import main
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--smoke", *argv])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert argv[0] in err
 
 
 class TestCollapse:
